@@ -1,0 +1,65 @@
+"""Ablation: fast (mean-value) engine vs cycle-accurate engine.
+
+The experiment sweeps run on the closed-form fast engine; this bench
+validates it against the operational cycle engine on a grid of
+workload archetypes x SMT levels, checking that (a) throughput ranks
+agree and (b) both engines order dispatch-held the same way across
+workloads — the properties the metric actually depends on.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.correlation import spearman
+from repro.arch import power7
+from repro.sim.cycle_core import CycleCore
+from repro.sim.fast_core import CoreInput, solve_core
+from repro.util.tables import format_table
+from repro.workloads.synthetic import (
+    bandwidth_bound_workload,
+    compute_bound_workload,
+    make_stream,
+    spin_bound_workload,
+)
+
+CYCLES = 6000
+
+ARCHETYPES = {
+    "compute": compute_bound_workload().stream,
+    "bandwidth": bandwidth_bound_workload().stream,
+    "locks": spin_bound_workload().stream,
+    "fx-heavy": make_stream(loads=0.10, stores=0.05, branches=0.05, fx=0.75,
+                            ilp=2.2, l1_mpki=1, l2_mpki=0.3, l3_mpki=0.05),
+    "fp-thrash": make_stream(loads=0.28, stores=0.12, branches=0.03, fx=0.07,
+                             ilp=2.0, l1_mpki=22, l2_mpki=10, l3_mpki=5,
+                             locality_alpha=0.9, mlp=4.0),
+}
+
+
+def run_grid():
+    arch = power7()
+    rows = []
+    fast_ipc, cycle_ipc, fast_dh, cycle_dh = [], [], [], []
+    for name, stream in ARCHETYPES.items():
+        for level in (1, 4):
+            fast = solve_core(CoreInput(arch, level, tuple([stream] * level),
+                                        threads_per_chip=level))
+            cyc = CycleCore(arch, level, [stream] * level, seed=13).run(CYCLES)
+            rows.append([name, level, fast.core_ipc, cyc.core_ipc,
+                         fast.dispatch_held_fraction, cyc.dispatch_held_fraction])
+            fast_ipc.append(fast.core_ipc)
+            cycle_ipc.append(cyc.core_ipc)
+            fast_dh.append(fast.dispatch_held_fraction)
+            cycle_dh.append(cyc.dispatch_held_fraction)
+    table = format_table(
+        ["archetype", "SMT", "fast IPC", "cycle IPC", "fast dispHeld", "cycle dispHeld"],
+        rows,
+        title="Ablation: fast vs cycle engine agreement",
+    )
+    return (spearman(fast_ipc, cycle_ipc), spearman(fast_dh, cycle_dh)), table
+
+
+def test_ablation_engines(benchmark, results_dir):
+    (rho_ipc, rho_dh), table = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    assert rho_ipc > 0.7
+    assert rho_dh > 0.6
+    emit(results_dir, "ablation_engines",
+         table + f"\n\nspearman(IPC) = {rho_ipc:.2f}  spearman(dispHeld) = {rho_dh:.2f}")

@@ -1,0 +1,72 @@
+"""Ablation: what does each SMTsm factor contribute?
+
+Eq. 1 multiplies three factors — instruction-mix deviation,
+dispatch-held fraction, and the wall/CPU scalability ratio.  The paper
+motivates each separately (§II); this ablation quantifies them by
+dropping one factor at a time, refitting the threshold, and comparing
+prediction accuracy on the Fig. 6 data.
+"""
+
+import itertools
+
+from benchmarks.conftest import emit
+from repro.analysis.success import success_summary
+from repro.core.predictor import Observation, SmtPredictor
+from repro.experiments import fig06_smt4v1_at4
+from repro.util.tables import format_table
+
+FACTORS = ("mix_deviation", "dispatch_held", "scalability_ratio")
+
+
+def ablated_metric(detail, dropped):
+    value = 1.0
+    for factor in FACTORS:
+        if factor != dropped:
+            value *= getattr(detail, factor)
+    return value
+
+
+def accuracy_with_factors(points, dropped=None):
+    obs = [
+        Observation(p.name, ablated_metric(p.metric_detail, dropped), p.speedup)
+        for p in points
+    ]
+    predictor = SmtPredictor.fit(obs, high_level=4, low_level=1)
+    return success_summary(predictor, obs)
+
+
+def run_ablation(runs):
+    scatter = fig06_smt4v1_at4.run(runs=runs)
+    rows = []
+    full = accuracy_with_factors(scatter.points, dropped=None)
+    rows.append(["full SMTsm", full.success_rate, full.threshold, len(full.misses)])
+    results = {"full": full}
+    for factor in FACTORS:
+        summary = accuracy_with_factors(scatter.points, dropped=factor)
+        rows.append([f"without {factor}", summary.success_rate,
+                     summary.threshold, len(summary.misses)])
+        results[factor] = summary
+    table = format_table(
+        ["variant", "success rate", "fitted threshold", "misses"],
+        rows,
+        title="Ablation: SMTsm factor contributions (Fig. 6 data)",
+    )
+    return results, table
+
+
+def test_ablation_factors(benchmark, results_dir, p7_catalog_runs):
+    results, table = benchmark.pedantic(
+        run_ablation, args=(p7_catalog_runs,), rounds=1, iterations=1
+    )
+    full_rate = results["full"].success_rate
+    assert full_rate >= 0.89
+    # No single-factor removal may *beat* the full metric, and at least
+    # one factor must be strictly load-bearing.  (On this benchmark set
+    # the dispatch-held factor carries most of the separation — which
+    # matches the paper's own emphasis on it "indirectly capturing ILP
+    # and cache-miss effects"; the other factors buy robustness on the
+    # near-threshold points.)
+    ablated_rates = {f: results[f].success_rate for f in FACTORS}
+    assert all(rate <= full_rate for rate in ablated_rates.values()), ablated_rates
+    assert min(ablated_rates.values()) < full_rate, ablated_rates
+    emit(results_dir, "ablation_factors", table)

@@ -1,0 +1,79 @@
+"""Ablation (extension): SMT fetch policy under partitioned queues.
+
+Tullsen's ICOUNT fetch heuristic famously beats round-robin on cores
+with *shared* issue queues, where a stalled thread's instructions clog
+the whole window.  POWER7-style cores partition the queue per thread
+(and a thread whose decode buffer is full simply loses its fetch turn),
+which removes the clogging channel — so the two policies should land
+within noise of each other.  This ablation verifies that insensitivity
+on the operational cycle engine: a *negative result by design*, and a
+structural sanity check that the partitioning actually isolates
+threads.
+"""
+
+from benchmarks.conftest import emit
+from repro.arch import power7
+from repro.sim.cycle_core import CycleCore
+from repro.util.tables import format_table
+from repro.workloads.synthetic import (
+    bandwidth_bound_workload,
+    compute_bound_workload,
+    make_stream,
+)
+
+CYCLES = 6000
+
+MIXES = {
+    "4x compute": [compute_bound_workload().stream] * 4,
+    "1 memory + 3 compute": [bandwidth_bound_workload().stream]
+    + [compute_bound_workload().stream] * 3,
+    "2 memory + 2 compute": [bandwidth_bound_workload().stream] * 2
+    + [compute_bound_workload().stream] * 2,
+    "1 pointer-chase + 3 compute": [
+        make_stream(loads=0.35, stores=0.05, branches=0.1, fx=0.3,
+                    ilp=1.0, l1_mpki=30, l2_mpki=20, l3_mpki=8,
+                    locality_alpha=0.2, mlp=1.5)
+    ] + [compute_bound_workload().stream] * 3,
+}
+
+
+def run_grid():
+    rows = []
+    gains = {}
+    compute_share = {}
+    for name, streams in MIXES.items():
+        rr = CycleCore(power7(), 4, streams, seed=17,
+                       fetch_policy="round_robin").run(CYCLES)
+        ic = CycleCore(power7(), 4, streams, seed=17,
+                       fetch_policy="icount").run(CYCLES)
+        gain = ic.core_ipc / rr.core_ipc
+        gains[name] = gain
+        compute_share[name] = (
+            sum(rr.instructions[1:]) / max(sum(rr.instructions), 1)
+        )
+        rows.append([name, rr.core_ipc, ic.core_ipc, gain])
+    table = format_table(
+        ["thread mix", "round-robin IPC", "ICOUNT IPC", "ICOUNT gain"],
+        rows,
+        title="Ablation: SMT fetch policy under partitioned issue queues "
+              "(cycle engine, POWER7 SMT4)",
+    )
+    return gains, compute_share, table
+
+
+def test_ablation_fetch_policy(benchmark, results_dir):
+    gains, compute_share, table = benchmark.pedantic(
+        run_grid, rounds=1, iterations=1
+    )
+    # Partitioned queues neutralize the fetch policy: both within 3%
+    # on every mix — including the clog-prone ones ICOUNT was invented
+    # for.  (On a shared-queue core this gap would be large.)
+    for name, gain in gains.items():
+        assert 0.97 < gain < 1.03, (name, gain)
+    # And the isolation itself: even with a stalled co-runner, the
+    # compute threads keep the bulk of the throughput under plain RR.
+    assert compute_share["1 memory + 3 compute"] > 0.7
+    emit(results_dir, "ablation_fetch_policy",
+         table + "\n\nresult: partitioned per-thread queue shares make the "
+         "fetch policy immaterial (clogging is impossible), unlike the "
+         "shared-queue cores ICOUNT was designed for.")

@@ -1,0 +1,20 @@
+"""Bench (extension): hardware-thread priority shielding."""
+
+from benchmarks.conftest import emit
+from repro.experiments import priority_shielding
+
+
+def test_priority_shielding(benchmark, results_dir):
+    result = benchmark.pedantic(priority_shielding.run, rounds=1, iterations=1)
+    prios = sorted(result.foreground_ipc)
+    series = [result.foreground_ipc[p] for p in prios]
+    # Foreground throughput rises monotonically with its priority...
+    assert series == sorted(series)
+    assert series[-1] > 1.5 * result.foreground_ipc[4]
+    # ...never exceeds solo execution...
+    assert series[-1] <= result.solo_ipc * 1.001
+    # ...and the core's aggregate stays roughly conserved (priorities
+    # redistribute capacity; they don't create it).
+    core = [result.core_ipc[p] for p in prios]
+    assert max(core) / min(core) < 1.2
+    emit(results_dir, "ablation_priorities", result.render())

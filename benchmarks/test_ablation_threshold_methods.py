@@ -1,0 +1,58 @@
+"""Ablation: Gini-impurity vs PPI threshold selection (§V-A vs §V-B).
+
+The paper argues PPI "can also provide a better threshold than the Gini
+impurity method in some cases, because Gini impurity does not consider
+the amount of speedup".  This bench fits both on the Fig. 6 data and
+compares classification accuracy *and* the realized performance
+improvement from following each threshold.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.success import success_summary
+from repro.core.predictor import SmtPredictor
+from repro.experiments import fig06_smt4v1_at4
+from repro.util.tables import format_table
+
+
+def realized_improvement_pct(points, threshold):
+    """Mean actual improvement from switching above-threshold points down."""
+    gains = [
+        (1.0 / p.speedup - 1.0) * 100.0 if p.metric > threshold else 0.0
+        for p in points
+    ]
+    return float(np.mean(gains))
+
+
+def run_comparison(runs):
+    scatter = fig06_smt4v1_at4.run(runs=runs)
+    obs = scatter.observations()
+    rows = []
+    outcomes = {}
+    for method in ("gini", "ppi"):
+        predictor = SmtPredictor.fit(obs, high_level=4, low_level=1, method=method)
+        summary = success_summary(predictor, obs)
+        improvement = realized_improvement_pct(scatter.points, predictor.threshold)
+        rows.append([method, predictor.threshold, summary.success_rate, improvement])
+        outcomes[method] = (summary, improvement)
+    table = format_table(
+        ["method", "threshold", "success rate", "realized improvement (%)"],
+        rows,
+        title="Ablation: Gini vs PPI threshold selection (Fig. 6 data)",
+    )
+    return outcomes, table
+
+
+def test_ablation_threshold_methods(benchmark, results_dir, p7_catalog_runs):
+    outcomes, table = benchmark.pedantic(
+        run_comparison, args=(p7_catalog_runs,), rounds=1, iterations=1
+    )
+    gini, ppi = outcomes["gini"], outcomes["ppi"]
+    # Both methods must produce usable thresholds on this data...
+    assert gini[0].success_rate >= 0.85
+    assert ppi[0].success_rate >= 0.85
+    # ...and both deliver the paper's headline improvement.
+    assert gini[1] > 15.0
+    assert ppi[1] > 15.0
+    emit(results_dir, "ablation_threshold_methods", table)

@@ -1,0 +1,22 @@
+"""Bench (extension): SMTsm-guided batch scheduling vs static/oracle."""
+
+from benchmarks.conftest import emit
+from repro.experiments import batch_scheduler
+
+
+def test_batch_scheduler(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        batch_scheduler.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    makespans = result.makespans()
+    # The metric policy beats BOTH static policies and recovers most of
+    # the oracle's advantage over the shipping default.
+    assert makespans["smtsm"] < makespans["static-4"]
+    assert makespans["smtsm"] < makespans["static-1"]
+    assert makespans["smtsm"] < makespans["oracle"] * 1.15
+    # Decisions are mixed, not degenerate: some jobs stay at SMT4, some
+    # drop to SMT1.
+    levels = {r.level for r in result.outcomes["smtsm"].records}
+    assert {1, 4} <= levels
+    emit(results_dir, "batch_scheduler", result.render())

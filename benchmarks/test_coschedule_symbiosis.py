@@ -1,0 +1,17 @@
+"""Bench (extension): mix-guided co-scheduling vs random/adversarial."""
+
+from benchmarks.conftest import emit
+from repro.experiments import coschedule_symbiosis
+
+
+def test_coschedule_symbiosis(benchmark, results_dir):
+    result = benchmark.pedantic(
+        coschedule_symbiosis.run, kwargs={"seed": 11}, rounds=1, iterations=1
+    )
+    # The ideal-mix principle must order the policies: guided pairing
+    # beats the random average, which beats the adversarial pairing.
+    assert result.guided.weighted_speedup >= result.random_mean
+    assert result.random_mean > result.adversarial.weighted_speedup
+    # Co-running costs something: per-job efficiency below 1, above 0.5.
+    assert 0.5 < result.guided.avg_symbiosis <= 1.05
+    emit(results_dir, "coschedule_symbiosis", result.render())

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 1 (SMT1 vs SMT4 for Equake, MG, EP)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        fig01_motivation.run, kwargs={"seed": 11}, rounds=1, iterations=1
+    )
+    norm = result.normalized
+    # Paper: Equake degraded, MG oblivious, EP improved (Fig. 1).
+    assert norm["Equake"][4] < 0.7
+    assert 0.85 < norm["MG"][4] < 1.15
+    assert norm["EP"][4] > 1.6
+    emit(results_dir, "fig01_motivation", result.render())

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 7 (instruction-mix ladder of five benchmarks)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig07_instruction_mix
+
+
+def test_fig07_instruction_mix(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        fig07_instruction_mix.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    order = list(fig07_instruction_mix.BENCHMARKS)
+    speedups = [result.speedups[n] for n in order]
+    # Paper ladder: 1.82 -> 1.35 -> 0.86 -> 0.78 -> 0.25.
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[0] > 1.5 and speedups[-1] < 0.5
+    assert result.deviations[order[-1]] == max(result.deviations.values())
+    emit(results_dir, "fig07_instruction_mix", result.render())

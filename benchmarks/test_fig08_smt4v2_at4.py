@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 8 (SMT4/SMT2 vs SMTsm@SMT4)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig08_smt4v2_at4
+
+
+def test_fig08_smt4v2_at4(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        fig08_smt4v2_at4.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    # Paper: "All of the benchmarks with a metric greater than the
+    # threshold prefer SMT2"; left-side losers stay above 0.9.
+    for p in result.points:
+        if p.metric > fig08_smt4v2_at4.PAPER_THRESHOLD:
+            assert p.speedup < 1.05, p.name
+        elif p.speedup < 1.0:
+            assert p.speedup > 0.9, p.name
+    emit(results_dir, "fig08_smt4v2_at4", result.render(threshold=0.07))

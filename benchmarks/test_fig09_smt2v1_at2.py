@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 9 (SMT2/SMT1 vs SMTsm@SMT2 — partial predictability)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig09_smt2v1_at2
+
+
+def test_fig09_smt2v1_at2(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        fig09_smt2v1_at2.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    band = fig09_smt2v1_at2.ambiguous_band(result)
+    # Paper: between 0.07 and 0.19 "it is not possible to predict".
+    assert any(p.speedup >= 1.0 for p in band)
+    assert any(p.speedup < 1.0 for p in band)
+    # Above 0.19 the lower level wins.
+    for p in result.points:
+        if p.metric >= fig09_smt2v1_at2.UPPER_BOUND:
+            assert p.speedup < 1.05, p.name
+    emit(results_dir, "fig09_smt2v1_at2", result.render())

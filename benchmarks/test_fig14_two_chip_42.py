@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 14 (two-chip SMT4/SMT2 vs SMTsm@SMT4)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig13_two_chip_41, fig14_two_chip_42
+
+
+def test_fig14_two_chip_42(benchmark, results_dir, p7x2_catalog_runs):
+    result = benchmark.pedantic(
+        fig14_two_chip_42.run, kwargs={"runs": p7x2_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    s13 = fig13_two_chip_41.run(runs=p7x2_catalog_runs).success()
+    s14 = result.success()
+    # Paper: "The SMT4/SMT2 results look better than the SMT4/SMT1
+    # results" — the thread-count change between levels is smaller.
+    assert s14.success_rate >= s13.success_rate - 0.05
+    emit(results_dir, "fig14_two_chip_42", result.render())

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 15 (two-chip SMT2/SMT1 — prediction ineffective)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig15_two_chip_21
+
+
+def test_fig15_two_chip_21(benchmark, results_dir, p7x2_catalog_runs):
+    result = benchmark.pedantic(
+        fig15_two_chip_21.run, kwargs={"runs": p7x2_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    # Paper: "SMT2/SMT1 prediction is ineffective, the same as in the
+    # single chip case" — below-threshold losers exist.
+    fitted = result.fit_predictor()
+    below = [p for p in result.points if p.metric <= fitted.threshold]
+    assert any(p.speedup < 1.0 for p in below)
+    emit(results_dir, "fig15_two_chip_21", result.render())

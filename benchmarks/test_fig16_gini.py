@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 16 (Gini impurity vs separator)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig16_gini
+
+
+def test_fig16_gini(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        fig16_gini.run, kwargs={"runs": p7_catalog_runs}, rounds=1, iterations=1
+    )
+    # Paper: lowest impurity 0.23 with a usable optimal range near 0.07.
+    # The simulator's scatter is cleaner than real hardware, so we bound
+    # from above and require the range to sit in the right region.
+    assert result.min_impurity < 0.25
+    lo, hi = result.best_range
+    assert 0.02 < lo <= hi < 0.2
+    emit(results_dir, "fig16_gini", result.render())

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 17 (average PPI vs threshold)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig17_ppi
+
+
+def test_fig17_ppi(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        fig17_ppi.run, kwargs={"runs": p7_catalog_runs}, rounds=1, iterations=1
+    )
+    # Paper: peak average improvement >20%, and "a large range of
+    # potential threshold values where we have an average PPI that is
+    # greater than 15%".
+    assert result.best_improvement_pct > 15.0
+    lo, hi = result.plateau
+    assert hi - lo > 0.05
+    emit(results_dir, "fig17_ppi", result.render())

@@ -1,0 +1,19 @@
+"""Bench: §V applied — the metric driving an online SMT optimizer."""
+
+from benchmarks.conftest import emit
+from repro.experiments import online_optimizer
+
+
+def test_online_optimizer(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        online_optimizer.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    # The value proposition of §V: without knowing the workload, the
+    # adaptive policy must clearly beat the system default (static
+    # SMT4) and track the oracle best static level, which cannot be
+    # known a priori.
+    assert result.adaptive_wall < result.static_walls[4] * 0.8
+    assert result.adaptive_wall < result.best_static_wall() * 1.3
+    assert result.adaptive.n_switches >= 1
+    emit(results_dir, "online_optimizer", result.render())

@@ -1,0 +1,15 @@
+"""Bench (related work): Mathis et al.'s POWER5 SMT2 protocol (§VI)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import related_mathis_power5
+
+
+def test_related_mathis_power5(benchmark, results_dir):
+    result = benchmark.pedantic(related_mathis_power5.run, rounds=1, iterations=1)
+    gains = list(result.gains.values())
+    # "most of the tested applications have a moderate performance
+    # improvement with SMT"
+    assert sum(1 for g in gains if 1.1 <= g <= 1.6) >= len(gains) * 0.7
+    # "applications with the smallest improvement have more cache misses"
+    assert result.correlation < -0.4
+    emit(results_dir, "related_mathis_power5", result.render())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (the benchmark catalog)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table1
+from repro.workloads.catalog import POWER7_SET
+
+
+def test_table1_catalog(benchmark, results_dir):
+    text = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    for label in POWER7_SET:
+        assert label in text
+    emit(results_dir, "table1_catalog", text)

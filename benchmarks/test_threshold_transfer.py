@@ -1,0 +1,16 @@
+"""Bench (extension): threshold transferability to new apps/campaigns."""
+
+from benchmarks.conftest import emit
+from repro.experiments import threshold_transfer
+
+
+def test_threshold_transfer(benchmark, results_dir, p7_catalog_runs):
+    result = benchmark.pedantic(
+        threshold_transfer.run, kwargs={"runs": p7_catalog_runs},
+        rounds=1, iterations=1,
+    )
+    # §V's robustness claim: a wide optimal range means a new
+    # application is unlikely to be mispredicted.
+    assert result.loo_rate >= 0.85
+    assert result.transfer_rate >= 0.85
+    emit(results_dir, "threshold_transfer", result.render())

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Online SMT tuning of a phase-changing application (paper §V).
+
+An application alternates between an SMT-friendly compute phase (EP)
+and a lock-contended phase (SPECjbb-contention).  The optimizer samples
+SMTsm at the highest SMT level, switches the system down via smtctl
+when the metric crosses the fitted thresholds, and periodically
+re-probes.  Compare against the static policies.
+
+    python examples/online_tuning.py
+"""
+
+from repro.experiments import online_optimizer
+
+
+def main() -> None:
+    result = online_optimizer.run(seed=11)
+    print(result.render())
+    print("\ntimeline (level per decision interval):")
+    line = []
+    for step in result.adaptive.steps:
+        marker = f"{step.smt_level}"
+        if step.switched_to is not None:
+            marker += f"->{step.switched_to}"
+        line.append(f"[{step.phase_name[:2]}:{marker}]")
+    print(" ".join(line))
+    default = result.static_walls[4]
+    print(f"\nadaptive vs default (static SMT4): "
+          f"{default / result.adaptive_wall:.2f}x faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: measure SMTsm for a workload and pick the best SMT level.
+
+Runs a multithreaded application on the simulated 8-core POWER7 at its
+default (highest) SMT level, reads the hardware counters, evaluates the
+SMT-selection metric, and then *verifies* the recommendation by actually
+running every SMT level over the same work.
+
+    python examples/quickstart.py [workload-name]
+"""
+
+import sys
+
+from repro.arch import power7
+from repro.core.metric import smtsm_from_run
+from repro.core.predictor import SmtPredictor
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos import SystemSpec
+from repro.util.tables import format_table
+from repro.workloads import get_workload
+
+#: A POWER7 threshold in the paper's recommended region (§IV-A); fit
+#: your own with examples/characterize_suite.py.
+THRESHOLD = 0.07
+
+
+def main(workload_name: str = "SSCA2") -> None:
+    system = SystemSpec(power7(), n_chips=1)
+    workload = get_workload(workload_name)
+    print(f"workload: {workload.name} - {workload.description}")
+    print(f"system:   {system.arch.name}, {system.total_cores} cores, "
+          f"SMT levels {system.arch.smt_levels}\n")
+
+    # 1. Run at the default (highest) SMT level and measure the metric.
+    default_level = system.arch.max_smt
+    run = simulate_run(
+        RunSpec(system, default_level, workload.stream, workload.sync, seed=1)
+    )
+    metric = smtsm_from_run(run)
+    print(f"SMTsm @SMT{default_level} = {metric.value:.4f}")
+    print(f"  mix deviation     = {metric.mix_deviation:.4f}")
+    print(f"  dispatch held     = {metric.dispatch_held:.4f}")
+    print(f"  wall/avg CPU time = {metric.scalability_ratio:.4f}\n")
+
+    # 2. Let the predictor recommend a level.
+    predictor = SmtPredictor(threshold=THRESHOLD, high_level=default_level, low_level=1)
+    recommended = predictor.recommend(metric.value)
+    print(f"threshold {THRESHOLD}: recommend SMT{recommended}\n")
+
+    # 3. Verify by running the same work at every level.
+    rows = []
+    best_level, best_perf = None, 0.0
+    for level in system.arch.smt_levels:
+        result = simulate_run(
+            RunSpec(system, level, workload.stream, workload.sync, seed=1)
+        )
+        rows.append([f"SMT{level}", result.n_threads, result.wall_time_s,
+                     result.performance / 1e9])
+        if result.performance > best_perf:
+            best_level, best_perf = level, result.performance
+    print(format_table(
+        ["level", "threads", "wall time (s)", "useful Ginstr/s"], rows,
+        title="ground truth (same work at every level)",
+    ))
+    verdict = "CORRECT" if (recommended == best_level or (
+        recommended != default_level and best_level != default_level)) else "WRONG"
+    print(f"\nbest level: SMT{best_level}  ->  recommendation was {verdict}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "SSCA2")

@@ -1,0 +1,59 @@
+"""Calibration driver: prints every catalog benchmark's speedups and
+metric values so workload parameters can be tuned against the paper's
+figures.  Not part of the library API; used during development and kept
+for reproducibility of the calibration itself.
+
+Usage: python scripts/calibrate.py [p7|nehalem|p7x2]
+"""
+
+import sys
+
+from repro.arch import nehalem, power7
+from repro.core.metric import smtsm_from_run
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.results import speedup
+from repro.simos import SystemSpec
+from repro.workloads import nehalem_catalog, power7_catalog
+
+
+def report_p7(n_chips=1):
+    system = SystemSpec(power7(), n_chips)
+    print(f"POWER7 x{n_chips} ({system.total_cores} cores)")
+    print(f"{'name':22s} {'s41':>6s} {'s21':>6s} {'s42':>6s} {'m@4':>7s} {'m@2':>7s} "
+          f"{'dev4':>6s} {'dh4':>6s} {'scal4':>6s} side")
+    for name, spec in power7_catalog().items():
+        runs = {l: simulate_run(RunSpec(system, l, spec.stream, spec.sync, seed=11))
+                for l in (1, 2, 4)}
+        m4 = smtsm_from_run(runs[4])
+        m2 = smtsm_from_run(runs[2])
+        s41 = speedup(runs[4], runs[1])
+        s21 = speedup(runs[2], runs[1])
+        s42 = speedup(runs[4], runs[2])
+        side = "L" if m4.value <= 0.07 else "R"
+        ok = "ok" if (m4.value <= 0.07) == (s41 >= 1) else "MISS"
+        print(f"{name:22s} {s41:6.2f} {s21:6.2f} {s42:6.2f} {m4.value:7.3f} {m2.value:7.3f} "
+              f"{m4.mix_deviation:6.3f} {m4.dispatch_held:6.3f} {m4.scalability_ratio:6.2f} {side} {ok}")
+
+
+def report_nehalem():
+    system = SystemSpec(nehalem(), 1)
+    print("Nehalem (4 cores)")
+    print(f"{'name':24s} {'s21':>6s} {'m@2':>7s} {'m@1':>7s} {'dev2':>6s} {'dh2':>6s} {'scal2':>6s}")
+    for name, spec in nehalem_catalog().items():
+        runs = {l: simulate_run(RunSpec(system, l, spec.stream, spec.sync, seed=11))
+                for l in (1, 2)}
+        m2 = smtsm_from_run(runs[2])
+        m1 = smtsm_from_run(runs[1])
+        s21 = speedup(runs[2], runs[1])
+        print(f"{name:24s} {s21:6.2f} {m2.value:7.3f} {m1.value:7.3f} "
+              f"{m2.mix_deviation:6.3f} {m2.dispatch_held:6.3f} {m2.scalability_ratio:6.2f}")
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "p7"
+    if which == "p7":
+        report_p7(1)
+    elif which == "p7x2":
+        report_p7(2)
+    else:
+        report_nehalem()

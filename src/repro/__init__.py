@@ -1,0 +1,39 @@
+"""Reproduction of "An SMT-Selection Metric to Improve Multithreaded
+Applications' Performance" (Funston et al., IPDPS 2012).
+
+The package implements the paper's SMT-selection metric (SMTsm) and the
+full substrate its evaluation ran on: an SMT chip-multiprocessor
+simulator, a hardware-performance-counter stack, an OS layer, and the
+Table I benchmark catalog.  Top-level convenience re-exports cover the
+quickstart path; see the subpackages for the rest:
+
+``repro.arch``, ``repro.sim``, ``repro.counters``, ``repro.simos``,
+``repro.workloads``, ``repro.core``, ``repro.experiments``,
+``repro.analysis``.
+"""
+
+from repro.arch import generic_core, get_architecture, nehalem, power7
+from repro.core import SmtPredictor, smtsm, smtsm_from_run
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.results import speedup
+from repro.simos import SystemSpec
+from repro.workloads import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "power7",
+    "nehalem",
+    "generic_core",
+    "get_architecture",
+    "SmtPredictor",
+    "smtsm",
+    "smtsm_from_run",
+    "RunSpec",
+    "simulate_run",
+    "speedup",
+    "SystemSpec",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

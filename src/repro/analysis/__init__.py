@@ -1,0 +1,12 @@
+"""Statistical analysis of experiment results."""
+
+from repro.analysis.correlation import pearson, spearman, correlation_report
+from repro.analysis.success import SuccessSummary, success_summary
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "correlation_report",
+    "SuccessSummary",
+    "success_summary",
+]

@@ -1,0 +1,59 @@
+"""Correlation statistics (no SciPy dependency in the library core).
+
+Used by the Fig. 2 experiment to quantify "there is no correlation
+between any of the four metrics and the SMT speedup", and by the
+engine-agreement ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def _as_xy(x: Sequence[float], y: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(list(x), dtype=float)
+    ya = np.asarray(list(y), dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError(f"x and y must be equal-length 1-d, got {xa.shape} vs {ya.shape}")
+    if xa.size < 3:
+        raise ValueError("need at least 3 points for a correlation")
+    return xa, ya
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson linear correlation coefficient."""
+    xa, ya = _as_xy(x, y)
+    sx = xa.std()
+    sy = ya.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.corrcoef(xa, ya)[0, 1])
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over ranks, average ties)."""
+    xa, ya = _as_xy(x, y)
+    return pearson(_rank(xa), _rank(ya))
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty_like(values)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=float)
+    # Average ranks of exact ties.
+    for v in np.unique(values):
+        mask = values == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def correlation_report(series: Dict[str, Tuple[Sequence[float], Sequence[float]]]
+                       ) -> Dict[str, Dict[str, float]]:
+    """Pearson+Spearman for several named (x, y) series at once."""
+    return {
+        name: {"pearson": pearson(x, y), "spearman": spearman(x, y)}
+        for name, (x, y) in series.items()
+    }

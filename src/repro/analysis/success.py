@@ -1,0 +1,66 @@
+"""Success-rate accounting for SMT-preference prediction.
+
+Computes the numbers the paper headlines: prediction success per system
+(93% POWER7, 86% Nehalem, 90% overall) and the breakdown of where the
+misses sit relative to the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.predictor import Observation, SmtPredictor
+
+
+@dataclass(frozen=True)
+class SuccessSummary:
+    """Prediction outcome over one benchmark set."""
+
+    threshold: float
+    n_total: int
+    n_correct: int
+    left_misses: Tuple[str, ...]   # metric <= threshold but the lower level won
+    right_misses: Tuple[str, ...]  # metric > threshold but the higher level won
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_correct / self.n_total
+
+    @property
+    def misses(self) -> Tuple[str, ...]:
+        return self.left_misses + self.right_misses
+
+
+def success_summary(predictor: SmtPredictor,
+                    observations: Sequence[Observation]) -> SuccessSummary:
+    obs = list(observations)
+    if not obs:
+        raise ValueError("cannot summarize zero observations")
+    left: List[str] = []
+    right: List[str] = []
+    for o in obs:
+        predicted_higher = predictor.predicts_higher(o.metric)
+        if predicted_higher == o.prefers_higher:
+            continue
+        if predicted_higher:
+            left.append(o.name)
+        else:
+            right.append(o.name)
+    n_missed = len(left) + len(right)
+    return SuccessSummary(
+        threshold=predictor.threshold,
+        n_total=len(obs),
+        n_correct=len(obs) - n_missed,
+        left_misses=tuple(left),
+        right_misses=tuple(right),
+    )
+
+
+def pooled_success_rate(summaries: Sequence[SuccessSummary]) -> float:
+    """Overall rate across systems (the paper's 90% headline)."""
+    if not summaries:
+        raise ValueError("need at least one summary")
+    total = sum(s.n_total for s in summaries)
+    correct = sum(s.n_correct for s in summaries)
+    return correct / total

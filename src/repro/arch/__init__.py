@@ -1,0 +1,37 @@
+"""Processor architecture descriptions.
+
+This package captures the part of a microarchitecture that the paper's
+SMT-selection metric depends on: the instruction classes, the issue-port
+topology (paper Figs. 3-5), how resources are partitioned across SMT
+levels, and the memory hierarchy geometry the simulator needs.
+"""
+
+from repro.arch.classes import InstrClass, Mix, CLASS_ORDER, SPIN_LOOP_MIX
+from repro.arch.ports import IssuePort, PortTopology
+from repro.arch.partition import SmtPartition, ThreadResources
+from repro.arch.machine import Architecture, CacheGeometry
+from repro.arch.power5 import power5
+from repro.arch.power7 import power7
+from repro.arch.nehalem import nehalem
+from repro.arch.generic import generic_core
+from repro.arch.registry import get_architecture, list_architectures, register_architecture
+
+__all__ = [
+    "InstrClass",
+    "Mix",
+    "CLASS_ORDER",
+    "SPIN_LOOP_MIX",
+    "IssuePort",
+    "PortTopology",
+    "SmtPartition",
+    "ThreadResources",
+    "Architecture",
+    "CacheGeometry",
+    "power5",
+    "power7",
+    "nehalem",
+    "generic_core",
+    "get_architecture",
+    "list_architectures",
+    "register_architecture",
+]

@@ -1,0 +1,179 @@
+"""The :class:`Architecture` record tying together everything the
+simulator and the metric need to know about a processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.classes import CLASS_ORDER, InstrClass, Mix
+from repro.arch.partition import SmtPartition
+from repro.arch.ports import PortTopology
+from repro.util.validation import check_positive, check_probability_vector
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Cache hierarchy and memory-system geometry for one chip.
+
+    L1/L2 are private per core, L3 is shared per chip.  Latencies are
+    *additional* cycles beyond an L1 hit.  ``mem_bandwidth_gbps`` is the
+    sustainable per-chip DRAM bandwidth; the memory model inflates the
+    effective memory latency as demand approaches it.
+    """
+
+    l1d_kb: float
+    l2_kb: float
+    l3_mb: float
+    line_bytes: int
+    lat_l2: float
+    lat_l3: float
+    lat_mem: float
+    mem_bandwidth_gbps: float
+    numa_extra_cycles: float = 0.0
+
+    def __post_init__(self):
+        check_positive("l1d_kb", self.l1d_kb)
+        check_positive("l2_kb", self.l2_kb)
+        check_positive("l3_mb", self.l3_mb)
+        check_positive("line_bytes", self.line_bytes)
+        check_positive("lat_l2", self.lat_l2)
+        check_positive("lat_l3", self.lat_l3)
+        check_positive("lat_mem", self.lat_mem)
+        check_positive("mem_bandwidth_gbps", self.mem_bandwidth_gbps)
+        if self.lat_l2 >= self.lat_l3 or self.lat_l3 >= self.lat_mem:
+            raise ValueError(
+                "latencies must increase down the hierarchy: "
+                f"L2={self.lat_l2} L3={self.lat_l3} mem={self.lat_mem}"
+            )
+        if self.numa_extra_cycles < 0:
+            raise ValueError(f"numa_extra_cycles must be >= 0, got {self.numa_extra_cycles}")
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A complete machine description.
+
+    ``metric_space`` selects how the SMT-selection metric's instruction
+    fractions are formed (paper §II-A vs §II-B):
+
+    * ``"class"`` — fractions over instruction classes, compared against
+      ``ideal_class_fractions`` (POWER7, Eq. 2: 1/7 loads, 1/7 stores,
+      1/7 branches, 2/7 FX, 2/7 VS);
+    * ``"port"`` — fractions of instructions issued through each issue
+      port, compared against the capacity-proportional ideal (Nehalem,
+      Eq. 3: 1/6 per port).
+    """
+
+    name: str
+    description: str
+    frequency_ghz: float
+    cores_per_chip: int
+    smt_levels: Tuple[int, ...]
+    topology: PortTopology
+    partition: SmtPartition
+    caches: CacheGeometry
+    branch_penalty: float
+    metric_space: str = "port"
+    ideal_class_fractions: Optional[Tuple[float, ...]] = None
+    dispatch_held_event: str = "DISP_HELD_RES"
+
+    def __post_init__(self):
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("cores_per_chip", self.cores_per_chip)
+        check_positive("branch_penalty", self.branch_penalty)
+        if not self.smt_levels or sorted(self.smt_levels) != list(self.smt_levels):
+            raise ValueError(f"smt_levels must be sorted and non-empty: {self.smt_levels}")
+        if self.smt_levels[0] != 1:
+            raise ValueError("smt_levels must include SMT1")
+        for level in self.smt_levels:
+            # Raises if the partition does not cover the level.
+            self.partition.thread_resources(level)
+        if self.metric_space not in ("class", "port"):
+            raise ValueError(f"metric_space must be 'class' or 'port', got {self.metric_space!r}")
+        if self.metric_space == "class":
+            if self.ideal_class_fractions is None:
+                raise ValueError("class-space metric requires ideal_class_fractions")
+            vec = check_probability_vector(
+                "ideal_class_fractions", self.ideal_class_fractions
+            )
+            if vec.shape != (len(CLASS_ORDER),):
+                raise ValueError(
+                    f"ideal_class_fractions needs {len(CLASS_ORDER)} entries, got {vec.shape}"
+                )
+
+    # -- SMT level helpers ---------------------------------------------
+    @property
+    def max_smt(self) -> int:
+        return self.smt_levels[-1]
+
+    def validate_smt_level(self, level: int) -> int:
+        if level not in self.smt_levels:
+            raise ValueError(
+                f"{self.name} supports SMT levels {self.smt_levels}, got SMT{level}"
+            )
+        return int(level)
+
+    def lower_smt_level(self, level: int) -> Optional[int]:
+        """The next SMT level below ``level``, or None at SMT1."""
+        self.validate_smt_level(level)
+        idx = self.smt_levels.index(level)
+        return self.smt_levels[idx - 1] if idx > 0 else None
+
+    def effective_smt_mode(self, threads_on_core: int) -> int:
+        """Hardware mode a core adopts for a given occupancy.
+
+        POWER7 runs a core at the lowest SMT mode that accommodates the
+        software threads present (a lone thread gets SMT1 resources even
+        on an SMT4-enabled system, paper §II-A).  The same convention
+        covers the paper's Nehalem protocol of "simulating SMT1" by
+        running one thread per core with Hyper-Threading left on.
+        """
+        if threads_on_core < 1:
+            raise ValueError(f"threads_on_core must be >= 1, got {threads_on_core}")
+        for level in self.smt_levels:
+            if level >= threads_on_core:
+                return level
+        raise ValueError(
+            f"{threads_on_core} threads exceed {self.name}'s max SMT level {self.max_smt}"
+        )
+
+    # -- metric space ----------------------------------------------------
+    def ideal_vector(self) -> np.ndarray:
+        """The ideal SMT instruction mix in this architecture's metric space."""
+        if self.metric_space == "class":
+            return np.asarray(self.ideal_class_fractions, dtype=float)
+        return self.topology.ideal_port_fractions()
+
+    def metric_fractions(self, mix: Mix) -> np.ndarray:
+        """Project an instruction mix into the metric space."""
+        if self.metric_space == "class":
+            return mix.vector.copy()
+        return self.topology.port_fractions(mix)
+
+    def metric_labels(self) -> Tuple[str, ...]:
+        if self.metric_space == "class":
+            return tuple(c.name for c in CLASS_ORDER)
+        return self.topology.port_names
+
+    def mix_deviation(self, mix: Mix) -> float:
+        """First SMTsm factor: L2 deviation of the mix from the ideal."""
+        fractions = self.metric_fractions(mix)
+        ideal = self.ideal_vector()
+        return float(np.sqrt(np.sum((fractions - ideal) ** 2)))
+
+    # -- memory geometry helpers ----------------------------------------
+    def cycles_per_second(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    def l3_mb_per_core(self) -> float:
+        return self.caches.l3_mb / self.cores_per_chip
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Architecture({self.name!r}, cores={self.cores_per_chip}, "
+            f"smt={self.smt_levels}, metric={self.metric_space})"
+        )

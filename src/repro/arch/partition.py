@@ -1,0 +1,108 @@
+"""SMT resource partitioning rules.
+
+When a core runs more hardware contexts, per-context front-end bandwidth
+and buffering shrink: fetch/dispatch slots are shared, and structures
+such as the issue queues and reorder buffer are partitioned (POWER7) or
+competitively shared (Nehalem).  On POWER7 a core running a single
+software thread automatically reverts to SMT1 mode, giving that thread
+access to resources that would be partitioned or disabled at higher
+levels (paper §II-A) — which is why measuring the metric at SMT1 cannot
+see SMT4 contention (paper §IV-B).
+
+:class:`SmtPartition` turns an SMT level into the effective per-thread
+resources the simulator's core models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThreadResources:
+    """Effective per-hardware-thread resources at a given SMT level."""
+
+    smt_level: int
+    fetch_width: float      # instructions fetched per cycle for this thread (average share)
+    dispatch_width: float   # dispatch slots per cycle available to this thread (average share)
+    queue_entries: float    # issue-queue entries available to this thread
+    rob_entries: float      # reorder-buffer entries available to this thread
+    ilp_scale: float        # scaling applied to the workload's exploitable ILP
+
+    def __post_init__(self):
+        for name in ("fetch_width", "dispatch_width", "queue_entries", "rob_entries", "ilp_scale"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0 at SMT{self.smt_level}, got {value}")
+
+
+@dataclass(frozen=True)
+class SmtPartition:
+    """Core-wide front-end widths plus per-level partitioning policy.
+
+    ``queue_share`` / ``rob_share`` give the fraction of the structure a
+    single thread can occupy at each SMT level (1.0 at SMT1; 0.5 under a
+    hard split at SMT2; slightly above the hard split for competitively
+    shared structures).  The ILP window scale follows the square-root
+    law relating instruction-window size to extractable ILP: a thread
+    confined to a quarter of the window extracts about half the ILP.
+    """
+
+    fetch_width: int
+    dispatch_width: int
+    issue_width: int
+    queue_entries: int
+    rob_entries: int
+    queue_share: Mapping[int, float]
+    rob_share: Mapping[int, float]
+    smt1_boost: float = 1.0  # extra single-thread resources enabled only at SMT1
+
+    def __post_init__(self):
+        for name in ("fetch_width", "dispatch_width", "issue_width", "queue_entries", "rob_entries"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if set(self.queue_share) != set(self.rob_share):
+            raise ValueError("queue_share and rob_share must cover the same SMT levels")
+        for level, share in {**dict(self.queue_share)}.items():
+            if not (0.0 < share <= 1.0):
+                raise ValueError(f"queue share at SMT{level} must be in (0, 1], got {share}")
+        if self.smt1_boost < 1.0:
+            raise ValueError(f"smt1_boost must be >= 1, got {self.smt1_boost}")
+
+    @property
+    def smt_levels(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.queue_share))
+
+    def thread_resources(self, smt_level: int) -> ThreadResources:
+        """Per-thread effective resources with ``smt_level`` contexts active."""
+        if smt_level not in self.queue_share:
+            raise ValueError(
+                f"SMT{smt_level} not supported; levels: {self.smt_levels}"
+            )
+        q_share = float(self.queue_share[smt_level])
+        r_share = float(self.rob_share[smt_level])
+        boost = self.smt1_boost if smt_level == 1 else 1.0
+        window = self.rob_entries * r_share * boost
+        baseline_window = float(self.rob_entries)
+        # sqrt window-size -> ILP law, normalised so a full window gives 1.0.
+        ilp_scale = float(np.sqrt(window / baseline_window))
+        return ThreadResources(
+            smt_level=smt_level,
+            fetch_width=self.fetch_width / smt_level,
+            dispatch_width=self.dispatch_width / smt_level,
+            queue_entries=self.queue_entries * q_share * boost,
+            rob_entries=window,
+            ilp_scale=ilp_scale,
+        )
+
+    def core_dispatch_width(self, smt_level: int) -> float:
+        """Total dispatch bandwidth with ``smt_level`` contexts active."""
+        if smt_level not in self.queue_share:
+            raise ValueError(f"SMT{smt_level} not supported; levels: {self.smt_levels}")
+        return float(self.dispatch_width)
+
+    def describe(self) -> Dict[int, ThreadResources]:
+        return {level: self.thread_resources(level) for level in self.smt_levels}

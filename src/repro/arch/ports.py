@@ -1,0 +1,146 @@
+"""Issue-port topology: how instruction classes map onto issue ports.
+
+The SMT-selection metric's first factor is the deviation of the
+workload's issue-port usage from an *ideal SMT instruction mix* — a mix
+proportional to the number and types of the processor's issue ports
+(paper §II).  The topology therefore has to answer two questions:
+
+* simulation: given a class mix, what is the demand placed on each
+  port, and what per-port capacity limits aggregate issue throughput?
+* measurement: given per-class issue counts, what per-port (or
+  per-class) fractions does the metric compare against its ideal
+  vector?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.classes import CLASS_ORDER, InstrClass, Mix, N_CLASSES
+
+
+@dataclass(frozen=True)
+class IssuePort:
+    """A single issue port (or a fused group of identical ports).
+
+    ``capacity`` is the number of instructions the port (group) can
+    issue per cycle; e.g. POWER7's two unified-queue load/store ports
+    are modelled as one ``LS`` port with capacity 2.
+    """
+
+    name: str
+    capacity: float
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"port {self.name!r} capacity must be > 0, got {self.capacity}")
+
+
+class PortTopology:
+    """Ports plus the class→port routing matrix.
+
+    ``routing[p, c]`` is the fraction of class-``c`` instructions that
+    issue through port ``p``; columns must each sum to 1 (every
+    instruction issues through exactly one port in expectation; stores
+    that crack into address+data micro-ops split their weight across the
+    two ports, as on Nehalem).
+    """
+
+    def __init__(self, ports: Sequence[IssuePort], routing: Dict[InstrClass, Dict[str, float]]):
+        self.ports: Tuple[IssuePort, ...] = tuple(ports)
+        if not self.ports:
+            raise ValueError("a port topology needs at least one port")
+        names = [p.name for p in self.ports]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate port names: {names}")
+        self._index = {name: i for i, name in enumerate(names)}
+
+        matrix = np.zeros((len(self.ports), N_CLASSES), dtype=float)
+        for klass in CLASS_ORDER:
+            if klass not in routing:
+                raise ValueError(f"routing missing instruction class {klass.name}")
+            row = routing[klass]
+            total = 0.0
+            for port_name, frac in row.items():
+                if port_name not in self._index:
+                    raise ValueError(f"unknown port {port_name!r} in routing for {klass.name}")
+                if frac < 0:
+                    raise ValueError(f"negative routing fraction for {klass.name}->{port_name}")
+                matrix[self._index[port_name], klass] = frac
+                total += frac
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"routing for {klass.name} must sum to 1, got {total} ({row})"
+                )
+        self._matrix = matrix
+        self._matrix.flags.writeable = False
+        self._capacity = np.array([p.capacity for p in self.ports], dtype=float)
+        self._capacity.flags.writeable = False
+
+    # -- simulation-facing API ----------------------------------------
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    @property
+    def port_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.ports)
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-port issue capacity (instructions/cycle), read-only."""
+        return self._capacity
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """The (n_ports, n_classes) routing matrix, read-only."""
+        return self._matrix
+
+    def port_index(self, name: str) -> int:
+        return self._index[name]
+
+    def port_demand(self, mix: Mix) -> np.ndarray:
+        """Expected per-port instructions per issued instruction."""
+        return self._matrix @ mix.vector
+
+    def port_fractions(self, mix: Mix) -> np.ndarray:
+        """Fraction of issued instructions seen at each port.
+
+        Equal to :meth:`port_demand` because routing columns sum to 1;
+        kept as a separate name because the metric consumes *fractions*
+        while the throughput model consumes *demand*.
+        """
+        return self.port_demand(mix)
+
+    def saturation_scale(self, demand_per_cycle: np.ndarray) -> float:
+        """Largest scale ``s <= 1`` so ``s * demand`` fits all ports.
+
+        ``demand_per_cycle`` is per-port instructions/cycle requested by
+        the co-running hardware threads; the return value is the fair
+        throttle the issue stage applies when one port class saturates.
+        """
+        demand = np.asarray(demand_per_cycle, dtype=float)
+        if demand.shape != self._capacity.shape:
+            raise ValueError(
+                f"demand shape {demand.shape} != ports shape {self._capacity.shape}"
+            )
+        with np.errstate(divide="ignore"):
+            ratios = np.where(demand > 0, self._capacity / np.maximum(demand, 1e-300), np.inf)
+        return float(min(1.0, ratios.min()))
+
+    # -- metric-facing API --------------------------------------------
+    def ideal_port_fractions(self) -> np.ndarray:
+        """The ideal SMT mix expressed per port: capacity-proportional."""
+        return self._capacity / self._capacity.sum()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ports = ", ".join(f"{p.name}x{p.capacity:g}" for p in self.ports)
+        return f"PortTopology({ports})"
+
+
+def single_class_routing(assignments: Dict[InstrClass, str]) -> Dict[InstrClass, Dict[str, float]]:
+    """Routing where each class issues through exactly one port (POWER7 style)."""
+    return {klass: {port: 1.0} for klass, port in assignments.items()}

@@ -1,0 +1,78 @@
+"""IBM POWER5 description (paper §I, §VI).
+
+The paper credits POWER5 as the first IBM processor with "dynamically
+managed levels of priority for hardware threads", and its §VI discusses
+Mathis et al.'s characterization of SMT2 on this core.  The model lets
+the related-work replication (`experiments/related_mathis_power5.py`)
+run on period-appropriate hardware: a dual-core chip, 2-way SMT,
+1.9 GHz, narrower back end and a slower memory system than POWER7.
+
+Execution resources per core: two fixed-point units, two load/store
+units, two double-precision FP units, one branch and one CR unit — the
+same typed-port structure as POWER7 (CR folded into branch for the
+metric), so the class-space ideal mix keeps the Eq. 2 form with FP
+taking the VS role.
+"""
+
+from __future__ import annotations
+
+from repro.arch.classes import InstrClass
+from repro.arch.machine import Architecture, CacheGeometry
+from repro.arch.partition import SmtPartition
+from repro.arch.ports import IssuePort, PortTopology, single_class_routing
+
+
+def power5(cores_per_chip: int = 2) -> Architecture:
+    """Build the POWER5 architecture model (dual-core chip by default)."""
+    topology = PortTopology(
+        ports=[
+            IssuePort("LS", 2.0),
+            IssuePort("FX", 2.0),
+            IssuePort("FP", 2.0),
+            IssuePort("BR", 1.0),  # CR folded in, as on POWER7
+        ],
+        routing=single_class_routing(
+            {
+                InstrClass.LOAD: "LS",
+                InstrClass.STORE: "LS",
+                InstrClass.BRANCH: "BR",
+                InstrClass.FX: "FX",
+                InstrClass.VS: "FP",
+            }
+        ),
+    )
+    partition = SmtPartition(
+        fetch_width=8,
+        dispatch_width=5,
+        issue_width=8,
+        queue_entries=36,
+        rob_entries=100,
+        queue_share={1: 1.0, 2: 0.5},
+        rob_share={1: 1.0, 2: 0.5},
+        smt1_boost=1.1,  # single-thread mode releases partitioned resources
+    )
+    caches = CacheGeometry(
+        l1d_kb=32.0,
+        l2_kb=960.0,               # 1.9 MB shared L2 / 2 cores
+        l3_mb=18.0,                # 36 MB off-chip L3 / 2 chips stylized
+        line_bytes=128,
+        lat_l2=13.0,
+        lat_l3=90.0,               # off-chip L3 round trip
+        lat_mem=450.0,             # ~240 ns at 1.9 GHz
+        mem_bandwidth_gbps=12.0,
+        numa_extra_cycles=150.0,
+    )
+    return Architecture(
+        name="POWER5",
+        description="IBM POWER5: dual-core, 2-way SMT, typed issue ports",
+        frequency_ghz=1.9,
+        cores_per_chip=cores_per_chip,
+        smt_levels=(1, 2),
+        topology=topology,
+        partition=partition,
+        caches=caches,
+        branch_penalty=14.0,
+        metric_space="class",
+        ideal_class_fractions=(1 / 7, 1 / 7, 1 / 7, 2 / 7, 2 / 7),
+        dispatch_held_event="PM_GRP_DISP_BLK_SB_CYC",
+    )

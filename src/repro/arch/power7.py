@@ -1,0 +1,88 @@
+"""IBM POWER7 description (paper §II-A, Fig. 4).
+
+Eight-core chip, 4-way SMT.  A core fetches up to 8 instructions,
+dispatches up to 6 and issues up to 8 per cycle.  Issue ports are tied
+to instruction type: each of the two unified queues (UQ0/UQ1) issues up
+to one load/store, one fixed-point and one vector-scalar instruction per
+cycle, plus one branch port and one CR port.  Following the paper, the
+CR unit is folded into the branch unit, giving the 7-slot ideal mix of
+Eq. 2: 1/7 loads, 1/7 stores, 1/7 branches, 2/7 FX and 2/7 VS.
+
+The dispatcher-held condition is counted by ``PM_DISP_CLB_HELD_RES``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.classes import InstrClass
+from repro.arch.machine import Architecture, CacheGeometry
+from repro.arch.partition import SmtPartition
+from repro.arch.ports import IssuePort, PortTopology, single_class_routing
+
+
+def power7(cores_per_chip: int = 8) -> Architecture:
+    """Build the POWER7 architecture model.
+
+    ``cores_per_chip`` is configurable so tests can use small chips; the
+    paper's system has 8 cores per chip.
+    """
+    topology = PortTopology(
+        ports=[
+            # Two unified queues, each issuing one LS, one FX, one VS per
+            # cycle; modelled as class ports with capacity 2.  Loads and
+            # stores share the LS ports but are tracked separately by the
+            # metric (separate load/store buffers, paper §II-A).
+            IssuePort("LS", 2.0),
+            IssuePort("FX", 2.0),
+            IssuePort("VS", 2.0),
+            # Branch port with the CR port folded in (paper treats CR +
+            # branch as one execution unit).
+            IssuePort("BR", 1.0),
+        ],
+        routing=single_class_routing(
+            {
+                InstrClass.LOAD: "LS",
+                InstrClass.STORE: "LS",
+                InstrClass.BRANCH: "BR",
+                InstrClass.FX: "FX",
+                InstrClass.VS: "VS",
+            }
+        ),
+    )
+    partition = SmtPartition(
+        fetch_width=8,
+        dispatch_width=6,
+        issue_width=8,
+        queue_entries=48,   # two 24-entry unified queues
+        rob_entries=120,    # global completion table, in instruction terms
+        # POWER7 partitions the unified queues between thread pairs at
+        # SMT2/SMT4; a lone thread at SMT1 gets everything plus
+        # structures disabled at higher levels.
+        queue_share={1: 1.0, 2: 0.5, 4: 0.25},
+        rob_share={1: 1.0, 2: 0.5, 4: 0.25},
+        smt1_boost=1.1,
+    )
+    caches = CacheGeometry(
+        l1d_kb=32.0,
+        l2_kb=256.0,
+        l3_mb=4.0 * cores_per_chip,  # 4 MB local eDRAM L3 region per core
+        line_bytes=128,
+        lat_l2=8.0,
+        lat_l3=27.0,
+        lat_mem=320.0,
+        mem_bandwidth_gbps=68.0,
+        numa_extra_cycles=130.0,
+    )
+    return Architecture(
+        name="POWER7",
+        description="IBM POWER7: 8-core, 4-way SMT, typed issue ports (paper Fig. 4)",
+        frequency_ghz=3.8,
+        cores_per_chip=cores_per_chip,
+        smt_levels=(1, 2, 4),
+        topology=topology,
+        partition=partition,
+        caches=caches,
+        branch_penalty=16.0,
+        metric_space="class",
+        ideal_class_fractions=(1 / 7, 1 / 7, 1 / 7, 2 / 7, 2 / 7),
+        dispatch_held_event="PM_DISP_CLB_HELD_RES",
+    )

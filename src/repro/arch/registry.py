@@ -1,0 +1,46 @@
+"""Architecture registry: look up machine models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.arch.machine import Architecture
+from repro.arch.generic import generic_core
+from repro.arch.nehalem import nehalem
+from repro.arch.power5 import power5
+from repro.arch.power7 import power7
+
+_BUILDERS: Dict[str, Callable[[], Architecture]] = {
+    "power5": power5,
+    "power7": power7,
+    "nehalem": nehalem,
+    "generic": generic_core,
+}
+
+
+def register_architecture(name: str, builder: Callable[[], Architecture]) -> None:
+    """Register a custom architecture builder under ``name``.
+
+    Raises if the name is taken — shadowing a built-in machine silently
+    would make experiment configs ambiguous.
+    """
+    key = name.lower()
+    if key in _BUILDERS:
+        raise ValueError(f"architecture {name!r} is already registered")
+    _BUILDERS[key] = builder
+
+
+def get_architecture(name: str) -> Architecture:
+    """Build the named architecture (case-insensitive)."""
+    key = name.lower()
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def list_architectures() -> List[str]:
+    return sorted(_BUILDERS)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows a user of the original system would have:
+inspect the benchmark catalog, run one benchmark and read its metric,
+characterize a whole suite, or regenerate a paper experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.metric import smtsm_from_run
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos import SystemSpec
+from repro.util.tables import format_table
+from repro.workloads import all_workloads, get_workload
+
+
+def _system(name: str) -> SystemSpec:
+    from repro.arch import get_architecture
+
+    if name == "p7x2":
+        return SystemSpec(get_architecture("power7"), 2)
+    if name in ("p7", "power7"):
+        return SystemSpec(get_architecture("power7"), 1)
+    if name == "nehalem":
+        return SystemSpec(get_architecture("nehalem"), 1)
+    raise SystemExit(f"unknown system {name!r} (use p7, p7x2 or nehalem)")
+
+
+def cmd_list_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in sorted(all_workloads().values(), key=lambda s: s.name):
+        if args.suite and args.suite.lower() not in spec.suite.lower():
+            continue
+        rows.append([spec.name, spec.suite, spec.problem_size, spec.description])
+    print(format_table(["name", "suite", "size", "description"], rows,
+                       title="workload catalog"))
+    return 0
+
+
+def cmd_show_workload(args: argparse.Namespace) -> int:
+    spec = get_workload(args.name)
+    mix = spec.stream.mix
+    print(f"{spec.name} ({spec.suite}, {spec.problem_size})")
+    print(f"  {spec.description}")
+    print(f"  mix: {mix}")
+    print(f"  ilp={spec.stream.ilp} mlp={spec.stream.mlp} "
+          f"branch_mispredict={spec.stream.branch_mispredict_rate}")
+    mem = spec.stream.memory
+    print(f"  MPKI (ref): L1={mem.l1_mpki} L2={mem.l2_mpki} L3={mem.l3_mpki} "
+          f"alpha={mem.locality_alpha} sharing={mem.data_sharing}")
+    print(f"  sync: {spec.sync}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    system = _system(args.system)
+    spec = get_workload(args.name)
+    levels = [args.smt] if args.smt else list(system.arch.smt_levels)
+    rows = []
+    metric_row = None
+    for level in levels:
+        result = simulate_run(
+            RunSpec(system, level, spec.stream, spec.sync, seed=args.seed)
+        )
+        metric = smtsm_from_run(result)
+        rows.append([f"SMT{level}", result.n_threads, result.wall_time_s,
+                     result.performance / 1e9, metric.value])
+        if level == system.arch.max_smt:
+            metric_row = metric
+    print(format_table(
+        ["level", "threads", "wall (s)", "Ginstr/s", "SMTsm"], rows,
+        title=f"{spec.name} on {system.arch.name} x{system.n_chips}",
+    ))
+    if metric_row is not None:
+        print(f"\nSMTsm@SMT{system.arch.max_smt} factors: "
+              f"mix={metric_row.mix_deviation:.4f} "
+              f"dispHeld={metric_row.dispatch_held:.4f} "
+              f"wall/cpu={metric_row.scalability_ratio:.4f}")
+    return 0
+
+
+def _experiment_registry() -> Dict[str, Callable[[], str]]:
+    from repro import experiments as ex
+
+    def scatter(module, **kwargs):
+        return lambda: module.run(**kwargs).render()
+
+    return {
+        "fig01": lambda: ex.fig01_motivation.run().render(),
+        "fig02": lambda: ex.fig02_naive_metrics.run().render(),
+        "fig06": scatter(ex.fig06_smt4v1_at4),
+        "fig07": lambda: ex.fig07_instruction_mix.run().render(),
+        "fig08": scatter(ex.fig08_smt4v2_at4),
+        "fig09": scatter(ex.fig09_smt2v1_at2),
+        "fig10": scatter(ex.fig10_nehalem),
+        "fig11": scatter(ex.fig11_at_smt1_p7),
+        "fig12": scatter(ex.fig12_at_smt1_nehalem),
+        "fig13": scatter(ex.fig13_two_chip_41),
+        "fig14": scatter(ex.fig14_two_chip_42),
+        "fig15": scatter(ex.fig15_two_chip_21),
+        "fig16": lambda: ex.fig16_gini.run().render(),
+        "fig17": lambda: ex.fig17_ppi.run().render(),
+        "table1": lambda: ex.table1.run(),
+        "optimizer": lambda: ex.online_optimizer.run().render(),
+        "coschedule": lambda: ex.coschedule_symbiosis.run().render(),
+        "priorities": lambda: ex.priority_shielding.run().render(),
+        "transfer": lambda: ex.threshold_transfer.run().render(),
+        "offline-vs-online": lambda: ex.offline_vs_online.run().render(),
+        "batch": lambda: ex.batch_scheduler.run().render(),
+        "scaling": lambda: ex.scaling_cores.run().render(),
+        "mathis-power5": lambda: ex.related_mathis_power5.run().render(),
+    }
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.name == "list" or args.name not in registry:
+        print("available experiments:", ", ".join(sorted(registry)))
+        return 0 if args.name == "list" else 1
+    print(registry[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMT-selection metric reproduction (IPDPS 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-workloads", help="list the Table I catalog")
+    p.add_argument("--suite", help="filter by suite substring")
+    p.set_defaults(func=cmd_list_workloads)
+
+    p = sub.add_parser("show-workload", help="show one workload's model")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_show_workload)
+
+    p = sub.add_parser("run", help="simulate one workload and read SMTsm")
+    p.add_argument("name")
+    p.add_argument("--system", default="p7", help="p7 | p7x2 | nehalem")
+    p.add_argument("--smt", type=int, default=None, help="single SMT level")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p.add_argument("name", help="fig01..fig17, table1, optimizer, "
+                                "coschedule, priorities, transfer, scaling, "
+                                "or 'list'")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The SMT-selection metric (SMTsm) and its applications.
+
+This package is the paper's contribution:
+
+* :mod:`repro.core.metric` — SMTsm itself (Eq. 1) with the POWER7
+  (Eq. 2) and Nehalem (Eq. 3) specializations falling out of the
+  architecture descriptions;
+* :mod:`repro.core.thresholds` — threshold selection via Gini impurity
+  (§V-A) and expected percentage performance improvement (§V-B);
+* :mod:`repro.core.predictor` — the fitted SMT-level predictor and its
+  evaluation protocol;
+* :mod:`repro.core.baselines` — the naive single-counter predictors of
+  Fig. 2 and the online IPC-probing alternative of §I;
+* :mod:`repro.core.optimizer` — an online SMT-level optimizer (§V);
+* :mod:`repro.core.phases` — windowed/online metric tracking.
+"""
+
+from repro.core.metric import SmtsmResult, smtsm, smtsm_from_run
+from repro.core.thresholds import (
+    GiniPoint,
+    PpiPoint,
+    gini_curve,
+    gini_impurity,
+    optimal_threshold_range,
+    ppi_curve,
+    best_ppi_threshold,
+)
+from repro.core.predictor import Observation, SmtPredictor, evaluate_predictor
+from repro.core.baselines import (
+    CounterPredictor,
+    IpcProbePredictor,
+    NAIVE_METRICS,
+    naive_metric_value,
+)
+from repro.core.optimizer import OnlineSmtOptimizer, OptimizerConfig, OptimizerStep
+from repro.core.phases import MetricTracker
+
+__all__ = [
+    "SmtsmResult",
+    "smtsm",
+    "smtsm_from_run",
+    "GiniPoint",
+    "PpiPoint",
+    "gini_curve",
+    "gini_impurity",
+    "optimal_threshold_range",
+    "ppi_curve",
+    "best_ppi_threshold",
+    "Observation",
+    "SmtPredictor",
+    "evaluate_predictor",
+    "CounterPredictor",
+    "IpcProbePredictor",
+    "NAIVE_METRICS",
+    "naive_metric_value",
+    "OnlineSmtOptimizer",
+    "OptimizerConfig",
+    "OptimizerStep",
+    "MetricTracker",
+]

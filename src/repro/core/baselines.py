@@ -1,0 +1,118 @@
+"""Baseline predictors the paper compares against.
+
+Fig. 2 shows that no single conventional counter — L1 misses, CPI,
+branch mispredictions, or the floating-point fraction — correlates with
+SMT speedup.  :class:`CounterPredictor` gives those metrics their best
+shot: it fits an oriented threshold (either direction) by the same Gini
+machinery SMTsm uses, so the comparison is apples-to-apples.
+
+§I also dismisses the *online IPC probing* alternative ("vary the SMT
+level online and observe changes in IPC"): not all systems can switch
+online, and IPC over-credits spinning.  :class:`IpcProbePredictor`
+implements it, including the failure mode: a spin-heavy workload's raw
+IPC rises with more contexts even as useful performance collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predictor import Observation, PredictorReport, evaluate_predictor
+from repro.core.thresholds import gini_impurity, _candidate_separators, _validate
+from repro.counters.pmu import CounterSample
+from repro.sim.results import RunResult
+
+#: The four Fig. 2 axes.
+NAIVE_METRICS: Tuple[str, ...] = ("l1_mpki", "cpi", "branch_mpki", "vs_fraction")
+
+
+def naive_metric_value(sample: CounterSample, metric: str) -> float:
+    """Extract one of the Fig. 2 conventional metrics from a sample."""
+    if metric == "l1_mpki":
+        return sample.l1_mpki
+    if metric == "cpi":
+        return sample.cpi
+    if metric == "branch_mpki":
+        return sample.branch_mpki
+    if metric == "vs_fraction":
+        return sample.vs_fraction
+    raise ValueError(f"unknown naive metric {metric!r}; options: {NAIVE_METRICS}")
+
+
+@dataclass(frozen=True)
+class CounterPredictor:
+    """A single-counter threshold predictor with fitted orientation.
+
+    ``higher_below_threshold`` True means values below the threshold
+    predict the higher SMT level (SMTsm's own orientation); False means
+    the opposite.  Fitting tries both.
+    """
+
+    metric_name: str
+    threshold: float
+    higher_below_threshold: bool
+
+    def predicts_higher(self, value: float) -> bool:
+        below = value <= self.threshold
+        return below if self.higher_below_threshold else not below
+
+    @classmethod
+    def fit(cls, metric_name: str, observations: Sequence[Observation]) -> "CounterPredictor":
+        """Pick the (threshold, orientation) minimizing training error."""
+        obs = list(observations)
+        metrics = np.array([o.metric for o in obs])
+        speedups = np.array([o.speedup for o in obs])
+        _validate(metrics, speedups)
+        labels = speedups >= 1.0
+        best = None
+        for threshold in _candidate_separators(metrics):
+            below = metrics <= threshold
+            for orientation in (True, False):
+                predicted_higher = below if orientation else ~below
+                errors = int(np.sum(predicted_higher != labels))
+                key = (errors, gini_impurity(metrics, speedups, float(threshold)))
+                if best is None or key < best[0]:
+                    best = (key, float(threshold), orientation)
+        _, threshold, orientation = best
+        return cls(metric_name=metric_name, threshold=threshold,
+                   higher_below_threshold=orientation)
+
+    def evaluate(self, observations: Sequence[Observation]) -> PredictorReport:
+        missed = [o.name for o in observations
+                  if self.predicts_higher(o.metric) != o.prefers_higher]
+        return PredictorReport(
+            n_total=len(observations),
+            n_correct=len(observations) - len(missed),
+            mispredicted=tuple(missed),
+            threshold=self.threshold,
+        )
+
+
+@dataclass(frozen=True)
+class IpcProbePredictor:
+    """Online IPC probing: run at both levels, keep the higher raw IPC.
+
+    ``min_gain`` guards against switching for noise.  The predictor is
+    deliberately built on *executed* aggregate IPC — the observable a
+    probe actually has — which spin inflation distorts (paper §I: "IPC
+    is not always an accurate indicator of application performance,
+    e.g. in case of spin-lock contention").
+    """
+
+    min_gain: float = 0.0
+
+    def predicts_higher(self, high_run: RunResult, low_run: RunResult) -> bool:
+        if high_run.smt_level <= low_run.smt_level:
+            raise ValueError(
+                f"expected high_run at a higher SMT level: "
+                f"{high_run.smt_level} vs {low_run.smt_level}"
+            )
+        return high_run.aggregate_ipc > low_run.aggregate_ipc * (1.0 + self.min_gain)
+
+    def correct(self, high_run: RunResult, low_run: RunResult) -> bool:
+        """Did the probe pick the level with better *useful* performance?"""
+        actual_higher_wins = high_run.performance >= low_run.performance
+        return self.predicts_higher(high_run, low_run) == actual_higher_wins

@@ -1,0 +1,226 @@
+"""SMT co-scheduling guided by the ideal-mix principle (extension).
+
+The paper's related work (§VI) surveys symbiotic job schedulers — SOS
+and successors — that pick which independent jobs should share an SMT
+core.  SMTsm itself selects the *level*, not the pairing; but its first
+factor suggests a natural pairing heuristic: co-schedule jobs whose
+*combined* instruction mix is closest to the processor's ideal SMT mix
+(threads with anti-correlated resource requirements, exactly the
+intuition of §I).
+
+This module implements that heuristic plus the machinery to validate
+it: greedy mix-complementary pairing, random and adversarial baselines,
+and evaluation on the heterogeneous system solver using the standard
+*weighted speedup* symbiosis figure (sum over jobs of co-run IPC over
+solo IPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.classes import Mix
+from repro.arch.machine import Architecture
+from repro.sim.chip import SystemSolution, solve_system
+from repro.sim.fast_core import CoreInput, solve_core
+from repro.sim.stream import StreamParams
+from repro.simos.scheduler import Placement
+from repro.simos.system import SystemSpec
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Job:
+    """A single-threaded job eligible for co-scheduling."""
+
+    name: str
+    stream: StreamParams
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+
+
+Pairing = Tuple[Tuple[Job, Job], ...]
+
+
+def combined_deviation(arch: Architecture, streams: Sequence[StreamParams]) -> float:
+    """Deviation of the co-runners' combined mix from the ideal SMT mix.
+
+    The combined mix weights each thread equally — a first-order stand-in
+    for the issue slots each will occupy.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    mean = np.mean([s.mix.vector for s in streams], axis=0)
+    return arch.mix_deviation(Mix(mean))
+
+
+#: Weight of the cache-thrash term relative to the mix term.
+CACHE_WEIGHT = 0.15
+#: L1 MPKI at which a job counts as fully "hot".
+HEAT_NORM = 20.0
+
+
+def mutual_thrash(a: Job, b: Job) -> float:
+    """Predicted private-cache interference between two co-runners.
+
+    Each job suffers in proportion to its own capacity sensitivity
+    (``locality_alpha``) times the partner's footprint heat — both
+    derivable from solo-run counters, so the heuristic stays within the
+    paper's online-measurement discipline.
+    """
+    heat_a = min(1.0, a.stream.memory.l1_mpki / HEAT_NORM)
+    heat_b = min(1.0, b.stream.memory.l1_mpki / HEAT_NORM)
+    return (a.stream.memory.locality_alpha * heat_b
+            + b.stream.memory.locality_alpha * heat_a)
+
+
+def pair_score(arch: Architecture, a: Job, b: Job) -> float:
+    """Lower is better: predicted symbiosis of co-scheduling a with b.
+
+    Combines the two §I contention channels: functional-unit overlap
+    (combined-mix deviation from the ideal SMT mix) and private-cache
+    pressure (mutual thrash).
+    """
+    return (
+        combined_deviation(arch, (a.stream, b.stream))
+        + CACHE_WEIGHT * mutual_thrash(a, b)
+    )
+
+
+#: Exact matching is enumerated up to this many jobs (10 -> 945
+#: matchings); beyond it a greedy fallback is used.
+EXACT_MATCH_LIMIT = 10
+
+
+def _all_matchings(indices: Tuple[int, ...]):
+    """Yield every perfect matching of the index set."""
+    if not indices:
+        yield ()
+        return
+    first, rest = indices[0], indices[1:]
+    for pos, partner in enumerate(rest):
+        remainder = rest[:pos] + rest[pos + 1:]
+        for sub in _all_matchings(remainder):
+            yield ((first, partner),) + sub
+
+
+def _best_match(arch: Architecture, jobs: Sequence[Job], *, worst: bool) -> Pairing:
+    if len(jobs) % 2 != 0:
+        raise ValueError(f"need an even number of jobs, got {len(jobs)}")
+    if not jobs:
+        raise ValueError("need at least one pair of jobs")
+    scores = {
+        (i, j): pair_score(arch, a, b)
+        for (i, a), (j, b) in combinations(enumerate(jobs), 2)
+    }
+    if len(jobs) <= EXACT_MATCH_LIMIT:
+        # Exhaustive search: greedy matching is famously pathological on
+        # sets with extreme pairs (it pins them together from both ends
+        # of the objective).
+        pick = max if worst else min
+        best = pick(
+            _all_matchings(tuple(range(len(jobs)))),
+            key=lambda m: sum(scores[pair] for pair in m),
+        )
+        return tuple((jobs[i], jobs[j]) for i, j in best)
+    remaining = list(range(len(jobs)))
+    pairs: List[Tuple[Job, Job]] = []
+    while remaining:
+        candidates = [
+            (scores[(min(i, j), max(i, j))], i, j)
+            for pos, i in enumerate(remaining)
+            for j in remaining[pos + 1:]
+        ]
+        _, i, j = (max if worst else min)(candidates)
+        remaining.remove(j)
+        remaining.remove(i)
+        pairs.append((jobs[i], jobs[j]))
+    return tuple(pairs)
+
+
+def mix_complementary_pairing(arch: Architecture, jobs: Sequence[Job]) -> Pairing:
+    """Pairing minimizing the total predicted-contention score."""
+    return _best_match(arch, jobs, worst=False)
+
+
+def adversarial_pairing(arch: Architecture, jobs: Sequence[Job]) -> Pairing:
+    """Pairing *maximizing* the score — the stress baseline."""
+    return _best_match(arch, jobs, worst=True)
+
+
+def random_pairing(jobs: Sequence[Job], rng: RngStream) -> Pairing:
+    if len(jobs) % 2 != 0:
+        raise ValueError(f"need an even number of jobs, got {len(jobs)}")
+    order = list(jobs)
+    perm = rng.gen.permutation(len(order))
+    shuffled = [order[i] for i in perm]
+    return tuple((shuffled[i], shuffled[i + 1]) for i in range(0, len(shuffled), 2))
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Evaluation of one pairing."""
+
+    pairing: Pairing
+    weighted_speedup: float          # sum over jobs of co-IPC / solo-IPC
+    per_job_slowdown: Dict[str, float]
+    solution: SystemSolution
+
+    @property
+    def avg_symbiosis(self) -> float:
+        """Mean per-job co-run efficiency (1.0 = no interference)."""
+        return self.weighted_speedup / len(self.per_job_slowdown)
+
+
+def _paired_placement(system: SystemSpec, n_pairs: int) -> Placement:
+    """Pairs stacked two-per-core at SMT2, remaining cores idle."""
+    system.arch.validate_smt_level(2)
+    if n_pairs > system.total_cores:
+        raise ValueError(
+            f"{n_pairs} pairs exceed {system.total_cores} cores"
+        )
+    counts = [2 if c < n_pairs else 0 for c in range(system.total_cores)]
+    assignment = tuple(i // 2 for i in range(2 * n_pairs))
+    return Placement(
+        system=system,
+        smt_level=2,
+        n_threads=2 * n_pairs,
+        threads_per_core=tuple(counts),
+        assignment=assignment,
+    )
+
+
+def solo_ipc(arch: Architecture, job: Job) -> float:
+    """The job's IPC running alone on a core in SMT1 mode."""
+    out = solve_core(
+        CoreInput(arch=arch, smt_level=1, streams=(job.stream,), threads_per_chip=1)
+    )
+    return float(out.ipc[0])
+
+
+def evaluate_pairing(system: SystemSpec, pairing: Pairing) -> ScheduleOutcome:
+    """Run every pair on its own SMT2 core and score the symbiosis."""
+    if not pairing:
+        raise ValueError("empty pairing")
+    jobs: List[Job] = [job for pair in pairing for job in pair]
+    placement = _paired_placement(system, len(pairing))
+    solution = solve_system(placement, [job.stream for job in jobs])
+    slowdowns: Dict[str, float] = {}
+    weighted = 0.0
+    for index, job in enumerate(jobs):
+        solo = solo_ipc(system.arch, job)
+        ratio = solution.thread_ipc(index) / solo
+        slowdowns[job.name] = ratio
+        weighted += ratio
+    return ScheduleOutcome(
+        pairing=pairing,
+        weighted_speedup=weighted,
+        per_job_slowdown=slowdowns,
+        solution=solution,
+    )

@@ -1,0 +1,215 @@
+"""Online SMT-level optimizer (paper §V).
+
+Implements the usage pattern the paper proposes for schedulers and
+user-level tuners:
+
+* run at the **highest** SMT level by default — both because that is
+  every SMT processor's default and because §IV-B shows the metric is
+  only trustworthy when measured at the highest level;
+* sample SMTsm periodically while there; when it crosses the fitted
+  threshold(s), switch the system down via ``smtctl``;
+* while running at a lower level the metric cannot foresee higher-level
+  contention, so **re-probe**: periodically hop back to the top level
+  for one interval and re-measure.
+
+The optimizer is deliberately conservative about switch costs: each
+transition charges the controller's drain/re-place cost, so thrashing
+between levels on a noisy metric is penalized, and the
+:class:`~repro.core.phases.MetricTracker` smoothing exists to prevent
+exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metric import SmtsmResult, smtsm_from_run
+from repro.core.phases import MetricTracker
+from repro.core.predictor import SmtPredictor
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos.smtctl import SmtController
+from repro.simos.system import SystemSpec
+from repro.util.validation import check_positive
+from repro.workloads.phases import PhasedWorkload
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Decision parameters.
+
+    ``predictors`` maps a lower SMT level to the fitted predictor for
+    (max level vs that level); the optimizer picks the *lowest* level
+    whose predictor fires (largest threshold crossed first).
+    ``probe_every`` counts decision intervals between re-probes while
+    parked at a lower level.
+    """
+
+    predictors: Dict[int, SmtPredictor]
+    chunk_work: float = 2e9
+    probe_every: int = 4
+    probe_work_fraction: float = 0.25
+    switch_cost_s: float = 0.005
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.predictors:
+            raise ValueError("need at least one lower-level predictor")
+        check_positive("chunk_work", self.chunk_work)
+        if self.probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {self.probe_every}")
+        if not (0.0 < self.probe_work_fraction <= 1.0):
+            raise ValueError(
+                f"probe_work_fraction must be in (0, 1], got {self.probe_work_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class OptimizerStep:
+    """One decision interval."""
+
+    index: int
+    smt_level: int
+    metric: Optional[SmtsmResult]   # None when below max level (not probing)
+    wall_time_s: float
+    switched_to: Optional[int]
+    phase_name: str
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    steps: Tuple[OptimizerStep, ...]
+    total_wall_time_s: float
+    switch_overhead_s: float
+    n_switches: int
+
+    def time_at_level(self, level: int) -> float:
+        return sum(s.wall_time_s for s in self.steps if s.smt_level == level)
+
+
+class OnlineSmtOptimizer:
+    """Drives a phased workload, adapting the SMT level online."""
+
+    def __init__(self, system: SystemSpec, config: OptimizerConfig):
+        self.system = system
+        self.config = config
+        self.arch = system.arch
+        max_level = self.arch.max_smt
+        for low, pred in config.predictors.items():
+            self.arch.validate_smt_level(low)
+            if low >= max_level:
+                raise ValueError(
+                    f"predictor target SMT{low} is not below max SMT{max_level}"
+                )
+            if pred.high_level != max_level or pred.low_level != low:
+                raise ValueError(
+                    f"predictor for SMT{low} has levels "
+                    f"{pred.high_level}v{pred.low_level}, expected {max_level}v{low}"
+                )
+
+    def _choose_level(self, metric: float) -> int:
+        """Lowest level whose predictor says to leave the max level."""
+        for low in sorted(self.config.predictors):
+            if not self.config.predictors[low].predicts_higher(metric):
+                return low
+        return self.arch.max_smt
+
+    def run(self, workload: PhasedWorkload) -> OptimizerResult:
+        cfg = self.config
+        controller = SmtController(self.arch, switch_cost_s=cfg.switch_cost_s)
+        tracker = MetricTracker()
+        steps: List[OptimizerStep] = []
+        work_done = 0.0
+        wall = 0.0
+        intervals_since_probe = 0
+        index = 0
+        max_level = self.arch.max_smt
+        probing = False  # current interval is a short re-probe at max level
+
+        while work_done < workload.total_work - 1e-6:
+            phase = workload.phase_at(work_done)
+            chunk = min(cfg.chunk_work, workload.total_work - work_done)
+            if probing:
+                # A probe interval is deliberately short: it runs at the
+                # (possibly slower) max level only long enough to read
+                # the counters, bounding the cost of re-measuring.
+                chunk = min(chunk, cfg.chunk_work * cfg.probe_work_fraction)
+            level = controller.level
+            result = simulate_run(
+                RunSpec(
+                    system=self.system,
+                    smt_level=level,
+                    stream=phase.spec.stream,
+                    sync=phase.spec.sync,
+                    useful_instructions=chunk,
+                    seed=cfg.seed + index,
+                )
+            )
+            wall += result.wall_time_s
+            work_done += chunk
+
+            metric: Optional[SmtsmResult] = None
+            switched_to: Optional[int] = None
+            if level == max_level:
+                probing = False
+                metric = smtsm_from_run(result)
+                tracker.update(metric)
+                target = self._choose_level(tracker.estimate)
+                if target != level:
+                    controller.switch(target, at_time_s=wall)
+                    wall += cfg.switch_cost_s
+                    switched_to = target
+                    intervals_since_probe = 0
+            else:
+                intervals_since_probe += 1
+                if intervals_since_probe >= cfg.probe_every:
+                    # Hop back up to re-measure next interval (§IV-B:
+                    # the metric must be taken at the highest level).
+                    controller.switch(max_level, at_time_s=wall)
+                    wall += cfg.switch_cost_s
+                    switched_to = max_level
+                    intervals_since_probe = 0
+                    tracker.reset()
+                    probing = True
+            steps.append(
+                OptimizerStep(
+                    index=index,
+                    smt_level=level,
+                    metric=metric,
+                    wall_time_s=result.wall_time_s,
+                    switched_to=switched_to,
+                    phase_name=phase.spec.name,
+                )
+            )
+            index += 1
+
+        return OptimizerResult(
+            steps=tuple(steps),
+            total_wall_time_s=wall,
+            switch_overhead_s=controller.total_switch_cost_s,
+            n_switches=controller.n_switches(),
+        )
+
+    def run_static(self, workload: PhasedWorkload, level: int) -> float:
+        """Wall time of the non-adaptive baseline at a fixed level."""
+        self.arch.validate_smt_level(level)
+        wall = 0.0
+        work_done = 0.0
+        index = 0
+        while work_done < workload.total_work - 1e-6:
+            phase = workload.phase_at(work_done)
+            chunk = min(self.config.chunk_work, workload.total_work - work_done)
+            result = simulate_run(
+                RunSpec(
+                    system=self.system,
+                    smt_level=level,
+                    stream=phase.spec.stream,
+                    sync=phase.spec.sync,
+                    useful_instructions=chunk,
+                    seed=self.config.seed + index,
+                )
+            )
+            wall += result.wall_time_s
+            work_done += chunk
+            index += 1
+        return wall

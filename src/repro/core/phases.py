@@ -1,0 +1,72 @@
+"""Online metric tracking across execution phases.
+
+The metric "can be measured periodically and hence allows adaptively
+choosing the optimal SMT level for a workload as it goes through
+different phases" (§I).  :class:`MetricTracker` smooths the noisy
+per-interval SMTsm readings with an exponentially weighted moving
+average and flags phase changes when a fresh reading departs from the
+smoothed estimate by a relative margin — the signal the online
+optimizer uses to re-evaluate promptly instead of waiting out its
+normal re-probe period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.metric import SmtsmResult
+from repro.util.validation import check_fraction, check_positive
+
+
+class MetricTracker:
+    """EWMA smoothing + phase-change detection over SMTsm readings."""
+
+    def __init__(self, *, alpha: float = 0.4, phase_change_rel: float = 0.6,
+                 min_samples: int = 2):
+        self.alpha = check_fraction("alpha", alpha)
+        if alpha == 0.0:
+            raise ValueError("alpha must be > 0 (new samples must have weight)")
+        self.phase_change_rel = check_positive("phase_change_rel", phase_change_rel)
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.min_samples = int(min_samples)
+        self._estimate: Optional[float] = None
+        self._n = 0
+        self.history: List[float] = []
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """Current smoothed SMTsm value (None before any sample)."""
+        return self._estimate
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def update(self, reading: SmtsmResult) -> bool:
+        """Fold in a reading; returns True if a phase change is detected.
+
+        A phase change resets the EWMA so the tracker re-converges at
+        the new level instead of dragging the old phase's history along.
+        """
+        value = float(reading)
+        self.history.append(value)
+        self._n += 1
+        if self._estimate is None:
+            self._estimate = value
+            return False
+        changed = False
+        if self._n > self.min_samples:
+            base = max(self._estimate, 1e-6)
+            if abs(value - self._estimate) / base > self.phase_change_rel:
+                changed = True
+        if changed:
+            self._estimate = value
+        else:
+            self._estimate = self.alpha * value + (1 - self.alpha) * self._estimate
+        return changed
+
+    def reset(self) -> None:
+        self._estimate = None
+        self._n = 0

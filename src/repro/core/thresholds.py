@@ -1,0 +1,149 @@
+"""Threshold selection for the SMT-selection metric (paper §V).
+
+Two methods turn a training set of ``(metric, speedup)`` pairs into a
+decision threshold for "switch to the lower SMT level":
+
+* **Gini impurity** (§V-A): label each point by whether the higher SMT
+  level won (speedup >= 1), scan candidate separators, and pick the one
+  minimizing the size-weighted impurity of the two sides.
+* **Average percentage performance improvement, PPI** (§V-B): for each
+  candidate threshold, estimate the average improvement from switching
+  every above-threshold workload down, and pick the maximizing
+  threshold.  Unlike Gini, this weighs *how much* speedup is at stake,
+  and exposes the threshold plateau where the expected gain stays high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GiniPoint:
+    separator: float
+    impurity: float
+
+
+@dataclass(frozen=True)
+class PpiPoint:
+    threshold: float
+    avg_improvement_pct: float
+
+
+def _validate(metrics: Sequence[float], speedups: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    m = np.asarray(list(metrics), dtype=float)
+    s = np.asarray(list(speedups), dtype=float)
+    if m.shape != s.shape or m.ndim != 1:
+        raise ValueError(f"metrics and speedups must be equal-length 1-d: {m.shape} vs {s.shape}")
+    if m.size < 2:
+        raise ValueError("need at least two (metric, speedup) observations")
+    if np.any(m < 0):
+        raise ValueError("metric values must be >= 0")
+    if np.any(s <= 0):
+        raise ValueError("speedups must be > 0")
+    return m, s
+
+
+def gini_impurity(metrics: Sequence[float], speedups: Sequence[float], separator: float) -> float:
+    """Overall Gini impurity of the split at ``separator`` (Eqs. 4-6).
+
+    Points are labelled ``i = 1`` when speedup >= 1 (the higher SMT
+    level is at least as good) and ``i = 0`` otherwise.
+    """
+    m, s = _validate(metrics, speedups)
+    labels = (s >= 1.0).astype(int)
+    left = m < separator
+    right = ~left
+
+    def side_impurity(mask: np.ndarray) -> Tuple[float, int]:
+        n = int(mask.sum())
+        if n == 0:
+            return 0.0, 0
+        p1 = labels[mask].mean()
+        return 1.0 - p1 ** 2 - (1.0 - p1) ** 2, n
+
+    il, nl = side_impurity(left)
+    ir, nr = side_impurity(right)
+    total = nl + nr
+    return (nl / total) * il + (nr / total) * ir
+
+
+def _candidate_separators(m: np.ndarray) -> np.ndarray:
+    """Midpoints between consecutive distinct metric values, plus ends."""
+    uniq = np.unique(m)
+    mids = (uniq[:-1] + uniq[1:]) / 2.0
+    lo = max(0.0, uniq[0] - 1e-6)
+    hi = uniq[-1] + 1e-6
+    return np.concatenate(([lo], mids, [hi]))
+
+
+def gini_curve(metrics: Sequence[float], speedups: Sequence[float],
+               n_points: int = 200) -> List[GiniPoint]:
+    """Impurity over an even grid of separators (Fig. 16's curve)."""
+    m, s = _validate(metrics, speedups)
+    grid = np.linspace(0.0, float(m.max()) * 1.05, n_points)
+    return [GiniPoint(float(x), gini_impurity(m, s, float(x))) for x in grid]
+
+
+def optimal_threshold_range(metrics: Sequence[float], speedups: Sequence[float]
+                            ) -> Tuple[float, float, float]:
+    """``(lo, hi, min_impurity)``: the separator range achieving the
+    minimum impurity (Fig. 16's dotted vertical lines).
+
+    A wide range means new applications are unlikely to be mispredicted
+    (§V-A's second fitness criterion).
+    """
+    m, s = _validate(metrics, speedups)
+    candidates = _candidate_separators(m)
+    impurities = np.array([gini_impurity(m, s, float(c)) for c in candidates])
+    best = impurities.min()
+    winners = candidates[np.isclose(impurities, best, atol=1e-12)]
+    return float(winners.min()), float(winners.max()), float(best)
+
+
+def ppi_curve(metrics: Sequence[float], speedups: Sequence[float],
+              n_points: int = 200) -> List[PpiPoint]:
+    """Average expected PPI at each candidate threshold (Fig. 17).
+
+    For a benchmark with metric above the threshold, switching down
+    improves performance by ``(1/speedup - 1) * 100`` percent (speedup
+    here is high-SMT over low-SMT); below the threshold the expected
+    improvement is zero (§V-B).
+    """
+    m, s = _validate(metrics, speedups)
+    grid = np.linspace(0.0, float(m.max()) * 1.05, n_points)
+    points = []
+    for threshold in grid:
+        ppi = np.where(m > threshold, (1.0 / s - 1.0) * 100.0, 0.0)
+        points.append(PpiPoint(float(threshold), float(ppi.mean())))
+    return points
+
+
+def best_ppi_threshold(metrics: Sequence[float], speedups: Sequence[float]
+                       ) -> Tuple[float, float]:
+    """``(threshold, avg_improvement_pct)`` maximizing the expected PPI."""
+    m, s = _validate(metrics, speedups)
+    candidates = _candidate_separators(m)
+    best_t, best_v = 0.0, -np.inf
+    for threshold in candidates:
+        ppi = float(np.where(m > threshold, (1.0 / s - 1.0) * 100.0, 0.0).mean())
+        if ppi > best_v:
+            best_t, best_v = float(threshold), ppi
+    return best_t, best_v
+
+
+def ppi_plateau(metrics: Sequence[float], speedups: Sequence[float],
+                min_improvement_pct: float) -> Tuple[float, float]:
+    """The (lo, hi) threshold range whose average PPI stays above
+    ``min_improvement_pct`` — §V-B's robustness argument (a new
+    application landing anywhere in this range is safe)."""
+    points = ppi_curve(metrics, speedups, n_points=400)
+    good = [p.threshold for p in points if p.avg_improvement_pct >= min_improvement_pct]
+    if not good:
+        raise ValueError(
+            f"no threshold reaches an average PPI of {min_improvement_pct}%"
+        )
+    return min(good), max(good)

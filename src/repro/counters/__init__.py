@@ -1,0 +1,28 @@
+"""Hardware performance-counter substrate.
+
+The paper's metric is "obtained online through hardware performance
+counters with little overhead" (abstract).  This package simulates the
+counter infrastructure of a PMU: named events, per-hardware-thread
+counters, counter groups with time-multiplexing (and its scaling
+error), and a ``perf stat``-like sampling tool with a measurement
+overhead model.
+"""
+
+from repro.counters.events import Event, EventDomain, arch_event_names, CANONICAL_EVENTS
+from repro.counters.pmu import Pmu, CounterSample
+from repro.counters.groups import CounterGroup, MultiplexSchedule
+from repro.counters.perfstat import PerfStat, PerfStatConfig, PerfReading
+
+__all__ = [
+    "Event",
+    "EventDomain",
+    "arch_event_names",
+    "CANONICAL_EVENTS",
+    "Pmu",
+    "CounterSample",
+    "CounterGroup",
+    "MultiplexSchedule",
+    "PerfStat",
+    "PerfStatConfig",
+    "PerfReading",
+]

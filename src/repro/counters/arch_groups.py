@@ -1,0 +1,86 @@
+"""Architecture-specific counter-group layouts.
+
+Real PMUs constrain which events can be counted together: POWER7
+exposes six thread-level PMCs programmed from predefined event groups;
+Nehalem has four programmable counters plus three fixed ones (cycles,
+instructions, reference cycles).  These builders produce multiplex
+schedules that mirror those constraints, grouping the SMTsm-relevant
+events the way an online tool would have to:
+
+* the *metric group* holds everything Eq. 2/3 needs most often
+  (dispatch-held + the dominant issue counters), so one group's worth
+  of PMCs refreshes the metric every rotation;
+* remaining events (cache misses, branch counters, leftover ports)
+  rotate behind it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.machine import Architecture
+from repro.counters.events import arch_event_names, port_issue_event
+from repro.counters.groups import CounterGroup, MultiplexSchedule
+
+#: Physical counter widths (thread-level PMCs).
+POWER7_PMC_WIDTH = 6
+NEHALEM_PMC_WIDTH = 4
+#: Events Nehalem counts on fixed counters, outside the rotation.
+NEHALEM_FIXED = ("CYCLES", "INSTRUCTIONS")
+
+
+def power7_groups() -> MultiplexSchedule:
+    """POWER7: six PMCs, metric events front-loaded into group 0."""
+    groups = [
+        CounterGroup("P7_METRIC", (
+            "CYCLES", "INSTRUCTIONS", "DISP_HELD_RES",
+            "LD_CMPL", "ST_CMPL", "BR_CMPL",
+        )),
+        CounterGroup("P7_UNITS", (
+            "FX_CMPL", "VS_CMPL",
+            port_issue_event("LS"), port_issue_event("FX"),
+            port_issue_event("VS"), port_issue_event("BR"),
+        )),
+        CounterGroup("P7_MEMORY", (
+            "L1_DMISS", "L2_MISS", "L3_MISS", "BR_MISPRED",
+        )),
+    ]
+    return MultiplexSchedule(groups, width=POWER7_PMC_WIDTH)
+
+
+def nehalem_groups() -> MultiplexSchedule:
+    """Nehalem: four programmable PMCs; cycles/instructions are fixed.
+
+    The fixed counters are excluded from the rotation (they are always
+    on in hardware); PerfStat passes uncovered events through exactly,
+    which models that behaviour.
+    """
+    ports = [port_issue_event(f"P{i}") for i in range(6)]
+    groups = [
+        CounterGroup("NH_METRIC_A", ("DISP_HELD_RES", ports[0], ports[1], ports[2])),
+        CounterGroup("NH_METRIC_B", (ports[3], ports[4], ports[5], "BR_MISPRED")),
+        CounterGroup("NH_MIX", ("LD_CMPL", "ST_CMPL", "BR_CMPL", "FX_CMPL")),
+        CounterGroup("NH_MEMORY", ("VS_CMPL", "L1_DMISS", "L2_MISS", "L3_MISS")),
+    ]
+    return MultiplexSchedule(groups, width=NEHALEM_PMC_WIDTH)
+
+
+def groups_for(arch: Architecture) -> MultiplexSchedule:
+    """The realistic schedule for a known machine; generic fallback."""
+    if arch.name == "POWER7":
+        return power7_groups()
+    if arch.name == "Nehalem":
+        return nehalem_groups()
+    from repro.counters.groups import default_groups
+
+    return default_groups(arch_event_names(arch), width=POWER7_PMC_WIDTH)
+
+
+def missing_from_schedule(arch: Architecture, schedule: MultiplexSchedule) -> List[str]:
+    """Events the PMU exposes but the schedule never measures.
+
+    For Nehalem the fixed-counter events are expected here — they are
+    measured continuously outside the rotation.
+    """
+    covered = set(schedule.covered_events())
+    return [e for e in arch_event_names(arch) if e not in covered]

@@ -1,0 +1,87 @@
+"""Performance-monitoring event definitions.
+
+Events are named with canonical architecture-neutral identifiers; each
+:class:`~repro.arch.machine.Architecture` maps its native mnemonic
+(e.g. POWER7's ``PM_DISP_CLB_HELD_RES`` or Nehalem's
+``RAT_STALLS:rob_read_port``) onto the canonical dispatch-held event.
+
+The set below covers everything the paper's evaluation reads:
+
+* the SMTsm inputs — per-class/per-port issue counts, dispatch-held
+  cycles, run cycles;
+* the naive predictors of Fig. 2 — L1 misses, branch mispredictions,
+  instructions (for CPI), VSU instruction fraction;
+* general accounting — completed instructions, L2/L3 misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arch.classes import CLASS_ORDER
+from repro.arch.machine import Architecture
+
+
+class EventDomain(enum.Enum):
+    """How an event accumulates."""
+
+    CYCLES = "cycles"            # counts processor cycles
+    INSTRUCTIONS = "instructions"  # counts instructions (or micro-ops)
+    EVENTS = "events"            # counts discrete events (misses, flushes)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A named countable hardware event."""
+
+    name: str
+    domain: EventDomain
+    description: str
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"event name must be an identifier, got {self.name!r}")
+
+
+def _ev(name: str, domain: EventDomain, desc: str) -> Event:
+    return Event(name, domain, desc)
+
+
+#: Canonical events every simulated PMU exposes.
+CANONICAL_EVENTS: Tuple[Event, ...] = (
+    _ev("CYCLES", EventDomain.CYCLES, "run cycles while the context was active"),
+    _ev("INSTRUCTIONS", EventDomain.INSTRUCTIONS, "completed instructions"),
+    _ev("DISP_HELD_RES", EventDomain.CYCLES,
+        "cycles dispatch was held for lack of resources "
+        "(POWER7 PM_DISP_CLB_HELD_RES / Nehalem RAT_STALLS:rob_read_port)"),
+    _ev("BR_CMPL", EventDomain.INSTRUCTIONS, "completed branch instructions"),
+    _ev("BR_MISPRED", EventDomain.EVENTS, "mispredicted branches"),
+    _ev("LD_CMPL", EventDomain.INSTRUCTIONS, "completed load instructions"),
+    _ev("ST_CMPL", EventDomain.INSTRUCTIONS, "completed store instructions"),
+    _ev("FX_CMPL", EventDomain.INSTRUCTIONS, "completed fixed-point instructions"),
+    _ev("VS_CMPL", EventDomain.INSTRUCTIONS, "completed vector-scalar (FP/SIMD) instructions"),
+    _ev("L1_DMISS", EventDomain.EVENTS, "L1 data-cache misses"),
+    _ev("L2_MISS", EventDomain.EVENTS, "L2 cache misses"),
+    _ev("L3_MISS", EventDomain.EVENTS, "L3 cache misses"),
+)
+
+#: Events holding per-class issue counts, in CLASS_ORDER; these back the
+#: POWER7-style class-space metric fractions.
+CLASS_COUNT_EVENTS: Tuple[str, ...] = ("LD_CMPL", "ST_CMPL", "BR_CMPL", "FX_CMPL", "VS_CMPL")
+
+assert len(CLASS_COUNT_EVENTS) == len(CLASS_ORDER)
+
+
+def port_issue_event(port_name: str) -> str:
+    """The canonical name of the per-port issue counter (e.g. Nehalem's
+    ``UOPS_EXECUTED.PORTx``)."""
+    return f"PORT_ISSUE_{port_name}"
+
+
+def arch_event_names(arch: Architecture) -> Tuple[str, ...]:
+    """All canonical event names the PMU of ``arch`` exposes."""
+    names = [e.name for e in CANONICAL_EVENTS]
+    names.extend(port_issue_event(p) for p in arch.topology.port_names)
+    return tuple(names)

@@ -1,0 +1,132 @@
+"""Counter groups and time multiplexing.
+
+Real PMUs expose only a handful of physical counters (POWER7: six PMCs;
+Nehalem: four programmable + three fixed).  Reading more events than
+that requires *multiplexing*: the kernel rotates event groups onto the
+hardware and scales each group's observed count by the inverse of the
+fraction of time it was scheduled.  Scaling is exact for a stationary
+workload but biased when the workload's phases beat against the rotation
+— one of the practical costs of an online metric that this package
+models explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class CounterGroup:
+    """A set of events programmed onto the PMCs simultaneously."""
+
+    name: str
+    events: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.events:
+            raise ValueError(f"group {self.name!r} has no events")
+        if len(set(self.events)) != len(self.events):
+            raise ValueError(f"group {self.name!r} has duplicate events: {self.events}")
+
+
+class MultiplexSchedule:
+    """Round-robin multiplexing of counter groups over an interval.
+
+    ``width`` is the number of physical counters; any group wider than
+    that is rejected at construction (it could never be scheduled).
+    """
+
+    def __init__(self, groups: Sequence[CounterGroup], *, width: int = 6):
+        if width <= 0:
+            raise ValueError(f"width must be > 0, got {width}")
+        self.groups: Tuple[CounterGroup, ...] = tuple(groups)
+        if not self.groups:
+            raise ValueError("a multiplex schedule needs at least one group")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate group names: {names}")
+        seen: Dict[str, str] = {}
+        for group in self.groups:
+            if len(group.events) > width:
+                raise ValueError(
+                    f"group {group.name!r} has {len(group.events)} events "
+                    f"but only {width} physical counters exist"
+                )
+            for event in group.events:
+                if event in seen:
+                    raise ValueError(
+                        f"event {event!r} appears in groups {seen[event]!r} and {group.name!r}"
+                    )
+                seen[event] = group.name
+        self.width = int(width)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def covered_events(self) -> Tuple[str, ...]:
+        return tuple(e for g in self.groups for e in g.events)
+
+    def schedule_fractions(self) -> Dict[str, float]:
+        """Fraction of the interval each group is live (fair rotation)."""
+        frac = 1.0 / self.n_groups
+        return {g.name: frac for g in self.groups}
+
+    def estimate(
+        self,
+        sub_interval_counts: Sequence[Mapping[str, float]],
+        rng: RngStream = None,
+        jitter_rel: float = 0.0,
+    ) -> Dict[str, float]:
+        """Multiplex over per-sub-interval exact counts and scale up.
+
+        ``sub_interval_counts[i]`` holds the *true* event counts the
+        workload generated during sub-interval ``i``; group ``i % n``
+        is the one actually measuring then.  The estimate for an event
+        is its observed sum scaled by ``n_groups`` — exactly the kernel's
+        ``count * time_enabled / time_running`` correction.  With a
+        stationary workload this is unbiased; with phases it aliases.
+        """
+        if len(sub_interval_counts) < self.n_groups:
+            raise ValueError(
+                f"need at least {self.n_groups} sub-intervals to schedule "
+                f"{self.n_groups} groups, got {len(sub_interval_counts)}"
+            )
+        observed: Dict[str, float] = {e: 0.0 for e in self.covered_events()}
+        live: Dict[str, int] = {e: 0 for e in observed}
+        for i, counts in enumerate(sub_interval_counts):
+            group = self.groups[i % self.n_groups]
+            for event in group.events:
+                observed[event] += float(counts.get(event, 0.0))
+                live[event] += 1
+        n_sub = len(sub_interval_counts)
+        estimates: Dict[str, float] = {}
+        for event, count in observed.items():
+            if live[event] == 0:  # pragma: no cover - unreachable with >= n_groups subs
+                estimates[event] = 0.0
+                continue
+            scale = n_sub / live[event]
+            value = count * scale
+            if rng is not None and jitter_rel > 0:
+                value = rng.jitter(value, jitter_rel)
+            estimates[event] = value
+        return estimates
+
+
+def default_groups(event_names: Sequence[str], *, width: int = 6) -> MultiplexSchedule:
+    """Pack events into groups of ``width`` in the given order."""
+    groups: List[CounterGroup] = []
+    batch: List[str] = []
+    for name in event_names:
+        batch.append(name)
+        if len(batch) == width:
+            groups.append(CounterGroup(f"G{len(groups)}", tuple(batch)))
+            batch = []
+    if batch:
+        groups.append(CounterGroup(f"G{len(groups)}", tuple(batch)))
+    return MultiplexSchedule(groups, width=width)

@@ -1,0 +1,184 @@
+"""A ``perf stat``-like online sampling tool, with its costs.
+
+The reproduction band for this paper notes the practical obstacle to an
+online SMTsm implementation in userspace: shelling out to ``perf``
+periodically is not free, and the measurement overhead can obscure the
+very metric being measured.  :class:`PerfStat` models the mechanism: it
+samples a running application at a fixed interval, multiplexes counter
+groups within each interval, and charges each sample a fixed tool cost
+that both steals wall-clock time from the application and pollutes the
+instruction-mix counters with the tool's own (integer/branch heavy)
+instructions.
+
+The ablation bench ``benchmarks/test_ablation_perf_overhead.py`` sweeps
+the overhead to show when the online metric degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+from repro.counters.groups import MultiplexSchedule
+from repro.counters.pmu import CounterSample
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive
+
+
+class MeasurableApp(Protocol):
+    """Anything PerfStat can drive: advance wall time, get exact counts."""
+
+    def advance(self, wall_seconds: float) -> CounterSample:
+        """Run the app for ``wall_seconds`` and return the exact interval sample."""
+        ...  # pragma: no cover - protocol
+
+
+#: Mix of the measurement tool's own instructions: syscall + counter
+#: arithmetic — loads, integer ops and branches, no vector work.
+_TOOL_EVENT_WEIGHTS = {
+    "LD_CMPL": 0.30,
+    "ST_CMPL": 0.10,
+    "BR_CMPL": 0.25,
+    "FX_CMPL": 0.35,
+}
+
+
+@dataclass(frozen=True)
+class PerfStatConfig:
+    """Sampling parameters.
+
+    ``overhead_per_sample_s`` — wall time consumed by one fork/exec +
+    counter read/reset round trip (order 1-10 ms for real perf).
+    ``tool_instructions_per_sample`` — instructions the tool itself
+    retires inside the measured context (counter pollution).
+    ``multiplex`` — optional schedule; when present, each interval is
+    divided into one sub-interval per group and the estimate is scaled.
+    """
+
+    interval_s: float = 0.1
+    overhead_per_sample_s: float = 0.0
+    tool_instructions_per_sample: float = 0.0
+    multiplex: Optional[MultiplexSchedule] = None
+    jitter_rel: float = 0.0
+
+    def __post_init__(self):
+        check_positive("interval_s", self.interval_s)
+        if self.overhead_per_sample_s < 0:
+            raise ValueError("overhead_per_sample_s must be >= 0")
+        if self.tool_instructions_per_sample < 0:
+            raise ValueError("tool_instructions_per_sample must be >= 0")
+        check_fraction("jitter_rel", self.jitter_rel)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of wall time stolen by the tool at this interval."""
+        return self.overhead_per_sample_s / (self.overhead_per_sample_s + self.interval_s)
+
+
+@dataclass(frozen=True)
+class PerfReading:
+    """One sampling interval's estimated counters."""
+
+    sample: CounterSample
+    t_start_s: float
+    t_end_s: float
+    overhead_fraction: float
+
+
+class PerfStat:
+    """Periodic counter sampler over a :class:`MeasurableApp`."""
+
+    def __init__(self, config: PerfStatConfig, rng: Optional[RngStream] = None):
+        self.config = config
+        self.rng = rng if rng is not None else RngStream(0, ("perfstat",))
+
+    def measure(self, app: MeasurableApp, duration_s: float) -> List[PerfReading]:
+        """Sample ``app`` for ``duration_s`` of wall time.
+
+        The tool's overhead is charged against the duration: with a
+        heavy overhead fewer productive intervals fit, exactly as a real
+        monitoring loop would starve the application.
+        """
+        check_positive("duration_s", duration_s)
+        cfg = self.config
+        readings: List[PerfReading] = []
+        now = 0.0
+        while now + cfg.interval_s <= duration_s + 1e-12:
+            sample = self._measure_interval(app)
+            end = now + cfg.interval_s + cfg.overhead_per_sample_s
+            readings.append(
+                PerfReading(
+                    sample=sample,
+                    t_start_s=now,
+                    t_end_s=end,
+                    overhead_fraction=cfg.overhead_fraction,
+                )
+            )
+            now = end
+        if not readings:
+            raise ValueError(
+                f"duration {duration_s}s is shorter than one interval ({cfg.interval_s}s)"
+            )
+        return readings
+
+    def _measure_interval(self, app: MeasurableApp) -> CounterSample:
+        cfg = self.config
+        if cfg.multiplex is None:
+            exact = app.advance(cfg.interval_s)
+            estimated = dict(exact.events)
+            if cfg.jitter_rel > 0:
+                estimated = {
+                    k: self.rng.jitter(v, cfg.jitter_rel) for k, v in estimated.items()
+                }
+        else:
+            n_sub = cfg.multiplex.n_groups
+            subs = []
+            sub_samples = []
+            for _ in range(n_sub):
+                s = app.advance(cfg.interval_s / n_sub)
+                sub_samples.append(s)
+                subs.append(dict(s.events))
+            estimated = cfg.multiplex.estimate(
+                subs, rng=self.rng if cfg.jitter_rel > 0 else None, jitter_rel=cfg.jitter_rel
+            )
+            exact = _merge_samples(sub_samples)
+            # Events outside the schedule pass through exactly.
+            for name, value in exact.events.items():
+                estimated.setdefault(name, value)
+        sample = exact.with_events(estimated)
+        if cfg.tool_instructions_per_sample > 0:
+            sample = self._pollute(sample)
+        return sample
+
+    def _pollute(self, sample: CounterSample) -> CounterSample:
+        """Add the tool's own instructions to the interval counters."""
+        n = self.config.tool_instructions_per_sample
+        extra = {"INSTRUCTIONS": sample.count("INSTRUCTIONS") + n}
+        for event, weight in _TOOL_EVENT_WEIGHTS.items():
+            extra[event] = sample.count(event) + n * weight
+        # The tool burns cycles at roughly IPC 1.
+        extra["CYCLES"] = sample.count("CYCLES") + n
+        return sample.with_events(extra)
+
+
+def _merge_samples(samples: List[CounterSample]) -> CounterSample:
+    """Sum event counts and times across consecutive sub-samples."""
+    if not samples:
+        raise ValueError("cannot merge zero samples")
+    base = samples[0]
+    events = {k: 0.0 for k in base.events}
+    wall = 0.0
+    cpu = 0.0
+    for s in samples:
+        for k, v in s.events.items():
+            events[k] = events.get(k, 0.0) + v
+        wall += s.wall_time_s
+        cpu += s.avg_thread_cpu_s
+    return CounterSample(
+        arch=base.arch,
+        smt_level=base.smt_level,
+        events=events,
+        wall_time_s=wall,
+        avg_thread_cpu_s=cpu,
+        n_software_threads=base.n_software_threads,
+    )

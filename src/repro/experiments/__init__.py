@@ -1,0 +1,72 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment follows §IV's protocol — the number of software
+threads equals the number of hardware contexts at each SMT level — and
+returns a result object that can render the same rows/series the paper
+plots.  The benchmark suite (``benchmarks/``) drives these modules and
+asserts the paper's qualitative shapes.
+"""
+
+from repro.experiments.runner import (
+    CatalogRuns,
+    ScatterPoint,
+    ScatterResult,
+    run_catalog,
+    scatter_from_runs,
+)
+from repro.experiments import (
+    batch_scheduler,
+    coschedule_symbiosis,
+    fig01_motivation,
+    fig02_naive_metrics,
+    fig06_smt4v1_at4,
+    fig07_instruction_mix,
+    fig08_smt4v2_at4,
+    fig09_smt2v1_at2,
+    fig10_nehalem,
+    fig11_at_smt1_p7,
+    fig12_at_smt1_nehalem,
+    fig13_two_chip_41,
+    fig14_two_chip_42,
+    fig15_two_chip_21,
+    fig16_gini,
+    fig17_ppi,
+    offline_vs_online,
+    online_optimizer,
+    priority_shielding,
+    related_mathis_power5,
+    scaling_cores,
+    table1,
+    threshold_transfer,
+)
+
+__all__ = [
+    "CatalogRuns",
+    "ScatterPoint",
+    "ScatterResult",
+    "run_catalog",
+    "scatter_from_runs",
+    "fig01_motivation",
+    "fig02_naive_metrics",
+    "fig06_smt4v1_at4",
+    "fig07_instruction_mix",
+    "fig08_smt4v2_at4",
+    "fig09_smt2v1_at2",
+    "fig10_nehalem",
+    "fig11_at_smt1_p7",
+    "fig12_at_smt1_nehalem",
+    "fig13_two_chip_41",
+    "fig14_two_chip_42",
+    "fig15_two_chip_21",
+    "fig16_gini",
+    "fig17_ppi",
+    "online_optimizer",
+    "offline_vs_online",
+    "batch_scheduler",
+    "coschedule_symbiosis",
+    "priority_shielding",
+    "related_mathis_power5",
+    "scaling_cores",
+    "threshold_transfer",
+    "table1",
+]

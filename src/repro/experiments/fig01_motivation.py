@@ -1,0 +1,51 @@
+"""Fig. 1: SMT1 vs SMT4 performance for Equake, MG and EP.
+
+"Note that for Equake, SMT4 degraded the performance of the
+application, while it improved the performance of EP.  MG's performance
+was oblivious to whatever SMT level was used."  Each application runs
+alone: 8 threads at SMT1, 32 at SMT4, on one 8-core POWER7 chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.runner import CatalogRuns, run_catalog
+from repro.experiments.systems import DEFAULT_SEED, p7_system
+from repro.sim.results import speedup
+from repro.util.tables import format_table
+from repro.workloads.catalog import all_workloads
+
+BENCHMARKS: Tuple[str, ...] = ("Equake", "MG", "EP")
+
+
+@dataclass(frozen=True)
+class MotivationResult:
+    """Normalized performance at SMT1 (== 1.0) and SMT4."""
+
+    normalized: Dict[str, Dict[int, float]]
+
+    def render(self) -> str:
+        rows = [
+            [name, values[1], values[4]]
+            for name, values in self.normalized.items()
+        ]
+        return format_table(
+            ["application", "SMT1 (normalized)", "SMT4 (normalized)"],
+            rows,
+            title="Fig. 1: performance normalized to SMT1 (8-core POWER7)",
+        )
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> MotivationResult:
+    if runs is None:
+        specs = all_workloads()
+        runs = run_catalog(
+            p7_system(), {n: specs[n] for n in BENCHMARKS}, (1, 4), seed=seed
+        )
+    normalized = {}
+    for name in BENCHMARKS:
+        by_level = runs.runs[name]
+        normalized[name] = {1: 1.0, 4: speedup(by_level[4], by_level[1])}
+    return MotivationResult(normalized=normalized)

@@ -1,0 +1,71 @@
+"""Fig. 7: instruction mixes of five benchmarks vs the ideal POWER7 mix.
+
+"As we move from the left of the figure to the right, the speedup going
+from SMT1 to SMT4 decreases from 1.82 to 0.25, while the instruction
+mix tends to be more and more dominated with one or fewer functional
+units or less diverse."  The mixes shown are the *executed* mixes at
+SMT4 — SPECjbb-contention's is spin-polluted, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.classes import CLASS_ORDER, InstrClass
+from repro.experiments.runner import CatalogRuns, run_catalog
+from repro.experiments.systems import DEFAULT_SEED, p7_system
+from repro.sim.results import speedup
+from repro.util.tables import format_table
+from repro.workloads.catalog import all_workloads
+
+#: Paper order, most to least SMT4-friendly.
+BENCHMARKS: Tuple[str, ...] = (
+    "Blackscholes", "Fluidanimate", "Dedup", "SSCA2", "SPECjbb_contention",
+)
+
+
+@dataclass(frozen=True)
+class MixLadderResult:
+    mixes: Dict[str, Dict[InstrClass, float]]   # executed mix at SMT4
+    speedups: Dict[str, float]                  # SMT4/SMT1
+    ideal: Dict[InstrClass, float]
+    deviations: Dict[str, float]
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [c.name for c in CLASS_ORDER] + [
+            "deviation", "SMT4/SMT1"]
+        rows = []
+        for name in self.mixes:
+            mix = self.mixes[name]
+            rows.append([name] + [mix[c] for c in CLASS_ORDER]
+                        + [self.deviations[name], self.speedups[name]])
+        rows.append(["idealP7SMTmix"] + [self.ideal[c] for c in CLASS_ORDER]
+                    + [0.0, None])
+        return format_table(
+            headers, rows,
+            title="Fig. 7: executed instruction mix @SMT4 (8-core POWER7)",
+            float_fmt=".3f",
+        )
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> MixLadderResult:
+    if runs is None:
+        specs = all_workloads()
+        runs = run_catalog(
+            p7_system(), {n: specs[n] for n in BENCHMARKS}, (1, 4), seed=seed
+        )
+    arch = runs.system.arch
+    ideal_vec = arch.ideal_vector()
+    ideal = {c: float(ideal_vec[c]) for c in CLASS_ORDER}
+    mixes, speedups, deviations = {}, {}, {}
+    for name in BENCHMARKS:
+        by_level = runs.runs[name]
+        sample = by_level[4].counter_sample()
+        mix = sample.mix()
+        mixes[name] = mix.as_dict()
+        speedups[name] = speedup(by_level[4], by_level[1])
+        deviations[name] = arch.mix_deviation(mix)
+    return MixLadderResult(
+        mixes=mixes, speedups=speedups, ideal=ideal, deviations=deviations
+    )

@@ -1,0 +1,24 @@
+"""Fig. 8: SMT4/SMT2 speedup vs SMTsm measured at SMT4 (1-chip POWER7).
+
+"Once again a threshold of 0.07 provides good separation.  All of the
+benchmarks with a metric greater than the threshold prefer SMT2."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+PAPER_THRESHOLD = 0.07
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 8: SMT4/SMT2 speedup vs SMTsm@SMT4 (8-core POWER7)",
+        measure_level=4,
+        high_level=4,
+        low_level=2,
+    )

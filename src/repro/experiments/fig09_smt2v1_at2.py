@@ -1,0 +1,38 @@
+"""Fig. 9: SMT2/SMT1 speedup vs SMTsm measured at SMT2 (1-chip POWER7).
+
+Here the metric is only partially predictive: "For metric values below
+0.07 or above 0.19, we can predict the optimum SMT level.  However, for
+metric values between 0.07 and 0.19, it is not possible to predict the
+application's SMT preference" — SMT2 contention is too mild to expose
+who will lose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.runner import CatalogRuns, ScatterPoint, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+#: The paper's unambiguous-prediction boundaries for this figure.
+LOWER_BOUND = 0.07
+UPPER_BOUND = 0.19
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 9: SMT2/SMT1 speedup vs SMTsm@SMT2 (8-core POWER7)",
+        measure_level=2,
+        high_level=2,
+        low_level=1,
+    )
+
+
+def ambiguous_band(result: ScatterResult,
+                   lower: float = LOWER_BOUND,
+                   upper: float = UPPER_BOUND) -> List[ScatterPoint]:
+    """The points between the two bounds, where prediction fails."""
+    return [p for p in result.points if lower < p.metric < upper]

@@ -1,0 +1,27 @@
+"""Fig. 11: SMT4/SMT1 speedup vs SMTsm measured at **SMT1** (POWER7).
+
+The negative result that motivates measuring at the highest SMT level:
+"the metric is not able to foresee scalability limitations caused by
+more threads at a higher SMT level; the metric is only capable of
+detecting a slowdown when it is happening.  At SMT1 we are not able to
+accurately capture contention ... so the metric breaks down at SMT1"
+(§IV-B).  Lock-contention and cache-sharing casualties look innocent
+with one thread per core.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 11: SMT4/SMT1 speedup vs SMTsm@SMT1 (8-core POWER7)",
+        measure_level=1,
+        high_level=4,
+        low_level=1,
+    )

@@ -1,0 +1,25 @@
+"""Fig. 12: SMT2/SMT1 speedup vs SMTsm measured at **SMT1** (Nehalem).
+
+The Nehalem counterpart of Fig. 11's breakdown: measured with one
+thread per core, the metric cannot see what two threads per core will
+contend over.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, nehalem_runs
+from repro.workloads.catalog import NEHALEM_SMT1_SET
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = nehalem_runs(seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 12: SMT2/SMT1 speedup vs SMTsm@SMT1 (quad-core Core i7)",
+        measure_level=1,
+        high_level=2,
+        low_level=1,
+        names=NEHALEM_SMT1_SET,
+    )

@@ -1,0 +1,26 @@
+"""Fig. 13: SMT4/SMT1 vs SMTsm@SMT4 on a two-chip (16-core) POWER7.
+
+Two chips introduce NUMA penalties and double the thread count at every
+level: "more benchmarks ... are mis-predicted", "applications that have
+a metric near the threshold are more likely to be mispredicted", and
+"more applications prefer SMT1 over SMT4 ... with more software
+threads, more contention for synchronization resources will be
+introduced" (§IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(n_chips=2, seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 13: SMT4/SMT1 speedup vs SMTsm@SMT4 (two 8-core POWER7 chips)",
+        measure_level=4,
+        high_level=4,
+        low_level=1,
+    )

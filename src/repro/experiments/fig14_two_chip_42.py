@@ -1,0 +1,23 @@
+"""Fig. 14: SMT4/SMT2 vs SMTsm@SMT4 on a two-chip (16-core) POWER7.
+
+"The SMT4/SMT2 results look better than the SMT4/SMT1 results" at 16
+cores — the thread-count change between the compared levels is smaller,
+so the scalability-detection part of the metric holds up (§IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(n_chips=2, seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 14: SMT4/SMT2 speedup vs SMTsm@SMT4 (two 8-core POWER7 chips)",
+        measure_level=4,
+        high_level=4,
+        low_level=2,
+    )

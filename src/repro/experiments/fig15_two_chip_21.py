@@ -1,0 +1,22 @@
+"""Fig. 15: SMT2/SMT1 vs SMTsm@SMT2 on a two-chip (16-core) POWER7.
+
+"Fig. 15 demonstrates that SMT2/SMT1 prediction is ineffective, the
+same as in the single chip case" (§IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
+    if runs is None:
+        runs = p7_runs(n_chips=2, seed=seed)
+    return scatter_from_runs(
+        runs,
+        title="Fig. 15: SMT2/SMT1 speedup vs SMTsm@SMT2 (two 8-core POWER7 chips)",
+        measure_level=2,
+        high_level=2,
+        low_level=1,
+    )

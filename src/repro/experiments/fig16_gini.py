@@ -1,0 +1,45 @@
+"""Fig. 16: Gini impurity vs candidate separator for SMT4/SMT1 on POWER7.
+
+The §V-A threshold-selection method applied to the Fig. 6 data: the
+curve's minimum gives the operating threshold, and the *width* of the
+minimizing range indicates how robustly a new application would be
+classified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.thresholds import GiniPoint, gini_curve, optimal_threshold_range
+from repro.experiments import fig06_smt4v1_at4
+from repro.experiments.runner import CatalogRuns
+from repro.experiments.systems import DEFAULT_SEED
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class GiniResult:
+    curve: Tuple[GiniPoint, ...]
+    best_range: Tuple[float, float]
+    min_impurity: float
+
+    def render(self, step: int = 10) -> str:
+        rows = [[p.separator, p.impurity] for p in self.curve[::step]]
+        table = format_table(
+            ["separator", "impurity"], rows,
+            title="Fig. 16: Gini impurity vs separator (SMT4/SMT1, POWER7)",
+        )
+        lo, hi = self.best_range
+        return (
+            f"{table}\n\noptimal separator range: [{lo:.4f}, {hi:.4f}]  "
+            f"minimum impurity: {self.min_impurity:.3f}"
+        )
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> GiniResult:
+    scatter = fig06_smt4v1_at4.run(seed=seed, runs=runs)
+    metrics, speedups = scatter.metrics(), scatter.speedups()
+    curve = tuple(gini_curve(metrics, speedups))
+    lo, hi, impurity = optimal_threshold_range(metrics, speedups)
+    return GiniResult(curve=curve, best_range=(lo, hi), min_impurity=impurity)

@@ -1,0 +1,61 @@
+"""Fig. 17: average percentage performance improvement vs threshold.
+
+The §V-B alternative threshold method on the Fig. 6 data: for each
+candidate threshold, the mean improvement expected from switching every
+above-threshold benchmark from SMT4 down to SMT1.  The paper highlights
+the wide plateau of thresholds whose expected improvement exceeds 15%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.thresholds import (
+    PpiPoint,
+    best_ppi_threshold,
+    ppi_curve,
+    ppi_plateau,
+)
+from repro.experiments import fig06_smt4v1_at4
+from repro.experiments.runner import CatalogRuns
+from repro.experiments.systems import DEFAULT_SEED
+from repro.util.tables import format_table
+
+#: The paper's plateau criterion.
+PLATEAU_PCT = 15.0
+
+
+@dataclass(frozen=True)
+class PpiResult:
+    curve: Tuple[PpiPoint, ...]
+    best_threshold: float
+    best_improvement_pct: float
+    plateau: Tuple[float, float]
+
+    def render(self, step: int = 10) -> str:
+        rows = [[p.threshold, p.avg_improvement_pct] for p in self.curve[::step]]
+        table = format_table(
+            ["threshold", "avg improvement %"], rows,
+            title="Fig. 17: average SMT4->SMT1 PPI vs threshold (POWER7)",
+        )
+        lo, hi = self.plateau
+        return (
+            f"{table}\n\nbest threshold {self.best_threshold:.4f} "
+            f"({self.best_improvement_pct:.1f}%); "
+            f">= {PLATEAU_PCT:.0f}% plateau: [{lo:.4f}, {hi:.4f}]"
+        )
+
+
+def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> PpiResult:
+    scatter = fig06_smt4v1_at4.run(seed=seed, runs=runs)
+    metrics, speedups = scatter.metrics(), scatter.speedups()
+    curve = tuple(ppi_curve(metrics, speedups))
+    threshold, improvement = best_ppi_threshold(metrics, speedups)
+    plateau = ppi_plateau(metrics, speedups, PLATEAU_PCT)
+    return PpiResult(
+        curve=curve,
+        best_threshold=threshold,
+        best_improvement_pct=improvement,
+        plateau=plateau,
+    )

@@ -1,0 +1,194 @@
+"""Shared measurement protocol for the evaluation experiments.
+
+"In all of the experiments conducted, the number of software threads
+used is chosen to be the same as the number of available hardware
+threads/contexts" (§IV) — so a POWER7 chip runs 8/16/32 threads at
+SMT1/2/4, and speedups compare completion of the *same work*.
+
+:func:`run_catalog` executes a benchmark set once per SMT level and
+caches the runs; every scatter figure (6, 8-15) is then a cheap
+projection: pick the measurement level for the metric and a level pair
+for the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.success import SuccessSummary, success_summary
+from repro.core.metric import SmtsmResult, smtsm_from_run
+from repro.core.predictor import Observation, SmtPredictor
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.results import RunResult, speedup
+from repro.simos.system import SystemSpec
+from repro.util.tables import format_table
+from repro.workloads.spec import WorkloadSpec
+
+#: Default per-run useful work; large enough to make noise marginal.
+DEFAULT_WORK = 2e10
+
+
+@dataclass(frozen=True)
+class CatalogRuns:
+    """All runs of one benchmark set on one system."""
+
+    system: SystemSpec
+    runs: Mapping[str, Mapping[int, RunResult]]
+    seed: int
+
+    def levels(self) -> Tuple[int, ...]:
+        any_runs = next(iter(self.runs.values()))
+        return tuple(sorted(any_runs))
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.runs)
+
+
+def run_catalog(
+    system: SystemSpec,
+    catalog: Mapping[str, WorkloadSpec],
+    levels: Optional[Sequence[int]] = None,
+    *,
+    seed: int = 11,
+    work: float = DEFAULT_WORK,
+) -> CatalogRuns:
+    """Run every workload at every requested SMT level."""
+    if levels is None:
+        levels = system.arch.smt_levels
+    for level in levels:
+        system.arch.validate_smt_level(level)
+    all_runs: Dict[str, Dict[int, RunResult]] = {}
+    for name, spec in catalog.items():
+        all_runs[name] = {
+            level: simulate_run(
+                RunSpec(
+                    system=system,
+                    smt_level=level,
+                    stream=spec.stream,
+                    sync=spec.sync,
+                    useful_instructions=work,
+                    seed=seed,
+                )
+            )
+            for level in levels
+        }
+    return CatalogRuns(system=system, runs=all_runs, seed=seed)
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One benchmark in a speedup-vs-metric figure."""
+
+    name: str
+    metric: float
+    speedup: float
+    metric_detail: SmtsmResult
+
+    def observation(self) -> Observation:
+        return Observation(name=self.name, metric=self.metric, speedup=self.speedup)
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    """A full speedup-vs-metric experiment (one paper scatter figure)."""
+
+    title: str
+    system_name: str
+    measure_level: int
+    high_level: int
+    low_level: int
+    points: Tuple[ScatterPoint, ...]
+
+    def observations(self) -> List[Observation]:
+        return [p.observation() for p in self.points]
+
+    def metrics(self) -> List[float]:
+        return [p.metric for p in self.points]
+
+    def speedups(self) -> List[float]:
+        return [p.speedup for p in self.points]
+
+    def fit_predictor(self, method: str = "gini") -> SmtPredictor:
+        return SmtPredictor.fit(
+            self.observations(),
+            high_level=self.high_level,
+            low_level=self.low_level,
+            method=method,
+        )
+
+    def success(self, threshold: Optional[float] = None,
+                method: str = "gini") -> SuccessSummary:
+        """Prediction outcome at a fixed threshold or a fitted one."""
+        if threshold is None:
+            predictor = self.fit_predictor(method)
+        else:
+            predictor = SmtPredictor(
+                threshold=threshold,
+                high_level=self.high_level,
+                low_level=self.low_level,
+                method="fixed",
+            )
+        return success_summary(predictor, self.observations())
+
+    def render(self, threshold: Optional[float] = None) -> str:
+        """The figure as rows (sorted by metric), plus the summary."""
+        rows = [
+            [p.name, p.metric, p.speedup, "higher" if p.speedup >= 1 else "lower"]
+            for p in sorted(self.points, key=lambda p: p.metric)
+        ]
+        table = format_table(
+            ["benchmark", f"SMTsm@SMT{self.measure_level}",
+             f"SMT{self.high_level}/SMT{self.low_level} speedup", "prefers"],
+            rows,
+            title=self.title,
+        )
+        summary = self.success(threshold)
+        lines = [
+            table,
+            "",
+            f"threshold = {summary.threshold:.4f}  "
+            f"success = {summary.n_correct}/{summary.n_total} "
+            f"({100 * summary.success_rate:.0f}%)",
+        ]
+        if summary.misses:
+            lines.append(f"mispredicted: {', '.join(summary.misses)}")
+        return "\n".join(lines)
+
+
+def scatter_from_runs(
+    catalog_runs: CatalogRuns,
+    *,
+    title: str,
+    measure_level: int,
+    high_level: int,
+    low_level: int,
+    names: Optional[Iterable[str]] = None,
+) -> ScatterResult:
+    """Project cached runs into one speedup-vs-metric figure."""
+    if high_level <= low_level:
+        raise ValueError(f"high_level {high_level} must exceed low_level {low_level}")
+    points: List[ScatterPoint] = []
+    selected = list(names) if names is not None else list(catalog_runs.runs)
+    for name in selected:
+        try:
+            runs = catalog_runs.runs[name]
+        except KeyError:
+            raise KeyError(f"workload {name!r} not in catalog runs") from None
+        metric = smtsm_from_run(runs[measure_level])
+        points.append(
+            ScatterPoint(
+                name=name,
+                metric=metric.value,
+                speedup=speedup(runs[high_level], runs[low_level]),
+                metric_detail=metric,
+            )
+        )
+    return ScatterResult(
+        title=title,
+        system_name=f"{catalog_runs.system.arch.name} x{catalog_runs.system.n_chips}",
+        measure_level=measure_level,
+        high_level=high_level,
+        low_level=low_level,
+        points=tuple(points),
+    )

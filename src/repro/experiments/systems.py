@@ -1,0 +1,45 @@
+"""The paper's three experimental systems, plus cached catalog runs."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch import nehalem, power7
+from repro.experiments.runner import CatalogRuns, run_catalog
+from repro.simos.system import SystemSpec
+from repro.workloads.catalog import (
+    NEHALEM_SET,
+    NEHALEM_SMT1_SET,
+    all_workloads,
+    nehalem_catalog,
+    power7_catalog,
+)
+
+DEFAULT_SEED = 11
+
+
+def p7_system(n_chips: int = 1) -> SystemSpec:
+    """AIX/POWER7: one or two 8-core chips (paper §III-A)."""
+    return SystemSpec(power7(), n_chips)
+
+
+def nehalem_system() -> SystemSpec:
+    """Linux/Core i7 965: one quad-core chip (paper §III-A)."""
+    return SystemSpec(nehalem(), 1)
+
+
+def p7_runs(n_chips: int = 1, *, seed: int = DEFAULT_SEED,
+            levels: Optional[Sequence[int]] = None) -> CatalogRuns:
+    """The POWER7 benchmark set at SMT1/2/4."""
+    return run_catalog(
+        p7_system(n_chips), power7_catalog(), levels or (1, 2, 4), seed=seed
+    )
+
+
+def nehalem_runs(*, seed: int = DEFAULT_SEED) -> CatalogRuns:
+    """The Nehalem benchmark set (Fig. 10 + Fig. 12 entries) at SMT1/2."""
+    specs = all_workloads()
+    names = sorted(set(NEHALEM_SET) | set(NEHALEM_SMT1_SET))
+    return run_catalog(
+        nehalem_system(), {n: specs[n] for n in names}, (1, 2), seed=seed
+    )

@@ -1,0 +1,15 @@
+"""Table I: the benchmark catalog."""
+
+from __future__ import annotations
+
+from repro.util.tables import format_table
+from repro.workloads.catalog import table1_rows
+
+
+def run() -> str:
+    """Render Table I."""
+    return format_table(
+        ["Label", "Suite", "Problem Size", "Description"],
+        table1_rows(),
+        title="Table I: Benchmarks Evaluated",
+    )

@@ -1,0 +1,92 @@
+"""Extension experiment: does the fitted threshold transfer?
+
+§V argues the threshold is robust for unseen applications because the
+optimal separator range (Fig. 16) and the high-PPI plateau (Fig. 17)
+are wide.  Two direct tests:
+
+* **leave-one-out**: fit the threshold on 27 of the 28 POWER7
+  benchmarks and predict the held-out one — the honest "new
+  application" protocol;
+* **seed transfer**: fit on one measurement campaign (seed) and
+  evaluate on another, modelling run-to-run variation between the lab
+  and the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.predictor import Observation, SmtPredictor
+from repro.experiments import fig06_smt4v1_at4
+from repro.experiments.runner import CatalogRuns
+from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    loo_correct: int
+    loo_total: int
+    loo_misses: Tuple[str, ...]
+    seed_train: int
+    seed_eval: int
+    transfer_threshold: float
+    transfer_correct: int
+    transfer_total: int
+
+    @property
+    def loo_rate(self) -> float:
+        return self.loo_correct / self.loo_total
+
+    @property
+    def transfer_rate(self) -> float:
+        return self.transfer_correct / self.transfer_total
+
+    def render(self) -> str:
+        rows = [
+            ["leave-one-out (new application)", f"{self.loo_correct}/{self.loo_total}",
+             self.loo_rate],
+            [f"seed transfer ({self.seed_train} -> {self.seed_eval})",
+             f"{self.transfer_correct}/{self.transfer_total}", self.transfer_rate],
+        ]
+        table = format_table(
+            ["protocol", "correct", "rate"], rows,
+            title="Extension: threshold transferability (POWER7, SMT4/SMT1)",
+        )
+        return f"{table}\n\nleave-one-out misses: {', '.join(self.loo_misses) or 'none'}"
+
+
+def _observations(runs: CatalogRuns) -> List[Observation]:
+    return fig06_smt4v1_at4.run(runs=runs).observations()
+
+
+def run(seed: int = DEFAULT_SEED, eval_seed: int = 101,
+        runs: CatalogRuns = None) -> TransferResult:
+    train_obs = _observations(runs if runs is not None else p7_runs(seed=seed))
+
+    # Leave-one-out over the training campaign.
+    loo_misses: List[str] = []
+    for held_out in train_obs:
+        rest = [o for o in train_obs if o.name != held_out.name]
+        predictor = SmtPredictor.fit(rest, high_level=4, low_level=1)
+        if predictor.predicts_higher(held_out.metric) != held_out.prefers_higher:
+            loo_misses.append(held_out.name)
+
+    # Fit once on the training campaign, evaluate a fresh campaign.
+    predictor = SmtPredictor.fit(train_obs, high_level=4, low_level=1)
+    eval_obs = _observations(p7_runs(seed=eval_seed))
+    transfer_correct = sum(
+        1 for o in eval_obs
+        if predictor.predicts_higher(o.metric) == o.prefers_higher
+    )
+    return TransferResult(
+        loo_correct=len(train_obs) - len(loo_misses),
+        loo_total=len(train_obs),
+        loo_misses=tuple(loo_misses),
+        seed_train=seed,
+        seed_eval=eval_seed,
+        transfer_threshold=predictor.threshold,
+        transfer_correct=transfer_correct,
+        transfer_total=len(eval_obs),
+    )

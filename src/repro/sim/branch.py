@@ -1,0 +1,46 @@
+"""Branch prediction model.
+
+Branch state (history tables, BTB) is shared between a core's hardware
+threads, so co-running contexts both alias each other's history and
+shrink the effective table share — mispredict rates creep up with the
+SMT level.  A mispredicted branch costs a pipeline refill; unlike a
+long memory stall it *flushes* the dispatcher rather than backing it
+up, so it contributes to lost cycles but not to the dispatch-held
+counter (the distinction matters for the SMTsm's second factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.classes import InstrClass, Mix
+from repro.arch.machine import Architecture
+from repro.util.validation import check_fraction, check_nonnegative
+
+#: Per-extra-context relative increase in mispredict rate from shared
+#: predictor state (measured effects on real SMT cores are mild).
+SHARING_PENALTY_PER_THREAD = 0.06
+
+
+@dataclass(frozen=True)
+class BranchModel:
+    """Evaluates effective mispredict behaviour on an architecture."""
+
+    arch: Architecture
+
+    def effective_rate(self, base_rate: float, threads_per_core: int) -> float:
+        """Mispredicts per branch with ``threads_per_core`` contexts."""
+        check_fraction("base_rate", base_rate)
+        if threads_per_core < 1:
+            raise ValueError(f"threads_per_core must be >= 1, got {threads_per_core}")
+        rate = base_rate * (1.0 + SHARING_PENALTY_PER_THREAD * (threads_per_core - 1))
+        return min(rate, 1.0)
+
+    def stall_per_instruction(self, mix: Mix, rate: float) -> float:
+        """Average mispredict-penalty cycles charged to one instruction."""
+        check_fraction("rate", rate)
+        return mix[InstrClass.BRANCH] * rate * self.arch.branch_penalty
+
+    def mispredicts_per_kilo(self, mix: Mix, rate: float) -> float:
+        """Branch MPKI — the Fig. 2 baseline predictor's input."""
+        return 1000.0 * mix[InstrClass.BRANCH] * rate

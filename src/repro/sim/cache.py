@@ -1,0 +1,216 @@
+"""Cache-hierarchy sharing model.
+
+Converts a stream's reference MPKIs into the effective MPKIs it sees on
+a particular machine with a particular number of co-resident threads.
+
+The model is a capacity power law.  A thread's miss rate at level L
+scales with the ratio of its *reference* per-thread capacity to its
+*actual* per-thread capacity:
+
+    mpki_L = mpki_L_ref * (C_ref / C_actual) ** locality_alpha
+
+where the actual capacity is the level's size divided by the number of
+*effective* sharers.  Threads that share data do not multiply pressure:
+with ``data_sharing = d`` and ``k`` sharers, the effective sharer count
+is ``1 + (k - 1) * (1 - d)``.
+
+L1/L2 are private per core and shared by that core's hardware threads;
+L3 is shared by every thread on the chip.  Monotonicity (global miss
+rates can only shrink down the hierarchy) is enforced after scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.machine import Architecture
+from repro.sim.stream import (
+    MemoryBehavior,
+    REF_L1_KB,
+    REF_L2_KB,
+    REF_L3_MB_PER_THREAD,
+    StreamParams,
+)
+from repro.util.validation import check_positive
+
+#: A miss-rate scale factor cap: sharing can thrash a cache badly, but a
+#: finite reuse distance bounds how bad it gets.
+MAX_PRESSURE_SCALE = 12.0
+
+
+@dataclass(frozen=True)
+class SharingContext:
+    """Who shares what with the thread under analysis.
+
+    ``core_pressure`` optionally overrides the count-based effective
+    sharer number for the private (L1/L2) caches with a value computed
+    from *who* the co-runners actually are — heavier-footprint partners
+    push harder (see :func:`corunner_pressure`).  ``None`` falls back to
+    the homogeneous count-based formula.
+    """
+
+    threads_per_core: int
+    threads_per_chip: int
+    core_pressure: Optional[float] = None
+
+    def __post_init__(self):
+        if self.threads_per_core < 1:
+            raise ValueError(f"threads_per_core must be >= 1, got {self.threads_per_core}")
+        if self.threads_per_chip < self.threads_per_core:
+            raise ValueError(
+                f"threads_per_chip ({self.threads_per_chip}) < "
+                f"threads_per_core ({self.threads_per_core})"
+            )
+        if self.core_pressure is not None and self.core_pressure < 1.0:
+            raise ValueError(
+                f"core_pressure must be >= 1 (self included), got {self.core_pressure}"
+            )
+
+
+@dataclass(frozen=True)
+class EffectiveMissRates:
+    """Global MPKIs after sharing adjustment (monotone down the hierarchy)."""
+
+    l1_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+
+    @property
+    def l2_hit_mpki(self) -> float:
+        """References served by L2 (missed L1, hit L2), per kilo-instruction."""
+        return self.l1_mpki - self.l2_mpki
+
+    @property
+    def l3_hit_mpki(self) -> float:
+        return self.l2_mpki - self.l3_mpki
+
+
+def effective_sharers(k: int, data_sharing: float) -> float:
+    """Effective number of cache sharers given the sharing degree."""
+    if k < 1:
+        raise ValueError(f"sharer count must be >= 1, got {k}")
+    return 1.0 + (k - 1) * (1.0 - data_sharing)
+
+
+#: Bounds on a co-runner's relative footprint pressure.
+MIN_RELATIVE_PRESSURE = 0.25
+MAX_RELATIVE_PRESSURE = 3.0
+
+
+def corunner_pressure(victim: MemoryBehavior, others) -> float:
+    """Partner-aware effective sharers for the private caches.
+
+    Each co-runner displaces the victim in proportion to its footprint
+    heat relative to the victim's own (measured by reference L1 MPKI),
+    discounted by the co-runner's data sharing.  With identical streams
+    this reduces exactly to :func:`effective_sharers`, so homogeneous
+    (SPMD) runs are unaffected; only mixed co-schedules feel it.
+    """
+    victim_heat = victim.l1_mpki + 1e-3
+    pressure = 1.0
+    for other in others:
+        relative = float(
+            np.clip((other.l1_mpki + 1e-3) / victim_heat,
+                    MIN_RELATIVE_PRESSURE, MAX_RELATIVE_PRESSURE)
+        )
+        pressure += (1.0 - other.data_sharing) * relative
+    return pressure
+
+
+class CacheModel:
+    """Evaluates effective miss rates for streams on an architecture."""
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+
+    def pressure_scale(self, c_ref: float, c_actual: float, alpha: float) -> float:
+        """The power-law scale, clipped to [1/MAX, MAX].
+
+        More capacity than the reference can *reduce* misses (this is
+        how POWER7's 4 MB/core L3 tames Streamcluster relative to
+        Nehalem's 2 MB/thread, paper §IV-A), bounded below so misses
+        never vanish entirely.
+        """
+        check_positive("c_ref", c_ref)
+        check_positive("c_actual", c_actual)
+        scale = (c_ref / c_actual) ** alpha
+        return float(np.clip(scale, 1.0 / MAX_PRESSURE_SCALE, MAX_PRESSURE_SCALE))
+
+    def effective_rates(
+        self, memory: MemoryBehavior, sharing: SharingContext
+    ) -> EffectiveMissRates:
+        caches = self.arch.caches
+        alpha = memory.locality_alpha
+        d = memory.data_sharing
+
+        if sharing.core_pressure is not None:
+            k_core = sharing.core_pressure
+        else:
+            k_core = effective_sharers(sharing.threads_per_core, d)
+        c_l1 = caches.l1d_kb / k_core
+        c_l2 = caches.l2_kb / k_core
+        l1 = memory.l1_mpki * self.pressure_scale(REF_L1_KB, c_l1, alpha)
+        l2 = memory.l2_mpki * self.pressure_scale(REF_L2_KB, c_l2, alpha)
+
+        k_chip = effective_sharers(sharing.threads_per_chip, d)
+        c_l3 = (caches.l3_mb * 1024.0) / k_chip  # KB per thread
+        l3 = memory.l3_mpki * self.pressure_scale(
+            REF_L3_MB_PER_THREAD * 1024.0, c_l3, alpha
+        )
+
+        # Global rates are monotone: a deeper level cannot miss more
+        # often (per instruction) than a shallower one.
+        l2 = min(l2, l1)
+        l3 = min(l3, l2)
+        return EffectiveMissRates(l1_mpki=l1, l2_mpki=l2, l3_mpki=l3)
+
+    def memory_stall_per_instruction(
+        self,
+        rates: EffectiveMissRates,
+        stream: StreamParams,
+        mem_latency_mult: float = 1.0,
+        extra_mem_latency: float = 0.0,
+    ) -> float:
+        """Average memory-stall cycles charged to one instruction.
+
+        Hits in deeper caches charge their level latency; L3 misses
+        charge the (possibly bandwidth-inflated, possibly NUMA-extended)
+        memory latency.  All stalls are divided by the stream's
+        memory-level parallelism — overlapping misses hide each other.
+        """
+        if mem_latency_mult < 1.0:
+            raise ValueError(f"mem_latency_mult must be >= 1, got {mem_latency_mult}")
+        caches = self.arch.caches
+        lat_mem = caches.lat_mem * mem_latency_mult + extra_mem_latency
+        per_kilo = (
+            rates.l2_hit_mpki * caches.lat_l2
+            + rates.l3_hit_mpki * caches.lat_l3
+            + rates.l3_mpki * lat_mem
+        )
+        return per_kilo / 1000.0 / stream.mlp
+
+    def long_stall_per_instruction(
+        self,
+        rates: EffectiveMissRates,
+        stream: StreamParams,
+        mem_latency_mult: float = 1.0,
+        extra_mem_latency: float = 0.0,
+    ) -> float:
+        """The L3-and-beyond part of the stall — the component during
+        which a thread's issue-queue share fills and dispatch is held
+        (short L2 round trips rarely back up the dispatcher)."""
+        caches = self.arch.caches
+        lat_mem = caches.lat_mem * mem_latency_mult + extra_mem_latency
+        per_kilo = rates.l3_hit_mpki * caches.lat_l3 + rates.l3_mpki * lat_mem
+        return per_kilo / 1000.0 / stream.mlp
+
+    def traffic_bytes_per_instruction(
+        self, rates: EffectiveMissRates, memory: MemoryBehavior
+    ) -> float:
+        """DRAM bytes moved per instruction (fills + writebacks)."""
+        return (
+            rates.l3_mpki / 1000.0 * self.arch.caches.line_bytes * memory.writeback_factor
+        )

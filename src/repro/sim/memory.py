@@ -1,0 +1,81 @@
+"""DRAM bandwidth and NUMA models.
+
+The paper's second contention mechanism (§I): "a workload stressing the
+memory system may cause memory-related stalls to become even longer and
+more frequent on an SMT processor due to increased contention for the
+memory bandwidth".  We model the memory controller as a queueing
+station: as offered traffic approaches the sustainable bandwidth, the
+effective memory latency inflates super-linearly; the chip solver
+iterates this against the core throughput model to a fixed point
+(more threads -> more traffic -> longer latency -> lower per-thread
+throughput -> less traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_fraction, check_nonnegative, check_positive
+
+#: Queueing saturation guard: utilization is clipped here so the latency
+#: multiplier stays finite; the fixed point settles below it.
+RHO_CAP = 0.96
+#: Upper bound on latency inflation (row-buffer and controller effects
+#: bound the real-world blow-up too).
+MAX_LATENCY_MULT = 10.0
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """M/M/1-flavoured latency inflation for a memory channel pool."""
+
+    capacity_gbps: float
+
+    def __post_init__(self):
+        check_positive("capacity_gbps", self.capacity_gbps)
+
+    def utilization(self, traffic_gbps: float) -> float:
+        check_nonnegative("traffic_gbps", traffic_gbps)
+        return float(traffic_gbps / self.capacity_gbps)
+
+    def latency_multiplier(self, traffic_gbps: float) -> float:
+        """Effective-latency multiplier at the given offered traffic.
+
+        DRAM controllers keep latency nearly flat until utilization
+        approaches the sustainable limit, then queueing delay blows up;
+        the cubed-utilization M/M/1 variant ``1 / (1 - rho^3)`` captures
+        that knee (flat to ~70%, steep past 85%).  A softer curve would
+        let the bandwidth fixed point settle far below capacity and
+        leave headroom that real saturated streams don't have.
+        """
+        rho = min(self.utilization(traffic_gbps), RHO_CAP)
+        return float(min(1.0 / (1.0 - rho ** 3), MAX_LATENCY_MULT))
+
+    def achievable_traffic(self, demand_gbps: float) -> float:
+        """Traffic actually served (can't exceed capacity)."""
+        check_nonnegative("demand_gbps", demand_gbps)
+        return float(min(demand_gbps, self.capacity_gbps))
+
+
+def numa_remote_fraction(n_chips: int, data_sharing: float) -> float:
+    """Fraction of memory accesses that cross the chip interconnect.
+
+    With one chip there is no remote traffic.  With ``c`` chips, shared
+    data is spread uniformly across the chips' memories, so a fraction
+    ``(c - 1) / c`` of accesses to *shared* data are remote; accesses to
+    a thread's private slice are local (first-touch placement).
+    """
+    if n_chips < 1:
+        raise ValueError(f"n_chips must be >= 1, got {n_chips}")
+    check_fraction("data_sharing", data_sharing)
+    if n_chips == 1:
+        return 0.0
+    return data_sharing * (n_chips - 1) / n_chips
+
+
+def numa_extra_latency(n_chips: int, data_sharing: float, numa_extra_cycles: float) -> float:
+    """Average extra memory latency (cycles) from cross-chip accesses."""
+    check_nonnegative("numa_extra_cycles", numa_extra_cycles)
+    return numa_remote_fraction(n_chips, data_sharing) * numa_extra_cycles

@@ -1,0 +1,99 @@
+"""Online-measurement adapter: a running application PerfStat can probe.
+
+:class:`SteadyApp` exposes a (possibly phase-changing) simulated
+application as a :class:`~repro.counters.perfstat.MeasurableApp`: each
+``advance(dt)`` returns the exact counters the hardware would have
+accumulated over ``dt`` seconds of wall time at the current phase and
+SMT level.  This is the piece that lets the perf-overhead ablation ask
+the reproduction-band question — how much sampling cost can the online
+metric absorb before its decisions degrade?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.counters.pmu import CounterSample
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.results import RunResult
+from repro.simos.sync import SyncProfile
+from repro.simos.system import SystemSpec
+from repro.sim.stream import StreamParams
+from repro.util.validation import check_positive
+from repro.workloads.phases import PhasedWorkload
+from repro.workloads.spec import WorkloadSpec
+
+
+class SteadyApp:
+    """A simulated application running at a fixed SMT level.
+
+    The steady-state solution is computed once per phase; ``advance``
+    scales the per-second counter rates by the requested interval, so
+    sampling is cheap and exactly linear in time — matching a real
+    stationary program.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        smt_level: int,
+        workload: WorkloadSpec,
+        *,
+        phases: Optional[PhasedWorkload] = None,
+        seed: int = 0,
+    ):
+        self.system = system
+        self.smt_level = system.arch.validate_smt_level(smt_level)
+        self.workload = workload
+        self.phases = phases
+        self.seed = seed
+        self.elapsed_s = 0.0
+        self.work_done = 0.0  # useful instructions completed so far
+        self._phase_name: Optional[str] = None
+        self._reference: Optional[RunResult] = None
+        self._refresh(self._current_spec())
+
+    def _current_spec(self) -> WorkloadSpec:
+        if self.phases is None:
+            return self.workload
+        return self.phases.phase_at(self.work_done).spec
+
+    def _refresh(self, spec: WorkloadSpec) -> None:
+        self._phase_name = spec.name
+        self._reference = simulate_run(
+            RunSpec(
+                system=self.system,
+                smt_level=self.smt_level,
+                stream=spec.stream,
+                sync=spec.sync,
+                seed=self.seed,
+                noise_rel=0.0,
+            )
+        )
+
+    def advance(self, wall_seconds: float) -> CounterSample:
+        """Run for ``wall_seconds``; return the exact interval counters."""
+        check_positive("wall_seconds", wall_seconds)
+        spec = self._current_spec()
+        if spec.name != self._phase_name:
+            self._refresh(spec)
+        ref = self._reference
+        scale = wall_seconds / ref.times.wall_time_s
+        events = {name: value * scale for name, value in ref.events.items()}
+        self.elapsed_s += wall_seconds
+        # Progress accumulates at the *current* phase's rate; the total
+        # is monotone, so phases advance and never flip back.
+        self.work_done += wall_seconds * ref.performance
+        return CounterSample(
+            arch=self.system.arch,
+            smt_level=self.smt_level,
+            events=events,
+            wall_time_s=wall_seconds,
+            avg_thread_cpu_s=wall_seconds
+            * (ref.times.avg_thread_cpu_s / ref.times.wall_time_s),
+            n_software_threads=ref.n_threads,
+        )
+
+    @property
+    def phase_name(self) -> Optional[str]:
+        return self._phase_name

@@ -1,0 +1,104 @@
+"""Issue-queue structures for the cycle engine.
+
+The cycle engine models the paper's Fig. 3 dispatch/issue structure
+literally: dispatch inserts decoded instructions into a queue with
+per-thread entry limits (the SMT partition), issue removes them when
+their dependences resolve and a port is free, and a full queue share is
+exactly the "dispatcher held due to lack of resources" condition that
+``PM_DISP_CLB_HELD_RES`` counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.arch.classes import InstrClass
+
+
+@dataclass
+class QueueEntry:
+    """One in-flight instruction."""
+
+    seq: int                 # per-thread program-order sequence number
+    thread: int
+    klass: InstrClass
+    port: int                # issue port index it must use
+    dep_seq: Optional[int]   # sequence number of the producer, or None
+    extra_latency: float     # cache-miss penalty attached (loads)
+    mispredict: bool         # branch that will mispredict
+    issued: bool = False
+    finish_cycle: float = field(default=float("inf"))
+
+
+class IssueQueue:
+    """A unified issue queue with per-thread occupancy limits."""
+
+    def __init__(self, n_threads: int, entries_per_thread: float):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        if entries_per_thread < 1:
+            raise ValueError(
+                f"entries_per_thread must be >= 1, got {entries_per_thread}"
+            )
+        self.limit = int(entries_per_thread)
+        self._entries: List[QueueEntry] = []
+        self._occupancy = [0] * n_threads
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def occupancy(self, thread: int) -> int:
+        return self._occupancy[thread]
+
+    def has_room(self, thread: int) -> bool:
+        return self._occupancy[thread] < self.limit
+
+    def insert(self, entry: QueueEntry) -> None:
+        if not self.has_room(entry.thread):
+            raise RuntimeError(
+                f"thread {entry.thread} queue share full ({self.limit} entries)"
+            )
+        self._entries.append(entry)
+        self._occupancy[entry.thread] += 1
+
+    def ready_for_port(
+        self, port: int, completed: Dict[int, Dict[int, float]], now: float
+    ) -> Iterator[QueueEntry]:
+        """Unissued entries routed to ``port`` whose producer has finished.
+
+        ``completed[thread][seq]`` maps finished sequence numbers to
+        their finish cycles; a dependant becomes ready the cycle after
+        its producer completes.  Yields in insertion (age) order.
+        """
+        for entry in self._entries:
+            if entry.issued or entry.port != port:
+                continue
+            if entry.dep_seq is not None:
+                finish = completed.get(entry.thread, {}).get(entry.dep_seq)
+                if finish is None or finish > now - 1:
+                    continue
+            yield entry
+
+    def has_long_latency_outstanding(self, thread: int, horizon: float, now: float) -> bool:
+        """True if ``thread`` has an issued entry still executing whose
+        attached latency is at least ``horizon`` (an L3-or-worse miss)."""
+        for entry in self._entries:
+            if (
+                entry.thread == thread
+                and entry.issued
+                and entry.extra_latency >= horizon
+                and entry.finish_cycle > now
+            ):
+                return True
+        return False
+
+    def retire_finished(self, now: float) -> List[QueueEntry]:
+        """Remove issued entries whose execution finished by ``now``."""
+        done = [e for e in self._entries if e.issued and e.finish_cycle <= now]
+        if done:
+            done_set = set(id(e) for e in done)
+            self._entries = [e for e in self._entries if id(e) not in done_set]
+            for entry in done:
+                self._occupancy[entry.thread] -= 1
+        return done

@@ -1,0 +1,102 @@
+"""Run results: everything one simulated execution produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.arch.machine import Architecture
+from repro.counters.pmu import CounterSample
+from repro.simos.timebase import TimeAccounting
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of simulating one application run at one SMT level.
+
+    ``events`` aggregates hardware counters across all contexts for the
+    whole run; ``times`` carries the wall/CPU accounting.  Performance
+    comparisons across SMT levels use :attr:`performance` (useful work
+    per second — what the benchmark's own score measures), never raw
+    IPC, which spin inflation can distort (paper §I's caveat about IPC
+    as an indicator).
+    """
+
+    arch: Architecture
+    smt_level: int
+    n_threads: int
+    n_chips: int
+    useful_instructions: float
+    times: TimeAccounting
+    events: Mapping[str, float]
+    spin_fraction: float
+    blocked_fraction: float
+    mem_latency_mult: float
+    mem_utilization: float
+    per_thread_ipc: Tuple[float, ...]
+    dispatch_held_fraction: float
+
+    def __post_init__(self):
+        if self.useful_instructions <= 0:
+            raise ValueError("useful_instructions must be > 0")
+        if not (0 <= self.spin_fraction < 1):
+            raise ValueError(f"spin_fraction out of range: {self.spin_fraction}")
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.times.wall_time_s
+
+    @property
+    def performance(self) -> float:
+        """Useful instructions per second — the figure-of-merit."""
+        return self.useful_instructions / self.times.wall_time_s
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Raw executed IPC summed across threads (includes spin work)."""
+        return float(np.sum(self.per_thread_ipc))
+
+    def counter_sample(self) -> CounterSample:
+        """The run's counters as the metric's input sample."""
+        return CounterSample(
+            arch=self.arch,
+            smt_level=self.smt_level,
+            events=dict(self.events),
+            wall_time_s=self.times.wall_time_s,
+            avg_thread_cpu_s=self.times.avg_thread_cpu_s,
+            n_software_threads=self.n_threads,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports."""
+        return {
+            "smt_level": float(self.smt_level),
+            "n_threads": float(self.n_threads),
+            "wall_time_s": self.times.wall_time_s,
+            "performance": self.performance,
+            "aggregate_ipc": self.aggregate_ipc,
+            "dispatch_held": self.dispatch_held_fraction,
+            "spin_fraction": self.spin_fraction,
+            "blocked_fraction": self.blocked_fraction,
+            "mem_utilization": self.mem_utilization,
+            "scalability_ratio": self.times.scalability_ratio,
+        }
+
+
+def speedup(new: RunResult, baseline: RunResult) -> float:
+    """Performance ratio new/baseline for the same amount of work.
+
+    Matches the paper's figures: SMT4/SMT1 speedup > 1 means the higher
+    SMT level (with proportionally more threads) completed the same
+    work faster.
+    """
+    if abs(new.useful_instructions - baseline.useful_instructions) > 1e-6 * max(
+        new.useful_instructions, baseline.useful_instructions
+    ):
+        raise ValueError(
+            "speedup requires runs over the same work: "
+            f"{new.useful_instructions} vs {baseline.useful_instructions}"
+        )
+    return new.performance / baseline.performance

@@ -1,0 +1,102 @@
+"""Per-thread instruction-stream parameters.
+
+A :class:`StreamParams` is the steady-state description of one software
+thread's dynamic instruction stream, sufficient for both simulator
+engines: the instruction mix, the exploitable instruction-level
+parallelism, memory behaviour (reference miss rates plus how they scale
+under cache sharing), branch behaviour, and memory-level parallelism.
+
+Workload models (:mod:`repro.workloads`) produce these; the simulator
+consumes them.  Keeping the boundary at "stream parameters" is what
+lets the same engines run paper benchmarks, synthetic property-test
+workloads and user-defined applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.arch.classes import Mix
+from repro.util.validation import check_fraction, check_nonnegative, check_positive
+
+#: Reference geometry at which workload MPKIs are specified: one thread
+#: owning a full POWER7 private L1/L2 and a 1/8 share of its 32 MB L3.
+REF_L1_KB = 32.0
+REF_L2_KB = 256.0
+REF_L3_MB_PER_THREAD = 4.0
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Cache/memory behaviour of a thread's stream.
+
+    Miss rates are given as misses per kilo-instruction (MPKI) at the
+    reference geometry above; :mod:`repro.sim.cache` rescales them for
+    the actual cache share a thread gets on a given machine at a given
+    SMT level using a power law with exponent ``locality_alpha``:
+
+    * ``locality_alpha = 0`` — compulsory/streaming misses, insensitive
+      to cache size (STREAM);
+    * large ``locality_alpha`` — strong reuse that thrashes when the
+      per-thread share shrinks (blocked array codes).
+
+    ``data_sharing`` in [0, 1] says how much of the footprint is shared
+    between threads (1 = all threads walk the same data, so co-running
+    threads add no cache pressure; 0 = disjoint slices).
+    """
+
+    l1_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+    locality_alpha: float
+    data_sharing: float
+    writeback_factor: float = 1.3  # DRAM traffic per miss, incl. writebacks
+
+    def __post_init__(self):
+        check_nonnegative("l1_mpki", self.l1_mpki)
+        check_nonnegative("l2_mpki", self.l2_mpki)
+        check_nonnegative("l3_mpki", self.l3_mpki)
+        if not (self.l1_mpki >= self.l2_mpki >= self.l3_mpki):
+            raise ValueError(
+                "reference MPKIs must be monotone (global rates): "
+                f"L1={self.l1_mpki} >= L2={self.l2_mpki} >= L3={self.l3_mpki} violated"
+            )
+        check_nonnegative("locality_alpha", self.locality_alpha)
+        check_fraction("data_sharing", self.data_sharing)
+        if self.writeback_factor < 1.0:
+            raise ValueError(f"writeback_factor must be >= 1, got {self.writeback_factor}")
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Steady-state description of one thread's instruction stream."""
+
+    mix: Mix
+    ilp: float                     # exploitable instructions/cycle with a full window
+    memory: MemoryBehavior
+    branch_mispredict_rate: float  # mispredicts per branch instruction
+    mlp: float = 2.0               # overlapping outstanding misses
+
+    def __post_init__(self):
+        check_positive("ilp", self.ilp)
+        if self.ilp > 8.0:
+            raise ValueError(f"ilp {self.ilp} is implausible (> 8)")
+        check_fraction("branch_mispredict_rate", self.branch_mispredict_rate)
+        check_positive("mlp", self.mlp)
+
+    def with_mix(self, mix: Mix) -> "StreamParams":
+        """Copy with a different mix (spin-loop blending)."""
+        return replace(self, mix=mix)
+
+    def scaled_misses(self, factor: float) -> "StreamParams":
+        """Copy with all reference MPKIs multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"miss scale factor must be >= 0, got {factor}")
+        mem = replace(
+            self.memory,
+            l1_mpki=self.memory.l1_mpki * factor,
+            l2_mpki=self.memory.l2_mpki * factor,
+            l3_mpki=self.memory.l3_mpki * factor,
+        )
+        return replace(self, memory=mem)

@@ -1,0 +1,114 @@
+"""Pipeline tracing for the cycle engine.
+
+A :class:`PipelineTracer` records dispatch/issue/complete events (plus
+dispatch-held cycles) from a :class:`~repro.sim.cycle_core.CycleCore`
+window and renders them as a compact per-instruction timeline — the
+classic textbook pipeline diagram, useful for understanding *why* a
+workload's dispatch is held or a port saturates.
+
+::
+
+    seq thread klass  port  D----I=======C
+    0   T0     FX     FX    2    3       4
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.classes import InstrClass
+from repro.sim.queues import QueueEntry
+from repro.util.tables import format_table
+
+
+@dataclass
+class TracedInstruction:
+    """Lifecycle of one instruction through the pipeline."""
+
+    seq: int
+    thread: int
+    klass: InstrClass
+    port: int
+    dispatch_cycle: Optional[int] = None
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[float] = None
+
+    @property
+    def queue_latency(self) -> Optional[int]:
+        """Cycles spent waiting in the issue queue."""
+        if self.dispatch_cycle is None or self.issue_cycle is None:
+            return None
+        return self.issue_cycle - self.dispatch_cycle
+
+
+class PipelineTracer:
+    """Collects pipeline events; plug into ``CycleCore(tracer=...)``.
+
+    ``max_instructions`` bounds memory: tracing is for short windows.
+    """
+
+    def __init__(self, max_instructions: int = 10_000):
+        if max_instructions < 1:
+            raise ValueError(f"max_instructions must be >= 1, got {max_instructions}")
+        self.max_instructions = int(max_instructions)
+        self._records: Dict[Tuple[int, int], TracedInstruction] = {}
+        self.held_cycles: List[int] = []
+        self.dropped = 0
+
+    # -- hook points called by the cycle engine -------------------------
+    def on_dispatch(self, entry: QueueEntry, cycle: int) -> None:
+        key = (entry.thread, entry.seq)
+        if len(self._records) >= self.max_instructions:
+            self.dropped += 1
+            return
+        self._records[key] = TracedInstruction(
+            seq=entry.seq, thread=entry.thread, klass=entry.klass,
+            port=entry.port, dispatch_cycle=cycle,
+        )
+
+    def on_issue(self, entry: QueueEntry, cycle: int) -> None:
+        record = self._records.get((entry.thread, entry.seq))
+        if record is not None:
+            record.issue_cycle = cycle
+
+    def on_retire(self, entry: QueueEntry, cycle: int) -> None:
+        record = self._records.get((entry.thread, entry.seq))
+        if record is not None:
+            record.complete_cycle = entry.finish_cycle
+
+    def on_dispatch_held(self, cycle: int) -> None:
+        self.held_cycles.append(cycle)
+
+    # -- analysis --------------------------------------------------------
+    def instructions(self) -> List[TracedInstruction]:
+        return sorted(self._records.values(), key=lambda r: (r.dispatch_cycle, r.thread))
+
+    def completed(self) -> List[TracedInstruction]:
+        return [r for r in self.instructions() if r.complete_cycle is not None]
+
+    def mean_queue_latency(self) -> float:
+        waits = [r.queue_latency for r in self.instructions()
+                 if r.queue_latency is not None]
+        if not waits:
+            raise ValueError("no issued instructions traced")
+        return sum(waits) / len(waits)
+
+    def render(self, port_names: Tuple[str, ...], *, limit: int = 40) -> str:
+        """The trace as a table, newest-dispatch-first capped at ``limit``."""
+        rows = []
+        for r in self.instructions()[:limit]:
+            rows.append([
+                r.seq, f"T{r.thread}", r.klass.name, port_names[r.port],
+                r.dispatch_cycle, r.issue_cycle,
+                None if r.complete_cycle is None else round(r.complete_cycle, 1),
+                r.queue_latency,
+            ])
+        return format_table(
+            ["seq", "thread", "class", "port", "dispatch", "issue",
+             "complete", "queue wait"],
+            rows,
+            title=f"pipeline trace ({len(self._records)} instructions, "
+                  f"{len(self.held_cycles)} held cycles)",
+        )

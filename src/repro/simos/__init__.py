@@ -1,0 +1,32 @@
+"""Operating-system substrate.
+
+Models the OS-level mechanisms the paper's metric depends on:
+
+* thread placement onto chips/cores/hardware contexts
+  (:mod:`repro.simos.scheduler`);
+* synchronization behaviour — spin locks that burn branch-heavy cycles,
+  blocking locks and I/O that put threads to sleep, and Amdahl serial
+  sections (:mod:`repro.simos.sync`);
+* wall-clock vs per-thread CPU time accounting, the source of the
+  SMTsm's third factor (:mod:`repro.simos.timebase`);
+* runtime SMT-level switching a la AIX ``smtctl``
+  (:mod:`repro.simos.smtctl`).
+"""
+
+from repro.simos.system import SystemSpec
+from repro.simos.sync import SyncProfile, NO_SYNC
+from repro.simos.scheduler import Placement, place_threads
+from repro.simos.timebase import TimeAccounting, account_run
+from repro.simos.smtctl import SmtController, SmtSwitchRecord
+
+__all__ = [
+    "SystemSpec",
+    "SyncProfile",
+    "NO_SYNC",
+    "Placement",
+    "place_threads",
+    "TimeAccounting",
+    "account_run",
+    "SmtController",
+    "SmtSwitchRecord",
+]

@@ -1,0 +1,126 @@
+"""A batch job queue with per-job SMT policy (paper §V).
+
+"The SMT-selection metric can be used by operating systems to guide
+scheduling decisions."  The simplest such integration is a batch
+system: jobs run one at a time on the whole machine, and the scheduler
+picks each job's SMT level.  Policies:
+
+* ``static-<L>`` — every job at level L (static-max is the realistic
+  default: that is how SMT systems ship);
+* ``oracle`` — each job at its truly best level (requires running every
+  level: offline-exhaustive, the upper bound);
+* ``smtsm`` — run each job at the top level for a short measurement
+  window, read the metric, then run the remainder at the recommended
+  level (the paper's proposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metric import smtsm_from_run
+from repro.core.predictor import SmtPredictor
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos.system import SystemSpec
+from repro.util.validation import check_fraction, check_positive
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One queued application."""
+
+    spec: WorkloadSpec
+    work: float
+
+    def __post_init__(self):
+        check_positive("work", self.work)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """How one job was executed."""
+
+    name: str
+    level: int
+    wall_time_s: float
+    measured_metric: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    policy: str
+    records: Tuple[JobRecord, ...]
+
+    @property
+    def makespan_s(self) -> float:
+        return sum(r.wall_time_s for r in self.records)
+
+
+class BatchScheduler:
+    """Runs a job queue under a chosen SMT policy."""
+
+    def __init__(self, system: SystemSpec, *, seed: int = 0,
+                 probe_fraction: float = 0.1,
+                 switch_cost_s: float = 0.005):
+        self.system = system
+        self.seed = seed
+        self.probe_fraction = check_fraction("probe_fraction", probe_fraction)
+        if not (0.0 < probe_fraction < 1.0):
+            raise ValueError("probe_fraction must be in (0, 1)")
+        self.switch_cost_s = switch_cost_s
+
+    def _run(self, job: BatchJob, level: int, work: float, tag: str):
+        return simulate_run(
+            RunSpec(
+                system=self.system,
+                smt_level=level,
+                stream=job.spec.stream,
+                sync=job.spec.sync,
+                useful_instructions=work,
+                seed=self.seed + (hash((job.spec.name, tag)) % 10_000),
+            )
+        )
+
+    def run_static(self, jobs: Sequence[BatchJob], level: int) -> BatchOutcome:
+        self.system.arch.validate_smt_level(level)
+        records = [
+            JobRecord(job.spec.name, level,
+                      self._run(job, level, job.work, f"static{level}").wall_time_s)
+            for job in jobs
+        ]
+        return BatchOutcome(policy=f"static-{level}", records=tuple(records))
+
+    def run_oracle(self, jobs: Sequence[BatchJob]) -> BatchOutcome:
+        """Each job at its genuinely best level (exhaustive search)."""
+        records = []
+        for job in jobs:
+            best = min(
+                (self._run(job, level, job.work, f"oracle{level}")
+                 for level in self.system.arch.smt_levels),
+                key=lambda r: r.wall_time_s,
+            )
+            records.append(JobRecord(job.spec.name, best.smt_level, best.wall_time_s))
+        return BatchOutcome(policy="oracle", records=tuple(records))
+
+    def run_smtsm(self, jobs: Sequence[BatchJob],
+                  predictors: Dict[int, SmtPredictor]) -> BatchOutcome:
+        """Probe at the top level, then follow the metric."""
+        max_level = self.system.arch.max_smt
+        records = []
+        for job in jobs:
+            probe_work = job.work * self.probe_fraction
+            probe = self._run(job, max_level, probe_work, "probe")
+            metric = smtsm_from_run(probe)
+            level = max_level
+            for low in sorted(predictors):
+                if not predictors[low].predicts_higher(metric.value):
+                    level = low
+                    break
+            wall = probe.wall_time_s
+            if level != max_level:
+                wall += self.switch_cost_s
+            wall += self._run(job, level, job.work - probe_work, "rest").wall_time_s
+            records.append(JobRecord(job.spec.name, level, wall, metric.value))
+        return BatchOutcome(policy="smtsm", records=tuple(records))

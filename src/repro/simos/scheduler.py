@@ -1,0 +1,93 @@
+"""Thread placement onto chips, cores and hardware contexts.
+
+The dispatcher spreads runnable software threads breadth-first: across
+chips, then across cores, then onto SMT contexts — the policy AIX and
+Linux both approximate, and the one that makes "one thread per core"
+behave like SMT1 even when a higher SMT level is enabled (the paper's
+Nehalem protocol, §III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.simos.system import SystemSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Result of placing ``n_threads`` at a given SMT level."""
+
+    system: SystemSpec
+    smt_level: int
+    n_threads: int
+    threads_per_core: Tuple[int, ...]    # one entry per core, chip-major order
+    assignment: Tuple[int, ...] = ()     # thread index -> core index
+
+    @property
+    def occupied_cores(self) -> int:
+        return sum(1 for t in self.threads_per_core if t > 0)
+
+    def threads_on_core(self, core: int) -> Tuple[int, ...]:
+        """Thread indices placed on ``core``, in placement order."""
+        return tuple(t for t, c in enumerate(self.assignment) if c == core)
+
+    def core_modes(self) -> Tuple[int, ...]:
+        """Effective hardware SMT mode of each occupied core."""
+        arch = self.system.arch
+        return tuple(
+            arch.effective_smt_mode(t) for t in self.threads_per_core if t > 0
+        )
+
+    def threads_per_chip(self) -> Tuple[int, ...]:
+        per_chip = []
+        cores = self.system.arch.cores_per_chip
+        for chip in range(self.system.n_chips):
+            per_chip.append(sum(self.threads_per_core[chip * cores:(chip + 1) * cores]))
+        return tuple(per_chip)
+
+
+def place_threads(system: SystemSpec, smt_level: int, n_threads: int) -> Placement:
+    """Breadth-first placement of ``n_threads`` with SMT level enabled.
+
+    Raises if the threads exceed the available contexts — the paper's
+    protocol never oversubscribes, and modelling run-queue time is out
+    of scope.
+    """
+    system.arch.validate_smt_level(smt_level)
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    capacity = system.contexts_at(smt_level)
+    if n_threads > capacity:
+        raise ValueError(
+            f"{n_threads} threads exceed {capacity} contexts "
+            f"({system.total_cores} cores at SMT{smt_level})"
+        )
+    counts = [0] * system.total_cores
+    # Breadth-first: round-robin chips, within a chip round-robin cores.
+    cores = system.arch.cores_per_chip
+    order: List[int] = []
+    for core_idx in range(cores):
+        for chip in range(system.n_chips):
+            order.append(chip * cores + core_idx)
+    slot = 0
+    assignment: List[int] = []
+    for _ in range(n_threads):
+        # Find the next core (in breadth-first order) with a free context.
+        for probe in range(len(order)):
+            core = order[(slot + probe) % len(order)]
+            if counts[core] < smt_level:
+                counts[core] += 1
+                assignment.append(core)
+                slot = (slot + probe + 1) % len(order)
+                break
+        else:  # pragma: no cover - capacity check above makes this unreachable
+            raise AssertionError("placement overflow despite capacity check")
+    return Placement(
+        system=system,
+        smt_level=smt_level,
+        n_threads=n_threads,
+        threads_per_core=tuple(counts),
+        assignment=tuple(assignment),
+    )

@@ -1,0 +1,80 @@
+"""Runtime SMT-level control, after AIX's ``smtctl``.
+
+"The SMT levels on POWER7 can be changed without rebooting the system
+by running the smtctl command with privileged access" (paper §III-A).
+The controller tracks the current level, enforces the architecture's
+supported levels, and charges a switch cost — draining and re-placing
+threads is not free, which matters to the online optimizer's decision
+cadence (paper §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.machine import Architecture
+from repro.util.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class SmtSwitchRecord:
+    """One executed SMT-level switch."""
+
+    at_time_s: float
+    from_level: int
+    to_level: int
+    cost_s: float
+
+
+class SmtController:
+    """Tracks and changes the system SMT level at run time."""
+
+    def __init__(
+        self,
+        arch: Architecture,
+        initial_level: Optional[int] = None,
+        switch_cost_s: float = 0.005,
+        allow_online_switch: bool = True,
+    ):
+        self.arch = arch
+        self.switch_cost_s = check_nonnegative("switch_cost_s", switch_cost_s)
+        # Paper §IV-B: "in all SMT-capable processors, the highest
+        # SMT-level is always used as the default".
+        self._level = arch.validate_smt_level(
+            arch.max_smt if initial_level is None else initial_level
+        )
+        self.allow_online_switch = bool(allow_online_switch)
+        self.history: List[SmtSwitchRecord] = []
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def switch(self, new_level: int, at_time_s: float = 0.0) -> SmtSwitchRecord:
+        """Change the SMT level, returning the switch record.
+
+        Raises if online switching is disabled (the paper's Nehalem
+        system required a BIOS change and reboot; SMT1 there is
+        *simulated* by running one thread per core instead).
+        """
+        self.arch.validate_smt_level(new_level)
+        if not self.allow_online_switch:
+            raise RuntimeError(
+                f"{self.arch.name} does not support online SMT switching; "
+                "use one software thread per core to approximate lower levels"
+            )
+        if new_level == self._level:
+            record = SmtSwitchRecord(at_time_s, self._level, new_level, 0.0)
+        else:
+            record = SmtSwitchRecord(at_time_s, self._level, new_level, self.switch_cost_s)
+            self._level = new_level
+        self.history.append(record)
+        return record
+
+    @property
+    def total_switch_cost_s(self) -> float:
+        return sum(r.cost_s for r in self.history)
+
+    def n_switches(self) -> int:
+        return sum(1 for r in self.history if r.from_level != r.to_level)

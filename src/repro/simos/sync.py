@@ -1,0 +1,156 @@
+"""Synchronization and scalability behaviour.
+
+A workload's software-scalability profile determines how it responds to
+the extra threads that come with a higher SMT level.  Three mechanisms,
+each visible to the SMTsm through a different channel (paper §II):
+
+* **spin waiting** — threads burn CPU in lock loops.  Spin time keeps
+  CPU-time accounting "busy" (so the wall/CPU factor does NOT see it)
+  but replaces application instructions with the branch-heavy spin-loop
+  mix, raising the metric's mix-deviation factor;
+* **blocking waits** (mutexes, condition variables, I/O) — threads
+  sleep, so per-thread CPU time drops below wall time, raising the
+  wall/CPU scalability factor;
+* **serial sections** — Amdahl's law; only one thread runs, the rest
+  sleep, again lowering average CPU time.
+
+Contention laws: both spin and blocked fractions grow with the number
+of contending threads along a saturating curve
+``coeff * (n - 1) / (n - 1 + half)`` — doubling threads on a contended
+lock roughly doubles wait time at first, then saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive
+
+#: Never let spin+block consume everything: forward progress exists.
+MAX_WAIT_FRACTION = 0.95
+
+
+def _saturating(n_threads: int, coeff: float, half: float) -> float:
+    if n_threads <= 1:
+        return 0.0
+    return coeff * (n_threads - 1) / (n_threads - 1 + half)
+
+
+@dataclass(frozen=True)
+class SyncProfile:
+    """Scalability parameters of a workload.
+
+    ``spin_coeff``/``block_coeff`` are the asymptotic fraction of
+    parallel-phase time spent spinning/blocked as the thread count grows
+    without bound; the ``*_half`` constants set how many *additional*
+    threads reach half of that asymptote.  ``io_wait`` is a
+    thread-count-independent sleeping fraction (device/network time).
+    ``serial_fraction`` is the Amdahl serial share of total work.
+
+    **Contended critical sections** are modelled structurally rather
+    than as a fixed fraction: ``lock_serial_fraction`` is the share of
+    useful work executed while holding a contended lock.  Since at most
+    one thread is inside the critical section, useful throughput cannot
+    exceed the lock holder's single-thread execution rate divided by
+    that fraction — and the lock holder runs at the *current SMT
+    level's* per-thread speed, which is how running the lock holder
+    slower at SMT4 makes every waiter spin longer (the engine derives
+    the spin fraction from this cap; see
+    :meth:`lock_throughput_cap`).  ``lock_pingpong_coeff`` adds
+    cache-line ping-pong degradation of the critical section as the
+    contender count grows.
+
+    ``work_inflation_coeff`` models parallel overhead: the total
+    instructions executed per unit of useful work grows with the thread
+    count (extra queue management, redundant work, synchronization
+    bookkeeping).
+    """
+
+    serial_fraction: float = 0.0
+    spin_coeff: float = 0.0
+    spin_half: float = 8.0
+    block_coeff: float = 0.0
+    block_half: float = 8.0
+    io_wait: float = 0.0
+    lock_serial_fraction: float = 0.0
+    lock_pingpong_coeff: float = 0.0
+    lock_pingpong_half: float = 8.0
+    work_inflation_coeff: float = 0.0
+    work_inflation_half: float = 16.0
+
+    def __post_init__(self):
+        check_fraction("serial_fraction", self.serial_fraction)
+        check_fraction("spin_coeff", self.spin_coeff)
+        check_fraction("block_coeff", self.block_coeff)
+        check_fraction("io_wait", self.io_wait)
+        check_positive("spin_half", self.spin_half)
+        check_positive("block_half", self.block_half)
+        check_fraction("lock_serial_fraction", self.lock_serial_fraction)
+        if self.lock_pingpong_coeff < 0:
+            raise ValueError(
+                f"lock_pingpong_coeff must be >= 0, got {self.lock_pingpong_coeff}"
+            )
+        check_positive("lock_pingpong_half", self.lock_pingpong_half)
+        if self.work_inflation_coeff < 0:
+            raise ValueError(
+                f"work_inflation_coeff must be >= 0, got {self.work_inflation_coeff}"
+            )
+        check_positive("work_inflation_half", self.work_inflation_half)
+        if self.serial_fraction > 0.9:
+            raise ValueError(
+                f"serial_fraction {self.serial_fraction} leaves no parallel phase to model"
+            )
+
+    def spin_fraction(self, n_threads: int) -> float:
+        """Fraction of a running thread's parallel-phase cycles spent spinning."""
+        self._check_n(n_threads)
+        return _saturating(n_threads, self.spin_coeff, self.spin_half)
+
+    def blocked_fraction(self, n_threads: int) -> float:
+        """Fraction of parallel-phase wall time a thread spends asleep
+        (lock blocking + I/O), capped to keep progress possible."""
+        self._check_n(n_threads)
+        waiting = _saturating(n_threads, self.block_coeff, self.block_half) + self.io_wait
+        return min(waiting, MAX_WAIT_FRACTION)
+
+    def runnable_fraction(self, n_threads: int) -> float:
+        """Fraction of parallel-phase wall time a thread is on-CPU."""
+        return 1.0 - self.blocked_fraction(n_threads)
+
+    def lock_throughput_cap(self, single_thread_rate: float, n_threads: int) -> float:
+        """Upper bound on useful throughput from the contended lock.
+
+        ``single_thread_rate`` is the lock holder's execution rate
+        (useful instructions/s) at the current SMT level.  Returns
+        ``inf`` when the workload has no contended critical section.
+        """
+        check_positive("single_thread_rate", single_thread_rate)
+        self._check_n(n_threads)
+        if self.lock_serial_fraction <= 0.0:
+            return float("inf")
+        # Ping-pong: the critical section slows as contenders bounce the
+        # lock line; saturates at (1 + coeff).
+        pingpong = 1.0 + _saturating(
+            n_threads, self.lock_pingpong_coeff, self.lock_pingpong_half
+        )
+        cs_rate = single_thread_rate / pingpong
+        return cs_rate / self.lock_serial_fraction
+
+    def work_inflation(self, n_threads: int) -> float:
+        """Executed-instructions multiplier per unit of useful work.
+
+        Grows from 1 (single thread) and saturates at ``1 + coeff``.
+        """
+        self._check_n(n_threads)
+        return 1.0 + _saturating(
+            n_threads, self.work_inflation_coeff, self.work_inflation_half
+        )
+
+    @staticmethod
+    def _check_n(n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+
+
+#: A perfectly scalable workload (EP-style).
+NO_SYNC = SyncProfile()

@@ -1,0 +1,47 @@
+"""System specification: an architecture instance plus chip count."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import Architecture
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A machine as the OS sees it: chips x cores x SMT contexts.
+
+    The paper's three configurations map to::
+
+        SystemSpec(power7(), n_chips=1)   # 8-core POWER7 (Figs. 6-9)
+        SystemSpec(power7(), n_chips=2)   # 16-core POWER7 (Figs. 13-15)
+        SystemSpec(nehalem(), n_chips=1)  # quad-core Core i7 (Figs. 10, 12)
+    """
+
+    arch: Architecture
+    n_chips: int = 1
+
+    def __post_init__(self):
+        if self.n_chips < 1:
+            raise ValueError(f"n_chips must be >= 1, got {self.n_chips}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.arch.cores_per_chip * self.n_chips
+
+    def contexts_at(self, smt_level: int) -> int:
+        """Hardware contexts available system-wide at ``smt_level``.
+
+        This is also the software thread count the paper's protocol
+        uses: "the number of software threads used is chosen to be the
+        same as the number of available hardware threads" (§IV).
+        """
+        self.arch.validate_smt_level(smt_level)
+        return self.total_cores * smt_level
+
+    def mem_bandwidth_gbps(self) -> float:
+        """Pooled DRAM bandwidth across chips."""
+        return self.arch.caches.mem_bandwidth_gbps * self.n_chips
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SystemSpec({self.arch.name}, chips={self.n_chips}, cores={self.total_cores})"

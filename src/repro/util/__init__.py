@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG plumbing, validation, ASCII tables."""
+
+from repro.util.rng import RngStream, spawn_rng
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_nonnegative,
+)
+from repro.util.tables import format_table, format_series
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "check_nonnegative",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,67 @@
+"""ASCII report formatting used by the experiment harness.
+
+The benchmark harness must *print the same rows/series the paper
+reports*; these helpers render aligned tables and (x, y) series without
+pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt_cell(value: Cell, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_fmt: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[_fmt_cell(c, float_fmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Mapping[str, tuple],
+    *,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    float_fmt: str = ".4f",
+) -> str:
+    """Render a labelled scatter series (one row per labelled point)."""
+    rows = [[label, float(x), float(y)] for label, (x, y) in points.items()]
+    rows.sort(key=lambda r: r[1])
+    return format_table(["label", xlabel, ylabel], rows, float_fmt=float_fmt, title=name)

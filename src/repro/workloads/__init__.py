@@ -1,0 +1,44 @@
+"""Workload models: the paper's Table I benchmark catalog.
+
+Each benchmark is a parameterized instruction-stream + scalability
+model (:class:`WorkloadSpec`).  Parameters are calibrated from the
+paper's own evidence — Table I descriptions ("lock heavy", "heavy I/O",
+streaming), Fig. 7's instruction mixes and speedup ladder, Fig. 1's
+SMT1-vs-SMT4 bars, and §IV-A's Streamcluster characterization (40%
+loads, 8 L3 MPKI on Nehalem) — plus the general character of each suite
+(SPEC OMP2001 = FP array codes, NAS = HPC kernels, PARSEC = emerging
+multithreaded apps, SPECjbb/DayTrader = commercial Java/web).
+"""
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.phases import Phase, PhasedWorkload
+from repro.workloads.synthetic import (
+    make_stream,
+    spin_bound_workload,
+    bandwidth_bound_workload,
+    compute_bound_workload,
+    random_workload,
+)
+from repro.workloads.catalog import (
+    get_workload,
+    power7_catalog,
+    nehalem_catalog,
+    all_workloads,
+    TABLE1_ROWS,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "Phase",
+    "PhasedWorkload",
+    "make_stream",
+    "spin_bound_workload",
+    "bandwidth_bound_workload",
+    "compute_bound_workload",
+    "random_workload",
+    "get_workload",
+    "power7_catalog",
+    "nehalem_catalog",
+    "all_workloads",
+    "TABLE1_ROWS",
+]

@@ -1,0 +1,87 @@
+"""The assembled Table I catalog and the per-figure benchmark sets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.commercial import commercial_workloads
+from repro.workloads.nas import nas_workloads
+from repro.workloads.parsec import parsec_workloads
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.specomp import specomp_workloads
+
+
+def all_workloads() -> Dict[str, WorkloadSpec]:
+    """Every modelled benchmark, by name."""
+    specs: Dict[str, WorkloadSpec] = {}
+    for source in (nas_workloads, parsec_workloads, specomp_workloads,
+                   commercial_workloads):
+        for name, spec in source().items():
+            if name in specs:
+                raise RuntimeError(f"duplicate workload name {name!r}")
+            specs[name] = spec
+    return specs
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return all_workloads()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(all_workloads())}"
+        ) from None
+
+
+#: The 28 benchmarks of the AIX/POWER7 experiments (Figs. 6-9, 13-15).
+POWER7_SET: Tuple[str, ...] = (
+    # SPEC OMP2001
+    "Ammp", "Applu", "Apsi", "Equake", "Fma3d", "Gafort", "Mgrid", "Swim",
+    "Wupwise",
+    # PARSEC (the AIX-buildable subset)
+    "Blackscholes", "Dedup", "Fluidanimate", "Streamcluster",
+    # NAS OpenMP + MPI
+    "BT", "EP", "IS", "MG",
+    "CG_MPI", "EP_MPI", "FT_MPI", "IS_MPI", "LU_MPI", "MG_MPI",
+    # Synthetic / graph / commercial
+    "SSCA2", "Stream", "SPECjbb", "SPECjbb_contention", "Daytrader",
+)
+
+#: The Linux/Core i7 SMT2-measurement set (Fig. 10): 21 benchmarks.
+NEHALEM_SET: Tuple[str, ...] = (
+    "blackscholes_pthreads", "bodytrack", "bodytrack_pthreads", "BT",
+    "CG", "Dedup", "EP", "facesim", "ferret", "Fluidanimate",
+    "freqmine", "FT", "LU", "raytrace", "SP", "Streamcluster", "swaptions",
+    "UA", "vips", "SSCA2", "x264",
+)
+
+#: The Linux/Core i7 SMT1-measurement set (Fig. 12): adds canneal,
+#: drops the entries absent from that figure.
+NEHALEM_SMT1_SET: Tuple[str, ...] = (
+    "bodytrack", "bodytrack_pthreads", "BT", "canneal", "CG", "Dedup",
+    "EP", "facesim", "Fluidanimate", "freqmine", "FT", "LU", "raytrace",
+    "SP", "Streamcluster", "swaptions", "UA",
+)
+
+
+def power7_catalog() -> Dict[str, WorkloadSpec]:
+    specs = all_workloads()
+    return {name: specs[name] for name in POWER7_SET}
+
+
+def nehalem_catalog() -> Dict[str, WorkloadSpec]:
+    specs = all_workloads()
+    return {name: specs[name] for name in NEHALEM_SET}
+
+
+def table1_rows() -> List[Tuple[str, str, str, str]]:
+    """(label, suite, problem size, description) rows of Table I."""
+    specs = all_workloads()
+    rows = []
+    for name in sorted(specs):
+        s = specs[name]
+        rows.append((s.name, s.suite, s.problem_size, s.description))
+    return rows
+
+
+#: Static alias used by the Table I bench.
+TABLE1_ROWS = table1_rows

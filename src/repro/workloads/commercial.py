@@ -1,0 +1,97 @@
+"""Commercial and synthetic server benchmarks (Table I).
+
+SPECjbb2005, the paper's custom SPECjbb05-contention variant (all
+worker threads on a single warehouse — heavy lock contention),
+DayTrader (WebSphere trading app, web front-end, heavy network I/O),
+STREAM (memory bandwidth) and SSCA2 (graph analysis, lock heavy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simos.sync import SyncProfile
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import make_stream
+
+
+def commercial_workloads() -> Dict[str, WorkloadSpec]:
+    specs = {}
+
+    # SPECjbb2005: server-side Java — branchy integer/pointer code,
+    # per-warehouse data (little contention), moderate GC pauses.
+    specs["SPECjbb"] = WorkloadSpec(
+        name="SPECjbb", suite="SPECjbb2005",
+        problem_size="No. warehouses = No. hw threads",
+        description="Server-side Java performance; 3-tier system in a JVM",
+        stream=make_stream(loads=0.27, stores=0.12, branches=0.17, fx=0.38, vs=0.06,
+                           ilp=1.3, l1_mpki=16, l2_mpki=6, l3_mpki=0.8,
+                           locality_alpha=0.8, data_sharing=0.2, mlp=2.2,
+                           branch_mispredict_rate=0.025),
+        sync=SyncProfile(serial_fraction=0.01, block_coeff=0.10, block_half=16,
+                         work_inflation_coeff=0.08),
+        tags=("java", "commercial"),
+    )
+
+    # SPECjbb05-contention: all workers on ONE warehouse.  The paper's
+    # most SMT4-hostile point (Fig. 7: 0.25): a single contended lock
+    # whose holder slows down at SMT4, plus lock-line ping-pong.
+    specs["SPECjbb_contention"] = WorkloadSpec(
+        name="SPECjbb_contention", suite="custom",
+        problem_size="No. warehouses = 1",
+        description="Modified SPECjbb with a single warehouse. Heavy lock contention",
+        stream=make_stream(loads=0.28, stores=0.12, branches=0.18, fx=0.37, vs=0.05,
+                           ilp=1.3, l1_mpki=12, l2_mpki=4, l3_mpki=0.8,
+                           locality_alpha=1.3, data_sharing=0.3, mlp=2.2,
+                           branch_mispredict_rate=0.02),
+        sync=SyncProfile(lock_serial_fraction=0.55, lock_pingpong_coeff=1.6,
+                         lock_pingpong_half=10, block_coeff=0.25, block_half=8),
+        tags=("java", "locks"),
+    )
+
+    # DayTrader: WebSphere web front-end under 500 simulated clients —
+    # lots of network waits, branchy Java, scalable request parallelism.
+    specs["Daytrader"] = WorkloadSpec(
+        name="Daytrader", suite="WebSphere",
+        problem_size="500 clients",
+        description="WebSphere trading platform simulation. Web front-end only. "
+                    "Heavy network I/O",
+        stream=make_stream(loads=0.26, stores=0.12, branches=0.18, fx=0.36, vs=0.08,
+                           ilp=1.2, l1_mpki=18, l2_mpki=7, l3_mpki=0.7,
+                           locality_alpha=0.5, data_sharing=0.25, mlp=2.5,
+                           branch_mispredict_rate=0.025),
+        sync=SyncProfile(io_wait=0.25, block_coeff=0.12, block_half=16,
+                         work_inflation_coeff=0.06),
+        tags=("java", "io", "commercial"),
+    )
+
+    # STREAM: pure bandwidth — compulsory misses, hardware prefetchers
+    # give high MLP, DRAM saturated already at SMT1 on 8 cores.
+    specs["Stream"] = WorkloadSpec(
+        name="Stream", suite="synthetic",
+        problem_size="4578 MB x 1000 iterations",
+        description="Streaming memory bandwidth benchmark",
+        stream=make_stream(loads=0.33, stores=0.19, branches=0.04, fx=0.12, vs=0.32,
+                           ilp=2.8, l1_mpki=48, l2_mpki=46, l3_mpki=44,
+                           locality_alpha=0.12, data_sharing=0.0, mlp=10.0,
+                           branch_mispredict_rate=0.002),
+        sync=SyncProfile(block_coeff=0.10, block_half=8),
+        tags=("bandwidth", "synthetic"),
+    )
+
+    # SSCA2: graph analysis with atomic/lock-protected updates to a
+    # shared multigraph — "integer operations, large memory footprint,
+    # irregular access" + "lock heavy" (Table I).
+    specs["SSCA2"] = WorkloadSpec(
+        name="SSCA2", suite="SSCA",
+        problem_size="SCALE=17, 2^17 vertices",
+        description="Graph analysis benchmark. Lock heavy",
+        stream=make_stream(loads=0.30, stores=0.10, branches=0.16, fx=0.40, vs=0.04,
+                           ilp=1.2, l1_mpki=16, l2_mpki=6, l3_mpki=1.3,
+                           locality_alpha=1.2, data_sharing=0.5, mlp=2.0,
+                           branch_mispredict_rate=0.025),
+        sync=SyncProfile(lock_serial_fraction=0.06, lock_pingpong_coeff=0.30,
+                         lock_pingpong_half=12, block_coeff=0.06),
+        tags=("graph", "locks"),
+    )
+    return specs

@@ -1,0 +1,241 @@
+"""NAS Parallel Benchmarks (Table I: IS, BT, LU, CG, FT, MG, EP).
+
+OpenMP variants model shared-heap threads (high data sharing, some
+barrier/serial overhead); ``*_MPI`` variants model one process per
+context (disjoint address spaces — ``data_sharing = 0`` — and a little
+messaging overhead as work inflation).
+
+Stream parameters follow the kernels' published characters: EP is pure
+scalable compute with a tiny footprint; IS is an integer bucket sort
+with random access and key exchanges; CG is sparse-matrix
+latency-bound indirection; MG and FT stream large arrays; BT/LU are
+dense FP solvers with blocked reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simos.sync import SyncProfile
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import make_stream
+
+
+def _nas(name, size, desc, stream, sync, tags=()):
+    return WorkloadSpec(
+        name=name, suite="NAS", problem_size=size, description=desc,
+        stream=stream, sync=sync, tags=("nas",) + tuple(tags),
+    )
+
+
+def nas_workloads() -> Dict[str, WorkloadSpec]:
+    """The NAS entries of Table I (OpenMP + MPI variants)."""
+    specs = {}
+
+    # EP: embarrassingly parallel pseudo-random numbers — diverse mix,
+    # no memory pressure, perfect scaling (Fig. 1: the SMT4 winner).
+    ep_stream = make_stream(
+        loads=0.14, stores=0.09, branches=0.11, fx=0.30,
+        ilp=1.4, l1_mpki=1.5, l2_mpki=0.4, l3_mpki=0.05,
+        locality_alpha=0.3, data_sharing=0.2, branch_mispredict_rate=0.008,
+    )
+    specs["EP"] = _nas(
+        "EP", "D (OpenMP)",
+        "Embarrassingly Parallel: computes pseudo-random numbers",
+        ep_stream, SyncProfile(), tags=("openmp", "compute"),
+    )
+    specs["EP_MPI"] = _nas(
+        "EP_MPI", "C (MPI)",
+        "Embarrassingly Parallel, MPI processes",
+        make_stream(
+            loads=0.15, stores=0.09, branches=0.12, fx=0.31,
+            ilp=1.4, l1_mpki=1.5, l2_mpki=0.4, l3_mpki=0.05,
+            locality_alpha=0.3, data_sharing=0.0, branch_mispredict_rate=0.008,
+        ),
+        SyncProfile(work_inflation_coeff=0.05, work_inflation_half=16),
+        tags=("mpi", "compute"),
+    )
+
+    # IS: integer bucket sort — integer/branch mix, random access, key
+    # exchange barriers.  Sits just left of the POWER7 threshold with a
+    # speedup a hair below 1 (one of Fig. 6's two left-side misses).
+    specs["IS"] = _nas(
+        "IS", "D",
+        "Integer Sort: bucket sort for integers",
+        make_stream(
+            loads=0.26, stores=0.15, branches=0.12, fx=0.35, vs=0.12,
+            ilp=1.5, l1_mpki=22, l2_mpki=9, l3_mpki=0.8,
+            locality_alpha=1.2, data_sharing=0.4, mlp=4.0,
+            branch_mispredict_rate=0.018,
+        ),
+        SyncProfile(block_coeff=0.30, block_half=10, serial_fraction=0.03,
+                    work_inflation_coeff=1.6, work_inflation_half=24),
+        tags=("openmp", "memory"),
+    )
+    specs["IS_MPI"] = _nas(
+        "IS_MPI", "C (MPI)",
+        "Integer Sort, MPI processes (all-to-all key exchange)",
+        make_stream(
+            loads=0.31, stores=0.16, branches=0.10, fx=0.41, vs=0.02,
+            ilp=1.5, l1_mpki=24, l2_mpki=11, l3_mpki=3.2,
+            locality_alpha=0.9, data_sharing=0.0, mlp=3.0,
+            branch_mispredict_rate=0.018,
+        ),
+        SyncProfile(block_coeff=0.30, block_half=8, serial_fraction=0.03,
+                    work_inflation_coeff=0.60, work_inflation_half=12),
+        tags=("mpi", "memory"),
+    )
+
+    # BT: block-tridiagonal dense FP solver with blocked reuse.
+    specs["BT"] = _nas(
+        "BT", "C",
+        "Block Tridiagonal: solves nonlinear PDEs using the BT method",
+        make_stream(
+            loads=0.24, stores=0.12, branches=0.05, fx=0.12, vs=0.47,
+            ilp=1.9, l1_mpki=9, l2_mpki=3, l3_mpki=0.8,
+            locality_alpha=0.8, data_sharing=0.3, mlp=3.0,
+            branch_mispredict_rate=0.004,
+        ),
+        SyncProfile(serial_fraction=0.01, block_coeff=0.18, block_half=16,
+                    work_inflation_coeff=0.10, work_inflation_half=20),
+        tags=("openmp", "fp"),
+    )
+
+    # LU: SSOR solver, MPI pipelined wavefront.
+    specs["LU_MPI"] = _nas(
+        "LU_MPI", "C (MPI)",
+        "Lower-Upper: solves nonlinear PDEs using the SSOR method",
+        make_stream(
+            loads=0.25, stores=0.11, branches=0.07, fx=0.14, vs=0.43,
+            ilp=1.7, l1_mpki=8, l2_mpki=2.5, l3_mpki=0.6,
+            locality_alpha=0.5, data_sharing=0.0, mlp=3.0,
+            branch_mispredict_rate=0.006,
+        ),
+        SyncProfile(block_coeff=0.15, block_half=12,
+                    work_inflation_coeff=0.15, work_inflation_half=16),
+        tags=("mpi", "fp"),
+    )
+
+    # CG: sparse conjugate gradient — latency-bound indirection; SMT
+    # overlaps the pointer-chasing stalls.
+    specs["CG_MPI"] = _nas(
+        "CG_MPI", "C (MPI)",
+        "Conjugate Gradient: estimates eigenvalues of sparse matrices",
+        make_stream(
+            loads=0.32, stores=0.08, branches=0.08, fx=0.17, vs=0.35,
+            ilp=1.2, l1_mpki=26, l2_mpki=12, l3_mpki=2.4,
+            locality_alpha=0.3, data_sharing=0.0, mlp=2.5,
+            branch_mispredict_rate=0.008,
+        ),
+        SyncProfile(block_coeff=0.15, block_half=12,
+                    work_inflation_coeff=0.15, work_inflation_half=16),
+        tags=("mpi", "memory-latency"),
+    )
+
+    # FT: 3-D FFT — strided streaming with transposes.
+    specs["FT_MPI"] = _nas(
+        "FT_MPI", "C (MPI)",
+        "Fast Fourier Transform",
+        make_stream(
+            loads=0.26, stores=0.14, branches=0.04, fx=0.12, vs=0.44,
+            ilp=1.8, l1_mpki=14, l2_mpki=6, l3_mpki=1.0,
+            locality_alpha=0.35, data_sharing=0.0, mlp=5.0,
+            branch_mispredict_rate=0.003,
+        ),
+        SyncProfile(block_coeff=0.15, block_half=10,
+                    work_inflation_coeff=0.15, work_inflation_half=16),
+        tags=("mpi", "fp"),
+    )
+
+    # MG: multigrid — bandwidth-leaning stencil streams; Fig. 1 shows it
+    # oblivious to the SMT level (the other left-side near-miss).
+    specs["MG"] = _nas(
+        "MG", "D",
+        "MultiGrid: approximate solution to a 3-d discrete Poisson equation",
+        make_stream(
+            loads=0.28, stores=0.13, branches=0.04, fx=0.11, vs=0.44,
+            ilp=2.0, l1_mpki=18, l2_mpki=12, l3_mpki=8.0,
+            locality_alpha=0.3, data_sharing=0.3, mlp=8.0,
+            branch_mispredict_rate=0.003,
+        ),
+        SyncProfile(serial_fraction=0.015, block_coeff=0.12, block_half=12),
+        tags=("openmp", "bandwidth"),
+    )
+    specs["MG_MPI"] = _nas(
+        "MG_MPI", "C (MPI)",
+        "MultiGrid, MPI processes",
+        make_stream(
+            loads=0.28, stores=0.13, branches=0.05, fx=0.12, vs=0.42,
+            ilp=2.0, l1_mpki=16, l2_mpki=10, l3_mpki=7.0,
+            locality_alpha=0.3, data_sharing=0.0, mlp=8.0,
+            branch_mispredict_rate=0.004,
+        ),
+        SyncProfile(block_coeff=0.12, block_half=12,
+                    work_inflation_coeff=0.10, work_inflation_half=16),
+        tags=("mpi", "bandwidth"),
+    )
+
+    # OpenMP-only kernels used in the Nehalem experiments (Figs. 10/12).
+    specs["CG"] = _nas(
+        "CG", "C",
+        "Conjugate Gradient, OpenMP",
+        make_stream(
+            loads=0.32, stores=0.08, branches=0.08, fx=0.16, vs=0.36,
+            ilp=1.2, l1_mpki=25, l2_mpki=11, l3_mpki=2.0,
+            locality_alpha=0.3, data_sharing=0.5, mlp=2.0,
+            branch_mispredict_rate=0.008,
+        ),
+        SyncProfile(serial_fraction=0.01, block_coeff=0.08),
+        tags=("openmp", "memory-latency"),
+    )
+    specs["FT"] = _nas(
+        "FT", "C",
+        "Fast Fourier Transform, OpenMP",
+        make_stream(
+            loads=0.26, stores=0.14, branches=0.04, fx=0.11, vs=0.45,
+            ilp=1.8, l1_mpki=13, l2_mpki=5, l3_mpki=1.5,
+            locality_alpha=0.35, data_sharing=0.4, mlp=4.0,
+            branch_mispredict_rate=0.003,
+        ),
+        SyncProfile(serial_fraction=0.015, block_coeff=0.06),
+        tags=("openmp", "fp"),
+    )
+    specs["LU"] = _nas(
+        "LU", "C",
+        "Lower-Upper SSOR solver, OpenMP",
+        make_stream(
+            loads=0.25, stores=0.11, branches=0.07, fx=0.13, vs=0.44,
+            ilp=1.7, l1_mpki=9, l2_mpki=3, l3_mpki=0.8,
+            locality_alpha=0.6, data_sharing=0.4, mlp=3.0,
+            branch_mispredict_rate=0.006,
+        ),
+        SyncProfile(serial_fraction=0.01, block_coeff=0.12, block_half=8),
+        tags=("openmp", "fp"),
+    )
+    specs["SP"] = _nas(
+        "SP", "C",
+        "Scalar Pentadiagonal PDE solver, OpenMP",
+        make_stream(
+            loads=0.27, stores=0.13, branches=0.04, fx=0.10, vs=0.46,
+            ilp=2.1, l1_mpki=14, l2_mpki=7, l3_mpki=2.6,
+            locality_alpha=0.4, data_sharing=0.4, mlp=5.0,
+            branch_mispredict_rate=0.003,
+        ),
+        SyncProfile(serial_fraction=0.01, block_coeff=0.08),
+        tags=("openmp", "bandwidth"),
+    )
+    specs["UA"] = _nas(
+        "UA", "C",
+        "Unstructured Adaptive mesh, OpenMP",
+        make_stream(
+            loads=0.28, stores=0.11, branches=0.08, fx=0.17, vs=0.36,
+            ilp=1.5, l1_mpki=15, l2_mpki=6, l3_mpki=1.4,
+            locality_alpha=0.45, data_sharing=0.4, mlp=2.5,
+            branch_mispredict_rate=0.01,
+        ),
+        SyncProfile(serial_fraction=0.02, block_coeff=0.12, block_half=8),
+        tags=("openmp", "irregular"),
+    )
+
+    # BT exists in both experiments; the OpenMP spec above serves both.
+    return specs

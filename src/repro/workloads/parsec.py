@@ -1,0 +1,205 @@
+"""PARSEC 2.1 benchmarks (Table I).
+
+Emerging multithreaded applications.  Only a handful built on AIX
+(paper §III-B): Blackscholes, Dedup, Fluidanimate, Streamcluster appear
+in the POWER7 experiments; the full set appears on Linux/Nehalem.
+
+Calibration anchors: Fig. 7's speedup ladder (blackscholes 1.82,
+fluidanimate 1.35, dedup 0.86) and §IV-A's Streamcluster analysis
+(~40% loads, few stores, 8 L3 MPKI on Nehalem at SMT2, big L3 relief
+on POWER7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simos.sync import SyncProfile
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import make_stream
+
+
+def _parsec(name, desc, stream, sync=None, tags=()):
+    return WorkloadSpec(
+        name=name, suite="PARSEC", problem_size="Native",
+        description=desc, stream=stream,
+        sync=sync or SyncProfile(serial_fraction=0.01),
+        tags=("parsec",) + tuple(tags),
+    )
+
+
+def parsec_workloads() -> Dict[str, WorkloadSpec]:
+    specs = {}
+
+    # Blackscholes: option pricing — small working set, FP-rich but
+    # diverse (loop control + table loads), embarrassingly parallel.
+    specs["Blackscholes"] = _parsec(
+        "Blackscholes", "Computes option prices",
+        make_stream(loads=0.20, stores=0.08, branches=0.10, fx=0.17, vs=0.45,
+                    ilp=1.6, l1_mpki=3, l2_mpki=1, l3_mpki=0.3,
+                    locality_alpha=0.4, data_sharing=0.1, mlp=2.5,
+                    branch_mispredict_rate=0.008),
+        tags=("fp", "scalable"),
+    )
+    # pthreads build used on Nehalem (Fig. 10) — same kernel, slightly
+    # different threading harness.
+    specs["blackscholes_pthreads"] = _parsec(
+        "blackscholes_pthreads", "Option pricing, pthreads build",
+        make_stream(loads=0.20, stores=0.08, branches=0.11, fx=0.18, vs=0.43,
+                    ilp=1.6, l1_mpki=3, l2_mpki=1, l3_mpki=0.3,
+                    locality_alpha=0.4, data_sharing=0.1, mlp=2.5,
+                    branch_mispredict_rate=0.008),
+        tags=("fp", "scalable"),
+    )
+
+    # Bodytrack: computer vision — mixed FP/int, phase barriers.
+    body_stream = make_stream(
+        loads=0.24, stores=0.09, branches=0.12, fx=0.25, vs=0.30,
+        ilp=1.4, l1_mpki=7, l2_mpki=2.5, l3_mpki=0.6,
+        locality_alpha=0.45, data_sharing=0.4, mlp=2.5,
+        branch_mispredict_rate=0.014,
+    )
+    body_sync = SyncProfile(serial_fraction=0.04, block_coeff=0.45, block_half=4,
+                            work_inflation_coeff=2.8, work_inflation_half=6)
+    specs["bodytrack"] = _parsec(
+        "bodytrack", "Simulates motion tracking of a person",
+        body_stream, body_sync, tags=("vision",),
+    )
+    specs["bodytrack_pthreads"] = _parsec(
+        "bodytrack_pthreads", "Motion tracking, pthreads build",
+        body_stream, body_sync, tags=("vision",),
+    )
+
+    # Canneal: cache-aware simulated annealing — pointer chasing over a
+    # huge netlist, latency bound (Fig. 12 set).
+    specs["canneal"] = _parsec(
+        "canneal", "Cache-aware simulated annealing",
+        make_stream(loads=0.33, stores=0.10, branches=0.10, fx=0.34, vs=0.13,
+                    ilp=1.0, l1_mpki=30, l2_mpki=18, l3_mpki=6.0,
+                    locality_alpha=0.25, data_sharing=0.5, mlp=1.8,
+                    branch_mispredict_rate=0.012),
+        SyncProfile(serial_fraction=0.02),
+        tags=("memory-latency",),
+    )
+
+    # Dedup: pipeline-parallel compression+deduplication, heavy I/O
+    # (Table I) — queue management overhead and device waits.
+    specs["Dedup"] = _parsec(
+        "Dedup", "Data compression and deduplication. Heavy I/O",
+        make_stream(loads=0.26, stores=0.14, branches=0.15, fx=0.40, vs=0.05,
+                    ilp=1.5, l1_mpki=10, l2_mpki=3, l3_mpki=0.6,
+                    locality_alpha=1.4, data_sharing=0.3, mlp=2.5,
+                    branch_mispredict_rate=0.035),
+        SyncProfile(io_wait=0.30, serial_fraction=0.04,
+                    block_coeff=0.38, block_half=8,
+                    work_inflation_coeff=1.90, work_inflation_half=10),
+        tags=("io", "pipeline"),
+    )
+
+    # Facesim: physics simulation of a human face.
+    specs["facesim"] = _parsec(
+        "facesim", "Simulates human facial motion",
+        make_stream(loads=0.26, stores=0.11, branches=0.06, fx=0.12, vs=0.45,
+                    ilp=1.8, l1_mpki=12, l2_mpki=5, l3_mpki=1.6,
+                    locality_alpha=0.6, data_sharing=0.3, mlp=3.0,
+                    branch_mispredict_rate=0.006),
+        SyncProfile(serial_fraction=0.03, block_coeff=0.12, block_half=8),
+        tags=("fp",),
+    )
+
+    # Ferret: content-similarity search pipeline.
+    specs["ferret"] = _parsec(
+        "ferret", "Content similarity search",
+        make_stream(loads=0.26, stores=0.09, branches=0.12, fx=0.28, vs=0.25,
+                    ilp=1.3, l1_mpki=10, l2_mpki=4, l3_mpki=1.2,
+                    locality_alpha=0.4, data_sharing=0.3, mlp=2.2,
+                    branch_mispredict_rate=0.013),
+        SyncProfile(serial_fraction=0.01, block_coeff=0.10, block_half=10),
+        tags=("pipeline",),
+    )
+
+    # Fluidanimate: SPH fluid dynamics — fine-grained locks on cells,
+    # FP compute; Fig. 7 anchor at 1.35.
+    specs["Fluidanimate"] = _parsec(
+        "Fluidanimate", "Fluid dynamics simulation",
+        make_stream(loads=0.24, stores=0.10, branches=0.09, fx=0.17, vs=0.40,
+                    ilp=1.5, l1_mpki=8, l2_mpki=3, l3_mpki=0.9,
+                    locality_alpha=0.55, data_sharing=0.3, mlp=2.5,
+                    branch_mispredict_rate=0.009),
+        SyncProfile(serial_fraction=0.015, spin_coeff=0.10, spin_half=24,
+                    block_coeff=0.18, block_half=10,
+                    work_inflation_coeff=0.10, work_inflation_half=16),
+        tags=("fp", "locks"),
+    )
+
+    # Freqmine: frequent itemset mining — integer tree walks.
+    specs["freqmine"] = _parsec(
+        "freqmine", "Frequent item set mining",
+        make_stream(loads=0.30, stores=0.10, branches=0.14, fx=0.40, vs=0.06,
+                    ilp=1.2, l1_mpki=14, l2_mpki=6, l3_mpki=1.5,
+                    locality_alpha=0.4, data_sharing=0.5, mlp=2.0,
+                    branch_mispredict_rate=0.015),
+        SyncProfile(serial_fraction=0.03, block_coeff=0.10, block_half=8),
+        tags=("mining",),
+    )
+
+    # Raytrace: real-time raytracing — BVH walks, mixed mix.
+    specs["raytrace"] = _parsec(
+        "raytrace", "Raytracing",
+        make_stream(loads=0.27, stores=0.07, branches=0.13, fx=0.23, vs=0.30,
+                    ilp=1.3, l1_mpki=9, l2_mpki=3.5, l3_mpki=0.9,
+                    locality_alpha=0.4, data_sharing=0.5, mlp=2.2,
+                    branch_mispredict_rate=0.014),
+        SyncProfile(serial_fraction=0.02),
+        tags=("vision",),
+    )
+
+    # Streamcluster: online clustering — the paper's outlier.  ~40%
+    # loads and almost no stores (§IV-A); repeated distance sweeps over
+    # a point set that thrashes a small L3 (Nehalem: 8 L3 MPKI) but is
+    # largely absorbed by POWER7's 4 MB/core eDRAM L3.
+    specs["Streamcluster"] = _parsec(
+        "Streamcluster", "Online data clustering",
+        make_stream(loads=0.40, stores=0.04, branches=0.07, fx=0.14, vs=0.35,
+                    ilp=1.6, l1_mpki=28, l2_mpki=16, l3_mpki=2.0,
+                    locality_alpha=1.4, data_sharing=0.45, mlp=3.5,
+                    branch_mispredict_rate=0.005),
+        SyncProfile(serial_fraction=0.02, block_coeff=0.30, block_half=12,
+                    work_inflation_coeff=0.30, work_inflation_half=12),
+        tags=("memory", "outlier"),
+    )
+
+    # Swaptions: Monte-Carlo pricing — small footprint, scalable FP.
+    specs["swaptions"] = _parsec(
+        "swaptions", "Pricing of financial swaptions",
+        make_stream(loads=0.21, stores=0.08, branches=0.10, fx=0.18, vs=0.43,
+                    ilp=1.5, l1_mpki=2.5, l2_mpki=0.8, l3_mpki=0.2,
+                    locality_alpha=0.4, data_sharing=0.1, mlp=2.5,
+                    branch_mispredict_rate=0.007),
+        tags=("fp", "scalable"),
+    )
+
+    # Vips: image processing pipeline.
+    specs["vips"] = _parsec(
+        "vips", "Image processing",
+        make_stream(loads=0.25, stores=0.12, branches=0.11, fx=0.28, vs=0.24,
+                    ilp=1.5, l1_mpki=8, l2_mpki=3, l3_mpki=0.9,
+                    locality_alpha=0.45, data_sharing=0.2, mlp=2.5,
+                    branch_mispredict_rate=0.011),
+        SyncProfile(serial_fraction=0.015, block_coeff=0.08, block_half=10),
+        tags=("pipeline",),
+    )
+
+    # x264: video encoding — integer/SIMD mix with motion-estimation
+    # branches and frame-dependency pipelining.
+    specs["x264"] = _parsec(
+        "x264", "Video encoding",
+        make_stream(loads=0.26, stores=0.11, branches=0.12, fx=0.27, vs=0.24,
+                    ilp=1.6, l1_mpki=7, l2_mpki=2.5, l3_mpki=0.7,
+                    locality_alpha=0.45, data_sharing=0.3, mlp=2.5,
+                    branch_mispredict_rate=0.015),
+        SyncProfile(serial_fraction=0.03, block_coeff=0.40, block_half=5,
+                    work_inflation_coeff=1.5, work_inflation_half=6),
+        tags=("media",),
+    )
+    return specs

@@ -1,0 +1,91 @@
+"""Phased versions of catalog applications.
+
+§I motivates *online* measurement with applications that "go through
+different phases".  These composites build multi-phase behaviour out of
+calibrated catalog ingredients, staying true to the real codes'
+structure:
+
+* **FT** alternates compute-heavy butterfly passes with communication-
+  bound transposes;
+* **dedup** pipelines chunking (I/O), hashing (compute) and compression
+  stages whose balance shifts over the input;
+* **SPECjbb-rampup** models a JVM warming up: interpreter-dominated
+  start (branchy, slow) settling into compiled steady state;
+* **graph-analytics** interleaves an embarrassingly-parallel scoring
+  pass with a lock-heavy update pass (SSCA2's kernel structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.catalog import get_workload
+from repro.workloads.phases import Phase, PhasedWorkload
+from repro.workloads.variants import scaled_input
+
+#: Work units per canonical phase (useful instructions).
+PHASE_WORK = 1.5e10
+
+
+def ft_compute_transpose() -> PhasedWorkload:
+    """FFT passes (SMT-friendly) alternating with transposes (bandwidth)."""
+    compute = get_workload("FT")
+    transpose = scaled_input(get_workload("MG"), 1.0, label="FT-transpose")
+    return PhasedWorkload(
+        "FT-compute-transpose",
+        (
+            Phase(compute, PHASE_WORK),
+            Phase(transpose, PHASE_WORK / 2),
+            Phase(compute, PHASE_WORK),
+            Phase(transpose, PHASE_WORK / 2),
+        ),
+    )
+
+
+def dedup_pipeline() -> PhasedWorkload:
+    """Chunk (I/O bound) -> hash/compress (compute) -> write (I/O)."""
+    io_stage = get_workload("Dedup")
+    compute_stage = scaled_input(get_workload("freqmine"), 1.0, label="dedup-hash")
+    return PhasedWorkload(
+        "dedup-pipeline",
+        (
+            Phase(io_stage, PHASE_WORK / 2),
+            Phase(compute_stage, PHASE_WORK),
+            Phase(io_stage, PHASE_WORK / 2),
+        ),
+    )
+
+
+def jbb_rampup() -> PhasedWorkload:
+    """JVM warm-up: contended startup settling into steady state."""
+    warmup = get_workload("SPECjbb_contention")
+    steady = get_workload("SPECjbb")
+    return PhasedWorkload(
+        "specjbb-rampup",
+        (
+            Phase(warmup, PHASE_WORK / 2),
+            Phase(steady, 2 * PHASE_WORK),
+        ),
+    )
+
+
+def graph_analytics() -> PhasedWorkload:
+    """Parallel scoring pass alternating with lock-heavy graph updates."""
+    score = get_workload("EP")
+    update = get_workload("SSCA2")
+    return PhasedWorkload(
+        "graph-analytics",
+        (
+            Phase(score, PHASE_WORK),
+            Phase(update, PHASE_WORK),
+            Phase(score, PHASE_WORK),
+            Phase(update, PHASE_WORK),
+        ),
+    )
+
+
+def phased_catalog() -> Dict[str, PhasedWorkload]:
+    """All phased composites by name."""
+    items = (ft_compute_transpose(), dedup_pipeline(), jbb_rampup(),
+             graph_analytics())
+    return {w.name: w for w in items}

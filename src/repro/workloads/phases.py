@@ -1,0 +1,69 @@
+"""Multi-phase workloads.
+
+The paper motivates *online* SMT selection with applications that "go
+through different phases" (§I): the metric is measured periodically and
+the SMT level adapts.  A :class:`PhasedWorkload` strings together
+workload specs with durations; the online optimizer experiment and the
+perf-stat sampler consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.util.validation import check_positive
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a behaviour plus how long it lasts (useful work units)."""
+
+    spec: WorkloadSpec
+    work: float  # useful instructions in this phase
+
+    def __post_init__(self):
+        check_positive("work", self.work)
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """An application whose behaviour changes over its run."""
+
+    name: str
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError("a phased workload needs at least one phase")
+
+    @property
+    def total_work(self) -> float:
+        return sum(p.work for p in self.phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    def phase_at(self, work_done: float) -> Phase:
+        """The phase active after ``work_done`` useful instructions."""
+        if work_done < 0:
+            raise ValueError(f"work_done must be >= 0, got {work_done}")
+        acc = 0.0
+        for phase in self.phases:
+            acc += phase.work
+            if work_done < acc:
+                return phase
+        return self.phases[-1]
+
+
+def alternating(name: str, a: WorkloadSpec, b: WorkloadSpec, *,
+                work_per_phase: float, repeats: int) -> PhasedWorkload:
+    """Convenience: A-B-A-B... phase structure for optimizer experiments."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    phases = []
+    for _ in range(repeats):
+        phases.append(Phase(a, work_per_phase))
+        phases.append(Phase(b, work_per_phase))
+    return PhasedWorkload(name=name, phases=tuple(phases))

@@ -1,0 +1,36 @@
+"""The workload specification record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.sim.stream import StreamParams
+from repro.simos.sync import SyncProfile
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A benchmark as the simulator consumes it.
+
+    ``stream`` describes one thread's instruction stream; ``sync`` its
+    software scalability; the remaining fields are Table I metadata.
+    """
+
+    name: str
+    suite: str
+    problem_size: str
+    description: str
+    stream: StreamParams
+    sync: SyncProfile
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkloadSpec({self.name!r}, suite={self.suite!r})"

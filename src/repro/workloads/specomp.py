@@ -1,0 +1,130 @@
+"""SPEC OMP2001 benchmarks (Table I: Ammp..Wupwise).
+
+Adapted from SPEC CPU2000 FP codes: long vectorizable loops, VS-heavy
+mixes, large array working sets.  The suite is where most of the
+paper's SMT4-hostile points come from — homogeneous FP mixes that keep
+the VSU busy with one context (paper §I contention cause 1) combined
+with strong cache pressure and DRAM bandwidth appetite (cause 2).
+Wupwise/Fma3d/Gafort are the suite's SMT-friendlier members (more mixed
+instruction streams, smaller hot sets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simos.sync import SyncProfile
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import make_stream
+
+
+def _omp(name, desc, stream, sync=None, tags=()):
+    return WorkloadSpec(
+        name=name, suite="SPEC OMP2001", problem_size="Reference",
+        description=desc, stream=stream,
+        sync=sync or SyncProfile(serial_fraction=0.015, block_coeff=0.25,
+                                 block_half=20, work_inflation_coeff=0.12,
+                                 work_inflation_half=20),
+        tags=("specomp", "openmp") + tuple(tags),
+    )
+
+
+def specomp_workloads() -> Dict[str, WorkloadSpec]:
+    specs = {}
+
+    # Ammp: molecular dynamics — neighbour lists, FP heavy, moderate misses.
+    specs["Ammp"] = _omp(
+        "Ammp", "Molecular dynamics",
+        make_stream(loads=0.27, stores=0.09, branches=0.07, fx=0.09, vs=0.48,
+                    ilp=1.6, l1_mpki=16, l2_mpki=7, l3_mpki=3.0,
+                    locality_alpha=1.05, data_sharing=0.2, mlp=3.0,
+                    branch_mispredict_rate=0.009),
+        tags=("fp",),
+    )
+
+    # Applu: parabolic/elliptic PDEs — strided sweeps, bandwidth hungry.
+    specs["Applu"] = _omp(
+        "Applu", "Fluid dynamics (parabolic/elliptic PDEs)",
+        make_stream(loads=0.28, stores=0.12, branches=0.03, fx=0.06, vs=0.51,
+                    ilp=2.1, l1_mpki=19, l2_mpki=9, l3_mpki=4.0,
+                    locality_alpha=0.75, data_sharing=0.15, mlp=4.0,
+                    branch_mispredict_rate=0.003),
+        tags=("fp", "bandwidth"),
+    )
+
+    # Apsi: lake weather model.
+    specs["Apsi"] = _omp(
+        "Apsi", "Lake weather modeling",
+        make_stream(loads=0.26, stores=0.11, branches=0.05, fx=0.10, vs=0.48,
+                    ilp=1.8, l1_mpki=14, l2_mpki=6, l3_mpki=2.6,
+                    locality_alpha=1.0, data_sharing=0.2, mlp=3.0,
+                    branch_mispredict_rate=0.005),
+        tags=("fp",),
+    )
+
+    # Equake: earthquake simulation — sparse solver, the paper's Fig. 1
+    # SMT4 loser (~0.5x): severe cache thrash under sharing.
+    specs["Equake"] = _omp(
+        "Equake", "Earthquake simulation",
+        make_stream(loads=0.31, stores=0.09, branches=0.05, fx=0.07, vs=0.48,
+                    ilp=1.7, l1_mpki=28, l2_mpki=14, l3_mpki=6.5,
+                    locality_alpha=1.2, data_sharing=0.1, mlp=3.0,
+                    branch_mispredict_rate=0.005),
+        SyncProfile(serial_fraction=0.02, block_coeff=0.10, block_half=10),
+        tags=("fp", "memory"),
+    )
+
+    # Fma3d: finite-element crash simulation — more control flow and
+    # integer work than the rest of the suite; mild SMT benefit.
+    specs["Fma3d"] = _omp(
+        "Fma3d", "Finite element method PDE solver",
+        make_stream(loads=0.23, stores=0.10, branches=0.11, fx=0.21, vs=0.35,
+                    ilp=1.4, l1_mpki=8, l2_mpki=3, l3_mpki=0.8,
+                    locality_alpha=0.5, data_sharing=0.25, mlp=2.5,
+                    branch_mispredict_rate=0.012),
+        tags=("fp",),
+    )
+
+    # Gafort: genetic algorithm — mixed integer/FP, random shuffles.
+    specs["Gafort"] = _omp(
+        "Gafort", "Genetic algorithm",
+        make_stream(loads=0.24, stores=0.12, branches=0.12, fx=0.22, vs=0.30,
+                    ilp=1.4, l1_mpki=12, l2_mpki=4.5, l3_mpki=0.9,
+                    locality_alpha=1.0, data_sharing=0.3, mlp=2.5,
+                    branch_mispredict_rate=0.015),
+        SyncProfile(serial_fraction=0.02, block_coeff=0.25, block_half=12,
+                    work_inflation_coeff=2.0, work_inflation_half=24),
+        tags=("mixed",),
+    )
+
+    # Mgrid: multigrid stencil — long vector loops, bandwidth bound.
+    specs["Mgrid"] = _omp(
+        "Mgrid", "Multigrid method differential equation solver",
+        make_stream(loads=0.30, stores=0.11, branches=0.02, fx=0.04, vs=0.53,
+                    ilp=2.2, l1_mpki=20, l2_mpki=11, l3_mpki=5.5,
+                    locality_alpha=0.8, data_sharing=0.15, mlp=5.0,
+                    branch_mispredict_rate=0.002),
+        tags=("fp", "bandwidth"),
+    )
+
+    # Swim: shallow-water stencils — the classic bandwidth burner.
+    specs["Swim"] = _omp(
+        "Swim", "Shallow water modeling",
+        make_stream(loads=0.29, stores=0.13, branches=0.02, fx=0.04, vs=0.52,
+                    ilp=2.3, l1_mpki=26, l2_mpki=15, l3_mpki=8.0,
+                    locality_alpha=0.85, data_sharing=0.1, mlp=5.0,
+                    branch_mispredict_rate=0.002),
+        tags=("fp", "bandwidth"),
+    )
+
+    # Wupwise: quantum chromodynamics — dense BLAS-like kernels with
+    # good reuse; the suite's SMT-friendliest member.
+    specs["Wupwise"] = _omp(
+        "Wupwise", "Quantum chromodynamics",
+        make_stream(loads=0.22, stores=0.10, branches=0.08, fx=0.16, vs=0.44,
+                    ilp=1.7, l1_mpki=5, l2_mpki=1.5, l3_mpki=0.4,
+                    locality_alpha=0.4, data_sharing=0.3, mlp=3.0,
+                    branch_mispredict_rate=0.006),
+        tags=("fp",),
+    )
+    return specs

@@ -1,0 +1,147 @@
+"""Synthetic workload builders.
+
+Used three ways: as the archetypes behind the STREAM/SSCA2 entries of
+Table I, as controllable inputs for property-based tests (hypothesis
+draws parameters and the invariants must hold for *any* of them), and
+as building blocks for custom experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.classes import InstrClass, Mix
+from repro.sim.stream import MemoryBehavior, StreamParams
+from repro.simos.sync import SyncProfile
+from repro.util.rng import RngStream
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_stream(
+    *,
+    loads: float = 0.2,
+    stores: float = 0.1,
+    branches: float = 0.12,
+    fx: float = 0.3,
+    vs: Optional[float] = None,
+    ilp: float = 1.5,
+    l1_mpki: float = 5.0,
+    l2_mpki: float = 2.0,
+    l3_mpki: float = 0.5,
+    locality_alpha: float = 0.5,
+    data_sharing: float = 0.3,
+    branch_mispredict_rate: float = 0.01,
+    mlp: float = 2.0,
+) -> StreamParams:
+    """Build a stream from named fractions; ``vs`` defaults to the rest."""
+    if vs is None:
+        vs = 1.0 - (loads + stores + branches + fx)
+        if vs < -1e-9:
+            raise ValueError(
+                f"class fractions exceed 1: {loads}+{stores}+{branches}+{fx}"
+            )
+        vs = max(0.0, vs)
+    mix = Mix(
+        {
+            InstrClass.LOAD: loads,
+            InstrClass.STORE: stores,
+            InstrClass.BRANCH: branches,
+            InstrClass.FX: fx,
+            InstrClass.VS: vs,
+        }
+    )
+    memory = MemoryBehavior(
+        l1_mpki=l1_mpki,
+        l2_mpki=min(l2_mpki, l1_mpki),
+        l3_mpki=min(l3_mpki, l2_mpki, l1_mpki),
+        locality_alpha=locality_alpha,
+        data_sharing=data_sharing,
+    )
+    return StreamParams(
+        mix=mix, ilp=ilp, memory=memory,
+        branch_mispredict_rate=branch_mispredict_rate, mlp=mlp,
+    )
+
+
+def compute_bound_workload(name: str = "synthetic-compute") -> WorkloadSpec:
+    """Diverse mix, tiny footprint, perfectly scalable — loves SMT."""
+    return WorkloadSpec(
+        name=name, suite="synthetic", problem_size="-",
+        description="balanced-mix scalable compute kernel",
+        stream=make_stream(loads=0.16, stores=0.10, branches=0.12, fx=0.30,
+                           ilp=1.5, l1_mpki=2.0, l2_mpki=0.5, l3_mpki=0.1,
+                           locality_alpha=0.4),
+        sync=SyncProfile(),
+        tags=("synthetic", "compute"),
+    )
+
+
+def bandwidth_bound_workload(name: str = "synthetic-bandwidth") -> WorkloadSpec:
+    """Streaming misses that saturate DRAM — indifferent-to-hostile to SMT."""
+    return WorkloadSpec(
+        name=name, suite="synthetic", problem_size="-",
+        description="DRAM-bandwidth-saturating streaming kernel",
+        stream=make_stream(loads=0.35, stores=0.20, branches=0.05, fx=0.15,
+                           ilp=2.5, l1_mpki=45, l2_mpki=42, l3_mpki=40,
+                           locality_alpha=0.05, data_sharing=0.0, mlp=8.0,
+                           branch_mispredict_rate=0.003),
+        sync=SyncProfile(),
+        tags=("synthetic", "bandwidth"),
+    )
+
+
+def spin_bound_workload(name: str = "synthetic-spin", *,
+                        lock_serial_fraction: float = 0.3) -> WorkloadSpec:
+    """A contended-lock kernel — the SMT4-hostile archetype.
+
+    Besides the critical-section throughput cap, the lock line bounces
+    between cores: misses grow steeply with co-runners
+    (``locality_alpha`` high, base rates low), which is what makes the
+    contention visible to the dispatch-held factor at high SMT levels.
+    """
+    return WorkloadSpec(
+        name=name, suite="synthetic", problem_size="-",
+        description="contended critical-section kernel",
+        stream=make_stream(loads=0.28, stores=0.10, branches=0.18, fx=0.38,
+                           ilp=1.3, l1_mpki=12, l2_mpki=4, l3_mpki=0.8,
+                           locality_alpha=1.3, data_sharing=0.3,
+                           branch_mispredict_rate=0.03),
+        sync=SyncProfile(lock_serial_fraction=lock_serial_fraction,
+                         lock_pingpong_coeff=1.2, lock_pingpong_half=8,
+                         block_coeff=0.2, block_half=8),
+        tags=("synthetic", "locks"),
+    )
+
+
+def random_workload(rng: RngStream, name: str = "synthetic-random") -> WorkloadSpec:
+    """A random but valid workload, for property tests and fuzzing."""
+    raw = rng.uniform(0.02, 1.0, size=5)
+    raw = raw / raw.sum()
+    l1 = float(rng.uniform(0.5, 50.0))
+    l2 = float(rng.uniform(0.1, 1.0)) * l1
+    l3 = float(rng.uniform(0.1, 1.0)) * l2
+    return WorkloadSpec(
+        name=name, suite="synthetic", problem_size="-",
+        description="randomly drawn workload",
+        stream=StreamParams(
+            mix=Mix(raw),
+            ilp=float(rng.uniform(0.6, 3.0)),
+            memory=MemoryBehavior(
+                l1_mpki=l1, l2_mpki=l2, l3_mpki=l3,
+                locality_alpha=float(rng.uniform(0.0, 1.5)),
+                data_sharing=float(rng.uniform(0.0, 1.0)),
+            ),
+            branch_mispredict_rate=float(rng.uniform(0.0, 0.08)),
+            mlp=float(rng.uniform(1.0, 8.0)),
+        ),
+        sync=SyncProfile(
+            serial_fraction=float(rng.uniform(0.0, 0.2)),
+            spin_coeff=float(rng.uniform(0.0, 0.4)),
+            block_coeff=float(rng.uniform(0.0, 0.4)),
+            io_wait=float(rng.uniform(0.0, 0.3)),
+            lock_serial_fraction=float(rng.uniform(0.0, 0.4)),
+            lock_pingpong_coeff=float(rng.uniform(0.0, 1.0)),
+            work_inflation_coeff=float(rng.uniform(0.0, 0.5)),
+        ),
+        tags=("synthetic", "random"),
+    )

@@ -1,0 +1,82 @@
+"""Tests for correlation and success-rate analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.correlation import correlation_report, pearson, spearman
+from repro.analysis.success import pooled_success_rate, success_summary
+from repro.core.predictor import Observation, SmtPredictor
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        x = [1, 2, 3, 4]
+        assert pearson(x, [2, 4, 6, 8]) == pytest.approx(1.0)
+        assert pearson(x, [8, 6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_constant_series_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2, 3], [1, 2])
+
+
+class TestSpearman:
+    def test_monotonic_nonlinear_is_one(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.0, 8.0, 27.0, 64.0]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        assert abs(spearman([1, 1, 2, 3], [1, 1, 2, 3]) - 1.0) < 1e-9
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=4,
+                    max_size=20, unique=True))
+    @settings(max_examples=30)
+    def test_bounded(self, x):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=len(x)).tolist()
+        assert -1.0 - 1e-9 <= spearman(x, y) <= 1.0 + 1e-9
+
+    def test_report_contains_both(self):
+        report = correlation_report({"s": ([1, 2, 3, 4], [2, 4, 6, 8])})
+        assert report["s"]["pearson"] == pytest.approx(1.0)
+        assert report["s"]["spearman"] == pytest.approx(1.0)
+
+
+class TestSuccessSummary:
+    def make_obs(self):
+        return [
+            Observation("winner_low", 0.02, 1.5),    # correct left
+            Observation("loser_low", 0.03, 0.9),     # left miss
+            Observation("loser_high", 0.2, 0.5),     # correct right
+            Observation("winner_high", 0.3, 1.2),    # right miss
+        ]
+
+    def test_classification_of_misses(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        summary = success_summary(p, self.make_obs())
+        assert summary.left_misses == ("loser_low",)
+        assert summary.right_misses == ("winner_high",)
+        assert summary.success_rate == 0.5
+
+    def test_empty_raises(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        with pytest.raises(ValueError):
+            success_summary(p, [])
+
+    def test_pooled_rate(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        s1 = success_summary(p, self.make_obs())
+        s2 = success_summary(p, [Observation("x", 0.01, 2.0)])
+        assert pooled_success_rate([s1, s2]) == pytest.approx(3 / 5)
+
+    def test_pooled_empty_raises(self):
+        with pytest.raises(ValueError):
+            pooled_success_rate([])

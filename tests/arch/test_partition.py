@@ -1,0 +1,97 @@
+"""Tests for SMT resource partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.partition import SmtPartition, ThreadResources
+
+
+def make_partition(**overrides):
+    kwargs = dict(
+        fetch_width=8,
+        dispatch_width=6,
+        issue_width=8,
+        queue_entries=48,
+        rob_entries=120,
+        queue_share={1: 1.0, 2: 0.5, 4: 0.25},
+        rob_share={1: 1.0, 2: 0.5, 4: 0.25},
+        smt1_boost=1.1,
+    )
+    kwargs.update(overrides)
+    return SmtPartition(**kwargs)
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = make_partition()
+        assert p.smt_levels == (1, 2, 4)
+
+    def test_rejects_mismatched_levels(self):
+        with pytest.raises(ValueError, match="same SMT levels"):
+            make_partition(rob_share={1: 1.0, 2: 0.5})
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            make_partition(fetch_width=0)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError, match="share"):
+            make_partition(queue_share={1: 1.0, 2: 0.0, 4: 0.25},
+                           rob_share={1: 1.0, 2: 0.5, 4: 0.25})
+
+    def test_rejects_boost_below_one(self):
+        with pytest.raises(ValueError, match="boost"):
+            make_partition(smt1_boost=0.9)
+
+
+class TestThreadResources:
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="SMT3"):
+            make_partition().thread_resources(3)
+
+    def test_fetch_share_divides_by_level(self):
+        p = make_partition()
+        assert p.thread_resources(4).fetch_width == pytest.approx(2.0)
+        assert p.thread_resources(2).fetch_width == pytest.approx(4.0)
+
+    def test_queue_entries_shrink_with_level(self):
+        p = make_partition()
+        q = [p.thread_resources(l).queue_entries for l in (1, 2, 4)]
+        assert q[0] > q[1] > q[2]
+
+    def test_ilp_scale_sqrt_law(self):
+        p = make_partition(smt1_boost=1.0)
+        r4 = p.thread_resources(4)
+        # quarter of the window -> half the ILP
+        assert r4.ilp_scale == pytest.approx(0.5)
+
+    def test_smt1_boost_applies_only_at_smt1(self):
+        boosted = make_partition(smt1_boost=1.2)
+        plain = make_partition(smt1_boost=1.0)
+        assert boosted.thread_resources(1).queue_entries > plain.thread_resources(1).queue_entries
+        assert boosted.thread_resources(2).queue_entries == plain.thread_resources(2).queue_entries
+
+    def test_smt1_ilp_scale_at_least_one(self):
+        p = make_partition(smt1_boost=1.1)
+        assert p.thread_resources(1).ilp_scale >= 1.0
+
+    def test_core_dispatch_width_constant(self):
+        p = make_partition()
+        assert p.core_dispatch_width(1) == p.core_dispatch_width(4) == 6.0
+
+    def test_describe_covers_all_levels(self):
+        described = make_partition().describe()
+        assert set(described) == {1, 2, 4}
+        assert all(isinstance(r, ThreadResources) for r in described.values())
+
+    @given(st.sampled_from([1, 2, 4]))
+    def test_total_queue_never_exceeds_capacity_plus_boost(self, level):
+        p = make_partition()
+        r = p.thread_resources(level)
+        assert r.queue_entries * level <= p.queue_entries * p.smt1_boost + 1e-9
+
+
+class TestThreadResourcesValidation:
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError, match="ilp_scale"):
+            ThreadResources(1, 8, 6, 48, 120, 0.0)

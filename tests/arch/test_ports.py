@@ -1,0 +1,108 @@
+"""Tests for issue-port topology."""
+
+import numpy as np
+import pytest
+
+from repro.arch.classes import InstrClass, Mix
+from repro.arch.ports import IssuePort, PortTopology, single_class_routing
+
+
+def typed_topology():
+    return PortTopology(
+        ports=[IssuePort("LS", 2.0), IssuePort("FX", 2.0), IssuePort("VS", 2.0), IssuePort("BR", 1.0)],
+        routing=single_class_routing(
+            {
+                InstrClass.LOAD: "LS",
+                InstrClass.STORE: "LS",
+                InstrClass.BRANCH: "BR",
+                InstrClass.FX: "FX",
+                InstrClass.VS: "VS",
+            }
+        ),
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_ports(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PortTopology(ports=[], routing={})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PortTopology(
+                ports=[IssuePort("A", 1), IssuePort("A", 1)],
+                routing=single_class_routing({c: "A" for c in InstrClass}),
+            )
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            IssuePort("A", 0)
+
+    def test_rejects_missing_class(self):
+        with pytest.raises(ValueError, match="missing"):
+            PortTopology(
+                ports=[IssuePort("A", 1)],
+                routing={InstrClass.LOAD: {"A": 1.0}},
+            )
+
+    def test_rejects_unknown_port_in_routing(self):
+        routing = single_class_routing({c: "A" for c in InstrClass})
+        routing[InstrClass.LOAD] = {"NOPE": 1.0}
+        with pytest.raises(ValueError, match="unknown port"):
+            PortTopology(ports=[IssuePort("A", 1)], routing=routing)
+
+    def test_rejects_routing_not_summing_to_one(self):
+        routing = single_class_routing({c: "A" for c in InstrClass})
+        routing[InstrClass.LOAD] = {"A": 0.7}
+        with pytest.raises(ValueError, match="sum to 1"):
+            PortTopology(ports=[IssuePort("A", 1)], routing=routing)
+
+    def test_matrix_columns_sum_to_one(self):
+        topo = typed_topology()
+        assert np.allclose(topo.routing_matrix.sum(axis=0), 1.0)
+
+
+class TestDemandAndFractions:
+    def test_port_demand_typed(self):
+        topo = typed_topology()
+        mix = Mix({InstrClass.LOAD: 0.3, InstrClass.STORE: 0.2, InstrClass.FX: 0.5})
+        demand = topo.port_demand(mix)
+        assert demand[topo.port_index("LS")] == pytest.approx(0.5)
+        assert demand[topo.port_index("FX")] == pytest.approx(0.5)
+        assert demand[topo.port_index("VS")] == pytest.approx(0.0)
+
+    def test_fractions_sum_to_one(self):
+        topo = typed_topology()
+        assert topo.port_fractions(Mix.uniform()).sum() == pytest.approx(1.0)
+
+    def test_ideal_is_capacity_proportional(self):
+        topo = typed_topology()
+        ideal = topo.ideal_port_fractions()
+        assert ideal[topo.port_index("LS")] == pytest.approx(2 / 7)
+        assert ideal[topo.port_index("BR")] == pytest.approx(1 / 7)
+        assert ideal.sum() == pytest.approx(1.0)
+
+
+class TestSaturation:
+    def test_no_demand_gives_full_scale(self):
+        topo = typed_topology()
+        assert topo.saturation_scale(np.zeros(4)) == 1.0
+
+    def test_underutilized_gives_full_scale(self):
+        topo = typed_topology()
+        assert topo.saturation_scale(np.array([1.0, 1.0, 1.0, 0.5])) == 1.0
+
+    def test_oversubscribed_port_throttles(self):
+        topo = typed_topology()
+        demand = np.zeros(4)
+        demand[topo.port_index("FX")] = 4.0  # capacity 2 -> scale 0.5
+        assert topo.saturation_scale(demand) == pytest.approx(0.5)
+
+    def test_bottleneck_is_worst_port(self):
+        topo = typed_topology()
+        demand = np.array([2.0, 4.0, 1.0, 2.0])  # LS ok, FX 2x, BR 2x over
+        assert topo.saturation_scale(demand) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            typed_topology().saturation_scale(np.zeros(2))

@@ -1,0 +1,68 @@
+"""Tests for the POWER5 model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import get_architecture, power5, power7
+from repro.arch.classes import InstrClass, Mix
+from repro.sim.fast_core import CoreInput, solve_core
+
+from tests.sim.helpers import balanced_stream
+
+
+class TestPower5Model:
+    def setup_method(self):
+        self.arch = power5()
+
+    def test_two_way_smt_dual_core(self):
+        assert self.arch.smt_levels == (1, 2)
+        assert self.arch.cores_per_chip == 2
+
+    def test_same_ideal_mix_family_as_power7(self):
+        assert np.allclose(self.arch.ideal_vector(), power7().ideal_vector())
+
+    def test_registry_lookup(self):
+        assert get_architecture("power5").name == "POWER5"
+
+    def test_slower_memory_system_than_power7(self):
+        p5, p7 = self.arch.caches, power7().caches
+        assert p5.lat_mem > p7.lat_mem
+        assert p5.mem_bandwidth_gbps < p7.mem_bandwidth_gbps
+
+    def test_core_solves(self):
+        out = solve_core(CoreInput(self.arch, 2, (balanced_stream(),) * 2,
+                                   threads_per_chip=4))
+        assert 0.5 < out.core_ipc <= self.arch.partition.dispatch_width
+
+    def test_smt2_gain_moderate(self):
+        solo = solve_core(CoreInput(self.arch, 1, (balanced_stream(),),
+                                    threads_per_chip=2))
+        smt2 = solve_core(CoreInput(self.arch, 2, (balanced_stream(),) * 2,
+                                    threads_per_chip=4))
+        gain = smt2.core_ipc / solo.core_ipc
+        assert 1.1 < gain < 1.7  # Mathis et al.: "moderate improvement"
+
+
+class TestMathisReplication:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import related_mathis_power5
+        return related_mathis_power5.run()
+
+    def test_most_gains_moderate(self, result):
+        gains = list(result.gains.values())
+        assert all(0.9 < g < 1.8 for g in gains)
+        moderate = sum(1 for g in gains if 1.1 <= g <= 1.6)
+        assert moderate >= len(gains) * 0.7
+
+    def test_miss_heavy_apps_gain_least(self, result):
+        # Mathis et al.: "applications with the smallest improvement
+        # have more cache misses when using SMT".
+        assert result.correlation < -0.4
+
+    def test_bandwidth_bound_at_bottom(self, result):
+        worst = min(result.gains, key=result.gains.get)
+        assert worst in ("Stream", "Swim", "Equake")
+
+    def test_render(self, result):
+        assert "Mathis" in result.render()

@@ -1,0 +1,90 @@
+"""Tests for the baseline predictors (Fig. 2 counters, IPC probing)."""
+
+import pytest
+
+from repro.arch import power7
+from repro.core.baselines import (
+    CounterPredictor,
+    IpcProbePredictor,
+    NAIVE_METRICS,
+    naive_metric_value,
+)
+from repro.core.predictor import Observation
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos import NO_SYNC, SyncProfile, SystemSpec
+from repro.workloads.synthetic import make_stream
+
+
+class TestNaiveMetricValues:
+    def sample(self):
+        system = SystemSpec(power7(), 1)
+        run = simulate_run(RunSpec(system, 1, make_stream(), NO_SYNC, seed=1))
+        return run.counter_sample()
+
+    def test_all_four_extractable(self):
+        s = self.sample()
+        for metric in NAIVE_METRICS:
+            assert naive_metric_value(s, metric) >= 0.0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown naive metric"):
+            naive_metric_value(self.sample(), "ipc_squared")
+
+
+class TestCounterPredictor:
+    def test_fits_orientation_automatically(self):
+        # High value -> prefers higher SMT (opposite of SMTsm orientation).
+        obs = [Observation(f"a{i}", 10.0 + i, 1.5) for i in range(5)]
+        obs += [Observation(f"b{i}", 1.0 + i * 0.1, 0.7) for i in range(5)]
+        p = CounterPredictor.fit("cpi", obs)
+        assert not p.higher_below_threshold
+        assert p.evaluate(obs).success_rate == 1.0
+
+    def test_fits_canonical_orientation_too(self):
+        obs = [Observation(f"a{i}", 0.01 * i, 1.5) for i in range(5)]
+        obs += [Observation(f"b{i}", 1.0 + i, 0.7) for i in range(5)]
+        p = CounterPredictor.fit("l1_mpki", obs)
+        assert p.higher_below_threshold
+        assert p.evaluate(obs).success_rate == 1.0
+
+    def test_uninformative_counter_poor_accuracy(self):
+        # Metric values identical across classes: accuracy capped at the
+        # majority-class rate.
+        obs = [Observation(f"a{i}", 5.0, 1.5) for i in range(5)]
+        obs += [Observation(f"b{i}", 5.0, 0.7) for i in range(4)]
+        p = CounterPredictor.fit("cpi", obs)
+        assert p.evaluate(obs).success_rate <= 5 / 9 + 1e-9
+
+
+class TestIpcProbe:
+    def run_pair(self, sync):
+        system = SystemSpec(power7(), 1)
+        stream = make_stream(loads=0.16, stores=0.12, branches=0.13, fx=0.29,
+                             l1_mpki=3, l2_mpki=1, l3_mpki=0.2)
+        high = simulate_run(RunSpec(system, 4, stream, sync, seed=5))
+        low = simulate_run(RunSpec(system, 1, stream, sync, seed=5))
+        return high, low
+
+    def test_correct_for_scalable_workload(self):
+        high, low = self.run_pair(NO_SYNC)
+        probe = IpcProbePredictor()
+        assert probe.predicts_higher(high, low)
+        assert probe.correct(high, low)
+
+    def test_fooled_by_spin_inflation(self):
+        # §I: "IPC is not always an accurate indicator of application
+        # performance (e.g., in case of spin-lock contention)".
+        sync = SyncProfile(lock_serial_fraction=0.5, lock_pingpong_coeff=1.5,
+                           lock_pingpong_half=8)
+        high, low = self.run_pair(sync)
+        probe = IpcProbePredictor()
+        # Raw executed IPC still looks better with more contexts...
+        assert probe.predicts_higher(high, low)
+        # ...but useful performance is worse: the probe is wrong.
+        assert high.performance < low.performance
+        assert not probe.correct(high, low)
+
+    def test_level_ordering_enforced(self):
+        high, low = self.run_pair(NO_SYNC)
+        with pytest.raises(ValueError, match="higher SMT level"):
+            IpcProbePredictor().predicts_higher(low, high)

@@ -1,0 +1,109 @@
+"""Tests for SMT co-scheduling guided by mix complementarity."""
+
+import pytest
+
+from repro.arch import power7
+from repro.core.coschedule import (
+    Job,
+    adversarial_pairing,
+    combined_deviation,
+    evaluate_pairing,
+    mix_complementary_pairing,
+    pair_score,
+    random_pairing,
+    solo_ipc,
+)
+from repro.simos.system import SystemSpec
+from repro.util.rng import RngStream
+from repro.workloads.synthetic import make_stream
+
+
+def fx_job(name="fx"):
+    return Job(name, make_stream(loads=0.10, stores=0.05, branches=0.05, fx=0.75,
+                                 ilp=2.0, l1_mpki=1, l2_mpki=0.3, l3_mpki=0.05))
+
+
+def vs_job(name="vs"):
+    return Job(name, make_stream(loads=0.12, stores=0.06, branches=0.04, fx=0.06,
+                                 ilp=2.0, l1_mpki=1, l2_mpki=0.3, l3_mpki=0.05))
+
+
+def mem_job(name="mem"):
+    return Job(name, make_stream(loads=0.35, stores=0.15, branches=0.08, fx=0.25,
+                                 ilp=1.5, l1_mpki=30, l2_mpki=20, l3_mpki=8,
+                                 locality_alpha=0.3, mlp=3.0))
+
+
+class TestScores:
+    def test_complementary_pair_scores_lower(self):
+        arch = power7()
+        complementary = pair_score(arch, fx_job(), vs_job())
+        clashing = pair_score(arch, fx_job(), fx_job("fx2"))
+        assert complementary < clashing
+
+    def test_combined_deviation_empty_raises(self):
+        with pytest.raises(ValueError):
+            combined_deviation(power7(), [])
+
+    def test_job_name_required(self):
+        with pytest.raises(ValueError):
+            Job("", fx_job().stream)
+
+
+class TestPairings:
+    def jobs(self):
+        return [fx_job("fx1"), fx_job("fx2"), vs_job("vs1"), vs_job("vs2")]
+
+    def test_greedy_pairs_complements(self):
+        arch = power7()
+        pairing = mix_complementary_pairing(arch, self.jobs())
+        for a, b in pairing:
+            # Every pair must mix an FX job with a VS job.
+            assert {a.name[:2], b.name[:2]} == {"fx", "vs"}
+
+    def test_adversarial_pairs_clones(self):
+        arch = power7()
+        pairing = adversarial_pairing(arch, self.jobs())
+        assert any({a.name[:2], b.name[:2]} == {"fx"} for a, b in pairing)
+
+    def test_odd_job_count_rejected(self):
+        with pytest.raises(ValueError, match="even number"):
+            mix_complementary_pairing(power7(), self.jobs()[:3])
+
+    def test_random_pairing_deterministic_per_seed(self):
+        a = random_pairing(self.jobs(), RngStream(3))
+        b = random_pairing(self.jobs(), RngStream(3))
+        assert [(x.name, y.name) for x, y in a] == [(x.name, y.name) for x, y in b]
+
+
+class TestEvaluation:
+    def test_complementary_beats_adversarial(self):
+        arch = power7()
+        system = SystemSpec(arch, 1)
+        jobs = [fx_job("fx1"), fx_job("fx2"), vs_job("vs1"), vs_job("vs2")]
+        good = evaluate_pairing(system, mix_complementary_pairing(arch, jobs))
+        bad = evaluate_pairing(system, adversarial_pairing(arch, jobs))
+        assert good.weighted_speedup > bad.weighted_speedup
+
+    def test_symbiosis_bounded(self):
+        arch = power7()
+        system = SystemSpec(arch, 1)
+        jobs = [fx_job("a"), vs_job("b"), mem_job("c"), mem_job("d")]
+        outcome = evaluate_pairing(system, mix_complementary_pairing(arch, jobs))
+        for name, ratio in outcome.per_job_slowdown.items():
+            assert 0.2 < ratio <= 1.3, name
+
+    def test_solo_ipc_positive(self):
+        assert solo_ipc(power7(), fx_job()) > 1.0
+
+    def test_too_many_pairs_rejected(self):
+        arch = power7()
+        system = SystemSpec(arch, 1)
+        jobs = [fx_job(f"j{i}") for i in range(20)]
+        pairing = tuple((jobs[2 * i], jobs[2 * i + 1]) for i in range(10))
+        with pytest.raises(ValueError, match="exceed"):
+            evaluate_pairing(system, pairing)
+
+    def test_empty_pairing_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_pairing(SystemSpec(power7(), 1), ())

@@ -1,0 +1,65 @@
+"""Property tests for the co-scheduling matcher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import power7
+from repro.core.coschedule import (
+    Job,
+    adversarial_pairing,
+    mix_complementary_pairing,
+    pair_score,
+    random_pairing,
+)
+from repro.util.rng import RngStream
+from repro.workloads.synthetic import random_workload
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+def job_pool(seed, n):
+    rng = RngStream(seed, ("jobs",))
+    return [Job(f"j{i}", random_workload(rng.child(i)).stream) for i in range(n)]
+
+
+def total_score(arch, pairing):
+    return sum(pair_score(arch, a, b) for a, b in pairing)
+
+
+class TestExactMatching:
+    @given(seeds, st.sampled_from([4, 6, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_guided_minimizes_over_random(self, seed, n):
+        arch = power7()
+        jobs = job_pool(seed, n)
+        best = total_score(arch, mix_complementary_pairing(arch, jobs))
+        for i in range(5):
+            rand = total_score(arch, random_pairing(jobs, RngStream(seed + i)))
+            assert best <= rand + 1e-9
+
+    @given(seeds, st.sampled_from([4, 6]))
+    @settings(max_examples=20, deadline=None)
+    def test_adversarial_maximizes_over_random(self, seed, n):
+        arch = power7()
+        jobs = job_pool(seed, n)
+        worst = total_score(arch, adversarial_pairing(arch, jobs))
+        for i in range(5):
+            rand = total_score(arch, random_pairing(jobs, RngStream(seed + i)))
+            assert worst >= rand - 1e-9
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_pairings_are_perfect_matchings(self, seed):
+        arch = power7()
+        jobs = job_pool(seed, 8)
+        for builder in (mix_complementary_pairing, adversarial_pairing):
+            pairing = builder(arch, jobs)
+            used = [job.name for pair in pairing for job in pair]
+            assert sorted(used) == sorted(j.name for j in jobs)
+
+    def test_greedy_fallback_used_above_limit(self):
+        arch = power7()
+        jobs = job_pool(1, 12)  # above EXACT_MATCH_LIMIT
+        pairing = mix_complementary_pairing(arch, jobs)
+        used = [job.name for pair in pairing for job in pair]
+        assert sorted(used) == sorted(j.name for j in jobs)

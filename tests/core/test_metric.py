@@ -1,0 +1,145 @@
+"""Tests for the SMTsm metric (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import nehalem, power7
+from repro.arch.classes import InstrClass, Mix
+from repro.core.metric import SmtsmResult, smtsm, smtsm_from_run
+from repro.counters.events import port_issue_event
+from repro.counters.pmu import CounterSample
+from repro.sim.engine import RunSpec, simulate_run
+from repro.simos import NO_SYNC, SyncProfile, SystemSpec
+from repro.workloads.synthetic import make_stream
+
+
+def p7_sample(mix=None, disp_frac=0.2, wall=1.0, cpu=0.8, smt=4):
+    arch = power7()
+    mix = mix or Mix(arch.ideal_vector())
+    instrs = 1e9
+    cycles = 2e9
+    events = {
+        "CYCLES": cycles,
+        "INSTRUCTIONS": instrs,
+        "DISP_HELD_RES": disp_frac * cycles,
+        "LD_CMPL": instrs * mix[InstrClass.LOAD],
+        "ST_CMPL": instrs * mix[InstrClass.STORE],
+        "BR_CMPL": instrs * mix[InstrClass.BRANCH],
+        "FX_CMPL": instrs * mix[InstrClass.FX],
+        "VS_CMPL": instrs * mix[InstrClass.VS],
+        "L1_DMISS": 1e6, "L2_MISS": 1e5, "L3_MISS": 1e4, "BR_MISPRED": 1e5,
+    }
+    return CounterSample(arch=arch, smt_level=smt, events=events,
+                         wall_time_s=wall, avg_thread_cpu_s=cpu,
+                         n_software_threads=32)
+
+
+class TestEquation1:
+    def test_ideal_mix_gives_zero_metric(self):
+        result = smtsm(p7_sample())
+        assert result.mix_deviation == pytest.approx(0.0, abs=1e-9)
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_factors_multiply(self):
+        mix = Mix({InstrClass.FX: 0.8, InstrClass.LOAD: 0.2})
+        result = smtsm(p7_sample(mix=mix, disp_frac=0.3, wall=1.0, cpu=0.5))
+        assert result.value == pytest.approx(
+            result.mix_deviation * result.dispatch_held * result.scalability_ratio
+        )
+        assert result.dispatch_held == pytest.approx(0.3)
+        assert result.scalability_ratio == pytest.approx(2.0)
+
+    def test_p7_deviation_matches_eq2_by_hand(self):
+        # Hand-computed Eq. 2 for a known mix.
+        mix = Mix({InstrClass.LOAD: 0.3, InstrClass.STORE: 0.1,
+                   InstrClass.BRANCH: 0.2, InstrClass.FX: 0.2, InstrClass.VS: 0.2})
+        expected = np.sqrt(
+            (0.3 - 1/7) ** 2 + (0.1 - 1/7) ** 2 + (0.2 - 1/7) ** 2
+            + (0.2 - 2/7) ** 2 + (0.2 - 2/7) ** 2
+        )
+        result = smtsm(p7_sample(mix=mix))
+        assert result.mix_deviation == pytest.approx(expected)
+
+    def test_float_conversion(self):
+        assert float(smtsm(p7_sample(disp_frac=0.5))) == pytest.approx(0.0, abs=1e-9)
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError):
+            SmtsmResult(value=-1, mix_deviation=0.1, dispatch_held=0.1,
+                        scalability_ratio=1.0, smt_level=4, arch_name="x")
+        with pytest.raises(ValueError):
+            SmtsmResult(value=0.1, mix_deviation=0.1, dispatch_held=0.1,
+                        scalability_ratio=0.0, smt_level=4, arch_name="x")
+
+
+class TestEquation3Nehalem:
+    def nehalem_sample(self, port_counts):
+        arch = nehalem()
+        instrs = float(sum(port_counts.values()))
+        events = {
+            "CYCLES": 2e9, "INSTRUCTIONS": instrs,
+            "DISP_HELD_RES": 0.25 * 2e9,
+            "LD_CMPL": 0.2 * instrs, "ST_CMPL": 0.1 * instrs,
+            "BR_CMPL": 0.1 * instrs, "FX_CMPL": 0.3 * instrs,
+            "VS_CMPL": 0.3 * instrs,
+            "L1_DMISS": 1e6, "L2_MISS": 1e5, "L3_MISS": 1e4, "BR_MISPRED": 1e5,
+        }
+        for port, count in port_counts.items():
+            events[port_issue_event(port)] = count
+        return CounterSample(arch=arch, smt_level=2, events=events,
+                             wall_time_s=1.0, avg_thread_cpu_s=0.9,
+                             n_software_threads=8)
+
+    def test_uniform_ports_zero_deviation(self):
+        sample = self.nehalem_sample({f"P{i}": 1e8 for i in range(6)})
+        assert smtsm(sample).mix_deviation == pytest.approx(0.0, abs=1e-12)
+
+    def test_skewed_ports_positive_deviation(self):
+        counts = {f"P{i}": 1e8 for i in range(6)}
+        counts["P2"] = 6e8  # load-port pressure a la Streamcluster
+        assert smtsm(self.nehalem_sample(counts)).mix_deviation > 0.2
+
+
+class TestMetricOnSimulatedRuns:
+    def test_balanced_scalable_run_scores_low(self):
+        system = SystemSpec(power7(), 1)
+        stream = make_stream(loads=0.16, stores=0.12, branches=0.13, fx=0.29,
+                             l1_mpki=2, l2_mpki=0.5, l3_mpki=0.1)
+        run = simulate_run(RunSpec(system, 4, stream, NO_SYNC, seed=3))
+        assert smtsm_from_run(run).value < 0.05
+
+    def test_contended_run_scores_high(self):
+        system = SystemSpec(power7(), 1)
+        stream = make_stream(loads=0.3, stores=0.1, branches=0.05, fx=0.05,
+                             l1_mpki=30, l2_mpki=20, l3_mpki=10,
+                             locality_alpha=0.3, mlp=4.0)
+        run = simulate_run(RunSpec(system, 4, stream, NO_SYNC, seed=3))
+        assert smtsm_from_run(run).value > 0.1
+
+    def test_spin_contention_visible_at_smt4_not_smt1(self):
+        # The §IV-B mechanism behind Fig. 11's breakdown: a lock whose
+        # contention only bites past 8 threads pollutes the mix (and
+        # bounces its line) at SMT4 but looks innocent at SMT1.
+        system = SystemSpec(power7(), 1)
+        stream = make_stream(loads=0.16, stores=0.12, branches=0.13, fx=0.29,
+                             l1_mpki=6, l2_mpki=2, l3_mpki=0.3,
+                             locality_alpha=1.2)
+        sync = SyncProfile(lock_serial_fraction=0.10, lock_pingpong_coeff=1.2)
+        m1 = smtsm_from_run(simulate_run(RunSpec(system, 1, stream, sync, seed=3)))
+        m4 = smtsm_from_run(simulate_run(RunSpec(system, 4, stream, sync, seed=3)))
+        assert m4.mix_deviation > m1.mix_deviation
+        assert m4.value > 2 * m1.value
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_metric_nonnegative_for_random_workloads(self, seed):
+        from repro.util.rng import RngStream
+        from repro.workloads.synthetic import random_workload
+        spec = random_workload(RngStream(seed))
+        system = SystemSpec(power7(), 1)
+        run = simulate_run(RunSpec(system, 4, spec.stream, spec.sync, seed=seed))
+        result = smtsm_from_run(run)
+        assert result.value >= 0.0
+        assert 0.0 <= result.dispatch_held <= 1.0
+        assert result.scalability_ratio >= 0.99

@@ -1,0 +1,106 @@
+"""Property-based invariants of the SMTsm metric itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import nehalem, power7
+from repro.arch.classes import CLASS_ORDER, InstrClass, Mix
+from repro.core.metric import smtsm
+from repro.counters.events import port_issue_event
+from repro.counters.pmu import CounterSample
+
+
+def mixes():
+    return st.lists(
+        st.floats(min_value=0.01, max_value=1.0), min_size=5, max_size=5
+    ).map(lambda raw: Mix(np.array(raw) / np.sum(raw)))
+
+
+def sample_for(arch, mix, *, disp=0.2, wall=1.0, cpu=0.8, smt=None,
+               instructions=1e9, cycles=2e9):
+    smt = smt if smt is not None else arch.max_smt
+    events = {
+        "CYCLES": cycles,
+        "INSTRUCTIONS": instructions,
+        "DISP_HELD_RES": disp * cycles,
+        "L1_DMISS": 1e6, "L2_MISS": 1e5, "L3_MISS": 1e4, "BR_MISPRED": 1e5,
+    }
+    for klass, event in zip(CLASS_ORDER,
+                            ("LD_CMPL", "ST_CMPL", "BR_CMPL", "FX_CMPL", "VS_CMPL")):
+        events[event] = instructions * mix[klass]
+    fracs = arch.topology.port_fractions(mix)
+    for p, name in enumerate(arch.topology.port_names):
+        events[port_issue_event(name)] = instructions * fracs[p]
+    return CounterSample(arch=arch, smt_level=smt, events=events,
+                         wall_time_s=wall, avg_thread_cpu_s=cpu,
+                         n_software_threads=8)
+
+
+class TestScaleInvariance:
+    @given(mixes(), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=40)
+    def test_counter_scaling_leaves_metric_unchanged(self, mix, scale):
+        # The metric is built from *fractions* and *ratios*: doubling the
+        # measurement window must not move it.
+        arch = power7()
+        a = smtsm(sample_for(arch, mix))
+        b = smtsm(sample_for(arch, mix, instructions=1e9 * scale,
+                             cycles=2e9 * scale))
+        assert a.value == pytest.approx(b.value, rel=1e-9)
+
+    @given(mixes(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40)
+    def test_time_unit_invariance(self, mix, scale):
+        arch = power7()
+        a = smtsm(sample_for(arch, mix, wall=1.0, cpu=0.8))
+        b = smtsm(sample_for(arch, mix, wall=scale, cpu=0.8 * scale))
+        assert a.value == pytest.approx(b.value, rel=1e-9)
+
+
+class TestFactorMonotonicity:
+    @given(mixes(), st.floats(min_value=0.0, max_value=0.5),
+           st.floats(min_value=0.0, max_value=0.4))
+    @settings(max_examples=40)
+    def test_metric_monotone_in_dispatch_held(self, mix, d1, delta):
+        arch = power7()
+        a = smtsm(sample_for(arch, mix, disp=d1))
+        b = smtsm(sample_for(arch, mix, disp=d1 + delta))
+        assert b.value >= a.value - 1e-12
+
+    @given(mixes(), st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=40)
+    def test_metric_monotone_in_sleeping(self, mix, cpu_frac):
+        arch = power7()
+        busy = smtsm(sample_for(arch, mix, cpu=1.0))
+        sleepy = smtsm(sample_for(arch, mix, cpu=cpu_frac))
+        assert sleepy.value >= busy.value - 1e-12
+
+
+class TestArchSpaces:
+    @given(mixes())
+    @settings(max_examples=40)
+    def test_deviation_bounded(self, mix):
+        for arch in (power7(), nehalem()):
+            result = smtsm(sample_for(arch, mix, smt=arch.max_smt))
+            # L2 distance between two probability vectors < sqrt(2).
+            assert 0.0 <= result.mix_deviation < np.sqrt(2)
+
+    @given(mixes())
+    @settings(max_examples=40)
+    def test_sample_fractions_match_arch_projection(self, mix):
+        for arch in (power7(), nehalem()):
+            sample = sample_for(arch, mix, smt=arch.max_smt)
+            assert np.allclose(
+                sample.metric_fractions(), arch.metric_fractions(mix), atol=1e-9
+            )
+
+    def test_ideal_mix_minimizes_deviation(self):
+        arch = power7()
+        ideal = Mix(arch.ideal_vector())
+        base = smtsm(sample_for(arch, ideal)).mix_deviation
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            raw = rng.uniform(0.01, 1.0, 5)
+            other = Mix(raw / raw.sum())
+            assert smtsm(sample_for(arch, other)).mix_deviation >= base - 1e-12

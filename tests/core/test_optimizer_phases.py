@@ -1,0 +1,136 @@
+"""Tests for the metric tracker and the online optimizer."""
+
+import pytest
+
+from repro.arch import power7
+from repro.core.metric import SmtsmResult
+from repro.core.optimizer import OnlineSmtOptimizer, OptimizerConfig
+from repro.core.phases import MetricTracker
+from repro.core.predictor import SmtPredictor
+from repro.simos import SystemSpec
+from repro.workloads.phases import alternating
+from repro.workloads.synthetic import compute_bound_workload, spin_bound_workload
+
+
+def reading(value, smt=4):
+    return SmtsmResult(value=value, mix_deviation=value, dispatch_held=1.0,
+                       scalability_ratio=1.0, smt_level=smt, arch_name="POWER7")
+
+
+class TestMetricTracker:
+    def test_first_sample_sets_estimate(self):
+        t = MetricTracker()
+        assert t.estimate is None
+        t.update(reading(0.05))
+        assert t.estimate == pytest.approx(0.05)
+
+    def test_ewma_smooths(self):
+        t = MetricTracker(alpha=0.5, phase_change_rel=10.0)
+        t.update(reading(0.10))
+        t.update(reading(0.20))
+        assert t.estimate == pytest.approx(0.15)
+
+    def test_phase_change_detected_and_resets(self):
+        t = MetricTracker(alpha=0.5, phase_change_rel=0.5, min_samples=1)
+        t.update(reading(0.05))
+        t.update(reading(0.05))
+        changed = t.update(reading(0.30))
+        assert changed
+        assert t.estimate == pytest.approx(0.30)
+
+    def test_small_noise_not_a_phase_change(self):
+        t = MetricTracker(alpha=0.5, phase_change_rel=0.5, min_samples=1)
+        t.update(reading(0.10))
+        assert not t.update(reading(0.11))
+
+    def test_reset(self):
+        t = MetricTracker()
+        t.update(reading(0.05))
+        t.reset()
+        assert t.estimate is None and t.n_samples == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            MetricTracker(min_samples=0)
+
+
+def p41(threshold=0.07):
+    return SmtPredictor(threshold=threshold, high_level=4, low_level=1)
+
+
+def p42(threshold=0.07):
+    return SmtPredictor(threshold=threshold, high_level=4, low_level=2)
+
+
+class TestOptimizerConfig:
+    def test_rejects_empty_predictors(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(predictors={})
+
+    def test_rejects_wrong_level_pairing(self):
+        system = SystemSpec(power7(), 1)
+        bad = {1: SmtPredictor(threshold=0.07, high_level=2, low_level=1)}
+        with pytest.raises(ValueError, match="expected 4v1"):
+            OnlineSmtOptimizer(system, OptimizerConfig(predictors=bad))
+
+    def test_rejects_target_at_max(self):
+        system = SystemSpec(power7(), 1)
+        bad = {4: SmtPredictor(threshold=0.07, high_level=8, low_level=4)}
+        with pytest.raises(ValueError):
+            OnlineSmtOptimizer(system, OptimizerConfig(predictors=bad))
+
+
+class TestOptimizerBehaviour:
+    def make_optimizer(self, chunk=2e9, probe_every=3):
+        system = SystemSpec(power7(), 1)
+        config = OptimizerConfig(predictors={1: p41(), 2: p42()},
+                                 chunk_work=chunk, probe_every=probe_every, seed=3)
+        return OnlineSmtOptimizer(system, config)
+
+    def test_stays_at_max_for_friendly_workload(self):
+        opt = self.make_optimizer()
+        workload = alternating("aa", compute_bound_workload("a"),
+                               compute_bound_workload("b"),
+                               work_per_phase=4e9, repeats=1)
+        result = opt.run(workload)
+        assert result.n_switches == 0
+        assert all(s.smt_level == 4 for s in result.steps)
+
+    def test_switches_down_for_contended_workload(self):
+        opt = self.make_optimizer()
+        spin = spin_bound_workload(lock_serial_fraction=0.5)
+        workload = alternating("bb", spin, spin, work_per_phase=8e9, repeats=1)
+        result = opt.run(workload)
+        assert result.n_switches >= 1
+        assert result.time_at_level(1) > 0
+
+    def test_reprobes_after_parking_low(self):
+        opt = self.make_optimizer(probe_every=2)
+        spin = spin_bound_workload(lock_serial_fraction=0.5)
+        workload = alternating("bb", spin, spin, work_per_phase=16e9, repeats=1)
+        result = opt.run(workload)
+        # Must return to SMT4 at least once to re-measure.
+        levels = [s.smt_level for s in result.steps]
+        assert 1 in levels
+        first_low = levels.index(1)
+        assert 4 in levels[first_low:]
+
+    def test_adaptive_beats_static_max_on_mixed_phases(self):
+        opt = self.make_optimizer(chunk=2e9)
+        workload = alternating(
+            "mixed", compute_bound_workload(),
+            spin_bound_workload(lock_serial_fraction=0.5),
+            work_per_phase=8e9, repeats=2,
+        )
+        adaptive = opt.run(workload).total_wall_time_s
+        static4 = opt.run_static(workload, 4)
+        assert adaptive < static4
+
+    def test_metric_reported_only_at_max_level(self):
+        opt = self.make_optimizer()
+        spin = spin_bound_workload(lock_serial_fraction=0.5)
+        result = opt.run(alternating("bb", spin, spin, work_per_phase=8e9, repeats=1))
+        for step in result.steps:
+            assert (step.metric is not None) == (step.smt_level == 4)

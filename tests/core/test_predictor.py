@@ -1,0 +1,85 @@
+"""Tests for the SMT-level predictor and its evaluation."""
+
+import pytest
+
+from repro.core.predictor import (
+    Observation,
+    SmtPredictor,
+    evaluate_predictor,
+)
+
+OBS = [
+    Observation("fast1", 0.01, 2.0),
+    Observation("fast2", 0.03, 1.5),
+    Observation("fast3", 0.05, 1.2),
+    Observation("slow1", 0.12, 0.8),
+    Observation("slow2", 0.20, 0.5),
+]
+
+
+class TestObservation:
+    def test_prefers_higher_at_tie(self):
+        # Ties count as preferring the higher level (paper labelling).
+        assert Observation("x", 0.1, 1.0).prefers_higher
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Observation("x", -0.1, 1.0)
+        with pytest.raises(ValueError):
+            Observation("x", 0.1, 0.0)
+
+
+class TestPredictor:
+    def test_recommend(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        assert p.recommend(0.05) == 4
+        assert p.recommend(0.10) == 1
+
+    def test_boundary_is_higher(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        assert p.predicts_higher(0.07)
+
+    def test_level_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            SmtPredictor(threshold=0.07, high_level=1, low_level=4)
+
+    def test_negative_metric_rejected(self):
+        p = SmtPredictor(threshold=0.07, high_level=4, low_level=1)
+        with pytest.raises(ValueError):
+            p.predicts_higher(-0.1)
+
+
+class TestFitting:
+    def test_gini_fit_separates_clean_data(self):
+        p = SmtPredictor.fit(OBS, high_level=4, low_level=1, method="gini")
+        assert 0.05 < p.threshold < 0.12
+        report = evaluate_predictor(p, OBS)
+        assert report.success_rate == 1.0
+
+    def test_ppi_fit_separates_clean_data(self):
+        p = SmtPredictor.fit(OBS, high_level=4, low_level=1, method="ppi")
+        report = evaluate_predictor(p, OBS)
+        assert report.success_rate == 1.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown fitting method"):
+            SmtPredictor.fit(OBS, high_level=4, low_level=1, method="magic")
+
+    def test_fit_keeps_canonical_orientation(self):
+        # Nearly all winners: a pure-but-inverted split must not be chosen.
+        obs = [Observation(f"w{i}", 0.02 + 0.01 * i, 1.5) for i in range(10)]
+        obs.append(Observation("loser", 0.30, 0.5))
+        p = SmtPredictor.fit(obs, high_level=2, low_level=1)
+        report = evaluate_predictor(p, obs)
+        assert report.success_rate == 1.0
+
+    def test_evaluate_reports_misses(self):
+        p = SmtPredictor(threshold=0.04, high_level=4, low_level=1)
+        report = evaluate_predictor(p, OBS)
+        assert report.mispredicted == ("fast3",)
+        assert report.n_correct == 4
+
+    def test_evaluate_empty_raises(self):
+        p = SmtPredictor(threshold=0.04, high_level=4, low_level=1)
+        with pytest.raises(ValueError):
+            evaluate_predictor(p, [])

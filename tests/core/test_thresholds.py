@@ -1,0 +1,103 @@
+"""Tests for Gini-impurity and PPI threshold selection (§V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.thresholds import (
+    best_ppi_threshold,
+    gini_curve,
+    gini_impurity,
+    optimal_threshold_range,
+    ppi_curve,
+    ppi_plateau,
+)
+
+# A cleanly separable toy set: metric < 0.1 wins at high SMT.
+CLEAN_METRICS = [0.01, 0.02, 0.05, 0.08, 0.15, 0.2, 0.3]
+CLEAN_SPEEDUPS = [2.0, 1.8, 1.5, 1.2, 0.8, 0.6, 0.4]
+
+
+class TestGiniImpurity:
+    def test_perfect_separator_zero_impurity(self):
+        assert gini_impurity(CLEAN_METRICS, CLEAN_SPEEDUPS, 0.1) == pytest.approx(0.0)
+
+    def test_worst_separator_high_impurity(self):
+        # Everything on one side: impurity equals the base rate impurity.
+        value = gini_impurity(CLEAN_METRICS, CLEAN_SPEEDUPS, 1e9)
+        p1 = 4 / 7
+        assert value == pytest.approx(1 - p1 ** 2 - (1 - p1) ** 2)
+
+    def test_eq4_to_6_by_hand(self):
+        # separator 0.17: left = {4 wins, 1 loss}, right = {2 losses}.
+        value = gini_impurity(CLEAN_METRICS, CLEAN_SPEEDUPS, 0.17)
+        il = 1 - (4 / 5) ** 2 - (1 / 5) ** 2
+        expected = (5 / 7) * il + (2 / 7) * 0.0
+        assert value == pytest.approx(expected)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            gini_impurity([0.1], [1.0, 2.0], 0.5)
+
+    def test_rejects_negative_metric(self):
+        with pytest.raises(ValueError):
+            gini_impurity([-0.1, 0.2], [1.0, 2.0], 0.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    def test_impurity_bounds(self, separator):
+        value = gini_impurity(CLEAN_METRICS, CLEAN_SPEEDUPS, separator)
+        assert 0.0 <= value <= 0.5
+
+
+class TestOptimalRange:
+    def test_finds_separating_range(self):
+        lo, hi, imp = optimal_threshold_range(CLEAN_METRICS, CLEAN_SPEEDUPS)
+        assert imp == pytest.approx(0.0)
+        assert 0.08 < lo <= hi < 0.15
+
+    def test_curve_minimum_matches_range(self):
+        curve = gini_curve(CLEAN_METRICS, CLEAN_SPEEDUPS, n_points=500)
+        best = min(p.impurity for p in curve)
+        _, _, imp = optimal_threshold_range(CLEAN_METRICS, CLEAN_SPEEDUPS)
+        assert best == pytest.approx(imp, abs=1e-9)
+
+    def test_noisy_data_nonzero_impurity(self):
+        metrics = CLEAN_METRICS + [0.05, 0.25]
+        speedups = CLEAN_SPEEDUPS + [0.95, 1.1]  # two misfits
+        _, _, imp = optimal_threshold_range(metrics, speedups)
+        assert imp > 0.0
+
+
+class TestPpi:
+    def test_zero_threshold_switches_everyone(self):
+        # At threshold 0 every benchmark is switched down; winners are
+        # hurt, losers gain.
+        points = ppi_curve(CLEAN_METRICS, CLEAN_SPEEDUPS, n_points=50)
+        expected = np.mean([(1 / s - 1) * 100 for s in CLEAN_SPEEDUPS])
+        assert points[0].avg_improvement_pct == pytest.approx(expected, rel=1e-6)
+
+    def test_huge_threshold_gives_zero(self):
+        points = ppi_curve(CLEAN_METRICS, CLEAN_SPEEDUPS)
+        assert points[-1].avg_improvement_pct == pytest.approx(0.0, abs=0.5)
+
+    def test_best_threshold_separates(self):
+        threshold, improvement = best_ppi_threshold(CLEAN_METRICS, CLEAN_SPEEDUPS)
+        assert 0.08 <= threshold < 0.15
+        expected = np.mean([(1 / s - 1) * 100 for s in [0.8, 0.6, 0.4]] + [0, 0, 0, 0])
+        assert improvement == pytest.approx(expected, rel=1e-6)
+
+    def test_ppi_prefers_preserving_large_speedups(self):
+        # §V-B point 3: a big winner just right of small losers should
+        # push the PPI threshold right of it, unlike Gini.
+        metrics = [0.01, 0.05, 0.06, 0.07, 0.3]
+        speedups = [1.5, 0.98, 0.97, 3.0, 0.5]
+        t_ppi, _ = best_ppi_threshold(metrics, speedups)
+        assert t_ppi > 0.07  # keeps the 3.0x benchmark at the high level
+
+    def test_plateau(self):
+        lo, hi = ppi_plateau(CLEAN_METRICS, CLEAN_SPEEDUPS, 10.0)
+        assert lo < hi
+
+    def test_plateau_unreachable_raises(self):
+        with pytest.raises(ValueError, match="no threshold"):
+            ppi_plateau([0.1, 0.2], [1.5, 1.4], 50.0)

@@ -1,0 +1,74 @@
+"""Tests for architecture-specific counter groups."""
+
+import pytest
+
+from repro.arch import generic_core, nehalem, power7
+from repro.counters.arch_groups import (
+    NEHALEM_FIXED,
+    groups_for,
+    missing_from_schedule,
+    nehalem_groups,
+    power7_groups,
+)
+from repro.core.metric import smtsm
+from repro.counters.perfstat import PerfStat, PerfStatConfig
+from repro.experiments.systems import nehalem_system, p7_system
+from repro.sim.online import SteadyApp
+from repro.workloads import get_workload
+
+
+class TestPower7Groups:
+    def test_respects_pmc_width(self):
+        sched = power7_groups()
+        for group in sched.groups:
+            assert len(group.events) <= 6
+
+    def test_covers_all_events(self):
+        assert missing_from_schedule(power7(), power7_groups()) == []
+
+    def test_metric_events_in_one_group(self):
+        front = power7_groups().groups[0]
+        assert "DISP_HELD_RES" in front.events
+        assert "CYCLES" in front.events
+
+
+class TestNehalemGroups:
+    def test_respects_pmc_width(self):
+        for group in nehalem_groups().groups:
+            assert len(group.events) <= 4
+
+    def test_only_fixed_counters_uncovered(self):
+        missing = missing_from_schedule(nehalem(), nehalem_groups())
+        assert set(missing) == set(NEHALEM_FIXED)
+
+    def test_all_ports_covered(self):
+        covered = set(nehalem_groups().covered_events())
+        for i in range(6):
+            assert f"PORT_ISSUE_P{i}" in covered
+
+
+class TestGroupsFor:
+    def test_dispatch_by_name(self):
+        assert groups_for(power7()).groups[0].name.startswith("P7")
+        assert groups_for(nehalem()).groups[0].name.startswith("NH")
+
+    def test_generic_fallback_covers_everything(self):
+        arch = generic_core()
+        assert missing_from_schedule(arch, groups_for(arch)) == []
+
+
+class TestMetricThroughRealisticSchedules:
+    @pytest.mark.parametrize("system_fn,level,workload", [
+        (p7_system, 4, "SSCA2"),
+        (nehalem_system, 2, "Streamcluster"),
+    ])
+    def test_multiplexed_metric_matches_exact(self, system_fn, level, workload):
+        system = system_fn()
+        app = SteadyApp(system, level, get_workload(workload), seed=3)
+        exact = smtsm(app.advance(0.5))
+        sched = groups_for(system.arch)
+        cfg = PerfStatConfig(interval_s=0.2, multiplex=sched)
+        reading = PerfStat(cfg).measure(app, 0.2)[0]
+        estimated = smtsm(reading.sample)
+        # Stationary workload: multiplex scaling must be unbiased.
+        assert estimated.value == pytest.approx(exact.value, rel=0.02)

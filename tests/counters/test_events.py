@@ -1,0 +1,52 @@
+"""Tests for event definitions."""
+
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.counters.events import (
+    CANONICAL_EVENTS,
+    CLASS_COUNT_EVENTS,
+    Event,
+    EventDomain,
+    arch_event_names,
+    port_issue_event,
+)
+
+
+class TestEventDefinitions:
+    def test_canonical_events_unique(self):
+        names = [e.name for e in CANONICAL_EVENTS]
+        assert len(set(names)) == len(names)
+
+    def test_required_metric_events_present(self):
+        names = {e.name for e in CANONICAL_EVENTS}
+        assert {"CYCLES", "INSTRUCTIONS", "DISP_HELD_RES"} <= names
+
+    def test_fig2_baseline_events_present(self):
+        # Fig. 2 needs L1 misses, CPI inputs, branch mispredicts, VSU counts.
+        names = {e.name for e in CANONICAL_EVENTS}
+        assert {"L1_DMISS", "BR_MISPRED", "VS_CMPL"} <= names
+
+    def test_class_count_events_cover_all_classes(self):
+        assert len(CLASS_COUNT_EVENTS) == 5
+
+    def test_event_name_validation(self):
+        with pytest.raises(ValueError, match="identifier"):
+            Event("BAD NAME", EventDomain.EVENTS, "x")
+
+    def test_port_issue_event_naming(self):
+        assert port_issue_event("P0") == "PORT_ISSUE_P0"
+
+
+class TestArchEventNames:
+    def test_power7_includes_port_counters(self):
+        names = arch_event_names(power7())
+        assert "PORT_ISSUE_LS" in names and "PORT_ISSUE_BR" in names
+
+    def test_nehalem_includes_six_ports(self):
+        names = arch_event_names(nehalem())
+        assert sum(1 for n in names if n.startswith("PORT_ISSUE_")) == 6
+
+    def test_no_duplicates(self):
+        names = arch_event_names(power7())
+        assert len(set(names)) == len(names)

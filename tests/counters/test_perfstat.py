@@ -1,0 +1,127 @@
+"""Tests for the perf-stat-like sampler and its overhead model."""
+
+import pytest
+
+from repro.arch import power7
+from repro.arch.classes import InstrClass
+from repro.counters.groups import CounterGroup, MultiplexSchedule
+from repro.counters.perfstat import PerfStat, PerfStatConfig
+from repro.counters.pmu import CounterSample
+
+
+class StationaryApp:
+    """Fake app producing exact, rate-proportional counters."""
+
+    def __init__(self, ipc=1.0, freq=1e9):
+        self.arch = power7()
+        self.freq = freq
+        self.ipc = ipc
+        self.advanced_s = 0.0
+
+    def advance(self, wall_seconds):
+        self.advanced_s += wall_seconds
+        cycles = wall_seconds * self.freq
+        instrs = cycles * self.ipc
+        events = {
+            "CYCLES": cycles,
+            "INSTRUCTIONS": instrs,
+            "DISP_HELD_RES": 0.1 * cycles,
+            "LD_CMPL": 0.2 * instrs,
+            "ST_CMPL": 0.1 * instrs,
+            "BR_CMPL": 0.15 * instrs,
+            "FX_CMPL": 0.3 * instrs,
+            "VS_CMPL": 0.25 * instrs,
+            "L1_DMISS": 0.01 * instrs,
+            "L2_MISS": 0.002 * instrs,
+            "L3_MISS": 0.0005 * instrs,
+            "BR_MISPRED": 0.001 * instrs,
+        }
+        return CounterSample(
+            arch=self.arch,
+            smt_level=4,
+            events=events,
+            wall_time_s=wall_seconds,
+            avg_thread_cpu_s=wall_seconds * 0.95,
+            n_software_threads=32,
+        )
+
+
+class TestConfig:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            PerfStatConfig(interval_s=0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            PerfStatConfig(overhead_per_sample_s=-1.0)
+
+    def test_overhead_fraction(self):
+        cfg = PerfStatConfig(interval_s=0.09, overhead_per_sample_s=0.01)
+        assert cfg.overhead_fraction == pytest.approx(0.1)
+
+
+class TestMeasurement:
+    def test_number_of_readings_no_overhead(self):
+        readings = PerfStat(PerfStatConfig(interval_s=0.1)).measure(StationaryApp(), 1.0)
+        assert len(readings) == 10
+
+    def test_overhead_reduces_reading_count(self):
+        cfg = PerfStatConfig(interval_s=0.1, overhead_per_sample_s=0.1)
+        readings = PerfStat(cfg).measure(StationaryApp(), 1.0)
+        assert len(readings) == 5
+
+    def test_too_short_duration_raises(self):
+        with pytest.raises(ValueError, match="shorter"):
+            PerfStat(PerfStatConfig(interval_s=1.0)).measure(StationaryApp(), 0.5)
+
+    def test_exact_mode_matches_app(self):
+        readings = PerfStat(PerfStatConfig(interval_s=0.1)).measure(StationaryApp(), 0.3)
+        s = readings[0].sample
+        assert s.ipc == pytest.approx(1.0)
+        assert s.dispatch_held_fraction == pytest.approx(0.1)
+
+    def test_readings_cover_timeline(self):
+        cfg = PerfStatConfig(interval_s=0.1, overhead_per_sample_s=0.02)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.5)
+        for earlier, later in zip(readings, readings[1:]):
+            assert later.t_start_s == pytest.approx(earlier.t_end_s)
+
+
+class TestMultiplexingAndPollution:
+    def test_multiplexed_estimate_unbiased_when_stationary(self):
+        sched = MultiplexSchedule(
+            [CounterGroup("A", ("CYCLES", "INSTRUCTIONS", "DISP_HELD_RES")),
+             CounterGroup("B", ("L1_DMISS", "BR_MISPRED"))],
+            width=6,
+        )
+        cfg = PerfStatConfig(interval_s=0.1, multiplex=sched)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.2)
+        s = readings[0].sample
+        # Scaled estimates should match the exact stationary rates.
+        assert s.ipc == pytest.approx(1.0, rel=1e-6)
+        assert s.l1_mpki == pytest.approx(10.0, rel=1e-6)
+
+    def test_uncovered_events_pass_through(self):
+        sched = MultiplexSchedule([CounterGroup("A", ("L1_DMISS",))], width=6)
+        cfg = PerfStatConfig(interval_s=0.1, multiplex=sched)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.1)
+        assert readings[0].sample.count("CYCLES") > 0
+
+    def test_pollution_shifts_mix_toward_tool(self):
+        clean = PerfStat(PerfStatConfig(interval_s=0.1)).measure(StationaryApp(), 0.1)
+        cfg = PerfStatConfig(interval_s=0.1, tool_instructions_per_sample=1e7)
+        dirty = PerfStat(cfg).measure(StationaryApp(), 0.1)
+        clean_vs = clean[0].sample.mix()[InstrClass.VS]
+        dirty_vs = dirty[0].sample.mix()[InstrClass.VS]
+        # Tool instructions contain no VS work -> VS fraction diluted.
+        assert dirty_vs < clean_vs
+
+    def test_pollution_increases_instruction_count(self):
+        cfg = PerfStatConfig(interval_s=0.1, tool_instructions_per_sample=1e6)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.1)
+        assert readings[0].sample.instructions == pytest.approx(1e8 + 1e6, rel=1e-6)
+
+    def test_jitter_perturbs_counts(self):
+        cfg = PerfStatConfig(interval_s=0.1, jitter_rel=0.05)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.1)
+        assert readings[0].sample.ipc != pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,25 @@
+"""Shared (session-scoped) catalog runs for the experiment tests.
+
+Running the full POWER7 catalog at three SMT levels takes about a
+second; sharing the result across the experiment tests keeps the suite
+fast without weakening the assertions.
+"""
+
+import pytest
+
+from repro.experiments.systems import nehalem_runs, p7_runs
+
+
+@pytest.fixture(scope="session")
+def p7_catalog_runs():
+    return p7_runs(seed=11)
+
+
+@pytest.fixture(scope="session")
+def p7x2_catalog_runs():
+    return p7_runs(n_chips=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def nehalem_catalog_runs():
+    return nehalem_runs(seed=11)

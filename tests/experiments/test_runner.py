@@ -1,0 +1,79 @@
+"""Tests for the shared experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import run_catalog, scatter_from_runs
+from repro.experiments.systems import p7_system
+from repro.workloads.catalog import all_workloads
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    specs = all_workloads()
+    subset = {n: specs[n] for n in ("EP", "Equake", "SPECjbb_contention")}
+    return run_catalog(p7_system(), subset, (1, 2, 4), seed=5)
+
+
+class TestRunCatalog:
+    def test_levels_and_names(self, small_runs):
+        assert small_runs.levels() == (1, 2, 4)
+        assert set(small_runs.names()) == {"EP", "Equake", "SPECjbb_contention"}
+
+    def test_thread_counts_follow_protocol(self, small_runs):
+        # §IV: software threads == hardware contexts at each level.
+        for by_level in small_runs.runs.values():
+            assert by_level[1].n_threads == 8
+            assert by_level[2].n_threads == 16
+            assert by_level[4].n_threads == 32
+
+    def test_rejects_unsupported_level(self):
+        with pytest.raises(ValueError):
+            run_catalog(p7_system(), {"EP": all_workloads()["EP"]}, (1, 3))
+
+
+class TestScatterFromRuns:
+    def test_points_complete(self, small_runs):
+        result = scatter_from_runs(small_runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1)
+        assert len(result.points) == 3
+        names = {p.name for p in result.points}
+        assert names == set(small_runs.names())
+
+    def test_selected_names(self, small_runs):
+        result = scatter_from_runs(small_runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1, names=["EP"])
+        assert len(result.points) == 1
+
+    def test_unknown_name_raises(self, small_runs):
+        with pytest.raises(KeyError, match="not in catalog"):
+            scatter_from_runs(small_runs, title="t", measure_level=4,
+                              high_level=4, low_level=1, names=["nope"])
+
+    def test_level_ordering_enforced(self, small_runs):
+        with pytest.raises(ValueError):
+            scatter_from_runs(small_runs, title="t", measure_level=4,
+                              high_level=1, low_level=4)
+
+    def test_known_workloads_land_on_expected_sides(self, small_runs):
+        result = scatter_from_runs(small_runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1)
+        by_name = {p.name: p for p in result.points}
+        assert by_name["EP"].speedup > 1.5
+        assert by_name["EP"].metric < 0.05
+        assert by_name["Equake"].speedup < 0.7
+        assert by_name["Equake"].metric > 0.15
+        assert by_name["SPECjbb_contention"].speedup < 0.5
+
+    def test_render_contains_summary(self, small_runs):
+        result = scatter_from_runs(small_runs, title="My Fig", measure_level=4,
+                                   high_level=4, low_level=1)
+        text = result.render(threshold=0.07)
+        assert "My Fig" in text
+        assert "success" in text
+
+    def test_success_with_fixed_threshold(self, small_runs):
+        result = scatter_from_runs(small_runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1)
+        summary = result.success(threshold=0.07)
+        assert summary.n_total == 3
+        assert summary.success_rate == 1.0

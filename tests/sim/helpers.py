@@ -1,0 +1,62 @@
+"""Shared stream fixtures for simulator tests."""
+
+from repro.arch.classes import InstrClass, Mix
+from repro.sim.stream import MemoryBehavior, StreamParams
+
+
+def balanced_stream(**overrides):
+    """EP-like: diverse mix, modest ILP, tiny footprint, scalable."""
+    kwargs = dict(
+        mix=Mix({InstrClass.LOAD: 0.16, InstrClass.STORE: 0.10,
+                 InstrClass.BRANCH: 0.12, InstrClass.FX: 0.30, InstrClass.VS: 0.32}),
+        ilp=1.6,
+        memory=MemoryBehavior(l1_mpki=2.0, l2_mpki=0.5, l3_mpki=0.1,
+                              locality_alpha=0.4, data_sharing=0.2),
+        branch_mispredict_rate=0.01,
+    )
+    kwargs.update(overrides)
+    return StreamParams(**kwargs)
+
+
+def memory_stream(**overrides):
+    """STREAM-like: bandwidth-bound, compulsory misses, high MLP."""
+    kwargs = dict(
+        mix=Mix({InstrClass.LOAD: 0.35, InstrClass.STORE: 0.20,
+                 InstrClass.BRANCH: 0.05, InstrClass.FX: 0.15, InstrClass.VS: 0.25}),
+        ilp=2.5,
+        memory=MemoryBehavior(l1_mpki=45.0, l2_mpki=42.0, l3_mpki=40.0,
+                              locality_alpha=0.05, data_sharing=0.0),
+        branch_mispredict_rate=0.005,
+        mlp=8.0,
+    )
+    kwargs.update(overrides)
+    return StreamParams(**kwargs)
+
+
+def fx_heavy_stream(**overrides):
+    """Homogeneous integer mix that saturates the FX ports under SMT."""
+    kwargs = dict(
+        mix=Mix({InstrClass.LOAD: 0.10, InstrClass.STORE: 0.05,
+                 InstrClass.BRANCH: 0.05, InstrClass.FX: 0.78, InstrClass.VS: 0.02}),
+        ilp=2.5,
+        memory=MemoryBehavior(l1_mpki=1.0, l2_mpki=0.3, l3_mpki=0.05,
+                              locality_alpha=0.3, data_sharing=0.2),
+        branch_mispredict_rate=0.005,
+    )
+    kwargs.update(overrides)
+    return StreamParams(**kwargs)
+
+
+def thrashy_fp_stream(**overrides):
+    """Swim-like: VS-heavy, cache-sensitive, bandwidth-hungry."""
+    kwargs = dict(
+        mix=Mix({InstrClass.LOAD: 0.28, InstrClass.STORE: 0.12,
+                 InstrClass.BRANCH: 0.03, InstrClass.FX: 0.07, InstrClass.VS: 0.50}),
+        ilp=2.2,
+        memory=MemoryBehavior(l1_mpki=22.0, l2_mpki=10.0, l3_mpki=5.0,
+                              locality_alpha=0.9, data_sharing=0.1),
+        branch_mispredict_rate=0.005,
+        mlp=4.0,
+    )
+    kwargs.update(overrides)
+    return StreamParams(**kwargs)

@@ -1,0 +1,164 @@
+"""Tests for the cache-sharing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import nehalem, power7
+from repro.sim.cache import (
+    MAX_PRESSURE_SCALE,
+    CacheModel,
+    SharingContext,
+    effective_sharers,
+)
+from repro.sim.stream import MemoryBehavior
+
+from tests.sim.helpers import balanced_stream, memory_stream, thrashy_fp_stream
+
+
+class TestSharingContext:
+    def test_rejects_chip_below_core(self):
+        with pytest.raises(ValueError):
+            SharingContext(threads_per_core=4, threads_per_chip=2)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            SharingContext(threads_per_core=0, threads_per_chip=0)
+
+
+class TestEffectiveSharers:
+    def test_no_sharing_full_pressure(self):
+        assert effective_sharers(4, 0.0) == 4.0
+
+    def test_full_sharing_no_pressure(self):
+        assert effective_sharers(4, 1.0) == 1.0
+
+    def test_partial(self):
+        assert effective_sharers(5, 0.5) == 3.0
+
+
+class TestPressureScale:
+    def setup_method(self):
+        self.model = CacheModel(power7())
+
+    def test_identity_at_reference(self):
+        assert self.model.pressure_scale(32.0, 32.0, 0.5) == 1.0
+
+    def test_less_capacity_more_misses(self):
+        assert self.model.pressure_scale(32.0, 8.0, 1.0) == pytest.approx(4.0)
+
+    def test_more_capacity_fewer_misses(self):
+        assert self.model.pressure_scale(32.0, 64.0, 1.0) == pytest.approx(0.5)
+
+    def test_streaming_alpha_zero_insensitive(self):
+        assert self.model.pressure_scale(32.0, 1.0, 0.0) == 1.0
+
+    def test_capped(self):
+        assert self.model.pressure_scale(32.0, 0.001, 2.0) == MAX_PRESSURE_SCALE
+
+    @given(st.floats(min_value=0.1, max_value=100.0), st.floats(min_value=0.0, max_value=2.0))
+    def test_always_positive_and_bounded(self, c_actual, alpha):
+        s = self.model.pressure_scale(32.0, c_actual, alpha)
+        assert 1.0 / MAX_PRESSURE_SCALE <= s <= MAX_PRESSURE_SCALE
+
+
+class TestEffectiveRates:
+    def setup_method(self):
+        self.model = CacheModel(power7())
+
+    def test_monotone_hierarchy_enforced(self):
+        rates = self.model.effective_rates(
+            thrashy_fp_stream().memory, SharingContext(4, 32)
+        )
+        assert rates.l1_mpki >= rates.l2_mpki >= rates.l3_mpki
+
+    def test_more_core_sharers_more_l1_misses(self):
+        mem = thrashy_fp_stream().memory
+        r1 = self.model.effective_rates(mem, SharingContext(1, 8))
+        r4 = self.model.effective_rates(mem, SharingContext(4, 32))
+        assert r4.l1_mpki > r1.l1_mpki
+
+    def test_streaming_workload_insensitive(self):
+        mem = memory_stream().memory
+        r1 = self.model.effective_rates(mem, SharingContext(1, 8))
+        r4 = self.model.effective_rates(mem, SharingContext(4, 32))
+        assert r4.l3_mpki == pytest.approx(r1.l3_mpki, rel=0.10)
+
+    def test_data_sharing_damps_pressure(self):
+        base = thrashy_fp_stream().memory
+        shared = MemoryBehavior(
+            base.l1_mpki, base.l2_mpki, base.l3_mpki, base.locality_alpha, 0.9
+        )
+        r_priv = self.model.effective_rates(base, SharingContext(4, 32))
+        r_shared = self.model.effective_rates(shared, SharingContext(4, 32))
+        assert r_shared.l1_mpki < r_priv.l1_mpki
+
+    def test_nehalem_smaller_l3_raises_l3_misses(self):
+        # The Streamcluster mechanism (paper §IV-A): Nehalem's 2 MB/thread
+        # L3 vs POWER7's 4 MB/core.
+        mem = MemoryBehavior(30, 15, 3, locality_alpha=1.2, data_sharing=0.2)
+        p7 = CacheModel(power7()).effective_rates(mem, SharingContext(1, 8))
+        nh = CacheModel(nehalem()).effective_rates(mem, SharingContext(1, 4))
+        assert nh.l3_mpki > p7.l3_mpki
+
+    def test_exclusive_hit_rates(self):
+        rates = self.model.effective_rates(balanced_stream().memory, SharingContext(1, 8))
+        assert rates.l2_hit_mpki == pytest.approx(rates.l1_mpki - rates.l2_mpki)
+        assert rates.l3_hit_mpki >= 0
+
+
+class TestStalls:
+    def setup_method(self):
+        self.model = CacheModel(power7())
+        self.sharing = SharingContext(1, 8)
+
+    def test_low_miss_stream_small_stall(self):
+        s = balanced_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        assert self.model.memory_stall_per_instruction(rates, s) < 0.1
+
+    def test_memory_stream_large_stall(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        assert self.model.memory_stall_per_instruction(rates, s) > 1.0
+
+    def test_latency_multiplier_increases_stall(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        base = self.model.memory_stall_per_instruction(rates, s)
+        inflated = self.model.memory_stall_per_instruction(rates, s, mem_latency_mult=2.0)
+        assert inflated > 1.5 * base
+
+    def test_numa_extra_latency_increases_stall(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        base = self.model.memory_stall_per_instruction(rates, s)
+        remote = self.model.memory_stall_per_instruction(rates, s, extra_mem_latency=100.0)
+        assert remote > base
+
+    def test_mlp_divides_stall(self):
+        lo = memory_stream(mlp=1.0)
+        hi = memory_stream(mlp=8.0)
+        rates = self.model.effective_rates(lo.memory, self.sharing)
+        assert self.model.memory_stall_per_instruction(
+            rates, lo
+        ) == pytest.approx(8 * self.model.memory_stall_per_instruction(rates, hi))
+
+    def test_long_stall_excludes_l2(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        assert self.model.long_stall_per_instruction(
+            rates, s
+        ) <= self.model.memory_stall_per_instruction(rates, s)
+
+    def test_rejects_mult_below_one(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        with pytest.raises(ValueError):
+            self.model.memory_stall_per_instruction(rates, s, mem_latency_mult=0.5)
+
+    def test_traffic_proportional_to_l3_misses(self):
+        s = memory_stream()
+        rates = self.model.effective_rates(s.memory, self.sharing)
+        traffic = self.model.traffic_bytes_per_instruction(rates, s.memory)
+        expected = rates.l3_mpki / 1000 * 128 * 1.3
+        assert traffic == pytest.approx(expected)

@@ -1,0 +1,159 @@
+"""Tests for chip composition and the full-system engine."""
+
+import numpy as np
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.sim.chip import solve_chip
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.results import speedup
+from repro.simos import NO_SYNC, SyncProfile, SystemSpec
+from repro.simos.scheduler import place_threads
+
+from tests.sim.helpers import balanced_stream, fx_heavy_stream, memory_stream
+
+
+P7 = SystemSpec(power7(), 1)
+
+
+class TestSolveChip:
+    def test_full_smt4(self):
+        placement = place_threads(P7, 4, 32)
+        sol = solve_chip(placement, balanced_stream())
+        assert len(sol.core_outputs) == 8
+        assert len(sol.per_thread_ipc()) == 32
+
+    def test_bandwidth_fixed_point_inflates_for_memory_stream(self):
+        placement = place_threads(P7, 4, 32)
+        sol = solve_chip(placement, memory_stream())
+        assert sol.mem_latency_mult > 1.5
+        assert sol.mem_utilization > 0.5
+
+    def test_compute_stream_no_inflation(self):
+        placement = place_threads(P7, 1, 8)
+        sol = solve_chip(placement, balanced_stream())
+        assert sol.mem_latency_mult == pytest.approx(1.0, abs=0.05)
+
+    def test_mean_dispatch_held_weighted(self):
+        placement = place_threads(P7, 4, 32)
+        sol = solve_chip(placement, memory_stream())
+        assert 0.0 <= sol.mean_dispatch_held <= 1.0
+
+    def test_uneven_occupancy(self):
+        placement = place_threads(P7, 4, 10)
+        sol = solve_chip(placement, balanced_stream())
+        assert len(sol.per_thread_ipc()) == 10
+        assert set(sol.core_occupancy) == {1, 2}
+
+
+class TestSimulateRun:
+    def test_run_result_consistency(self):
+        r = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=7))
+        assert r.n_threads == 32
+        assert r.wall_time_s > 0
+        sample = r.counter_sample()
+        assert sample.ipc > 0
+        assert 0 <= sample.dispatch_held_fraction <= 1
+
+    def test_counters_reflect_mix(self):
+        r = simulate_run(RunSpec(P7, 1, balanced_stream(), NO_SYNC, seed=7))
+        mix = r.counter_sample().mix()
+        for klass in mix.as_dict():
+            assert mix[klass] == pytest.approx(balanced_stream().mix[klass], abs=0.02)
+
+    def test_balanced_prefers_smt4(self):
+        runs = {l: simulate_run(RunSpec(P7, l, balanced_stream(), NO_SYNC, seed=7))
+                for l in (1, 4)}
+        assert speedup(runs[4], runs[1]) > 1.4
+
+    def test_lock_bound_prefers_smt1(self):
+        sync = SyncProfile(lock_serial_fraction=0.5, lock_pingpong_coeff=1.5,
+                           lock_pingpong_half=8)
+        runs = {l: simulate_run(RunSpec(P7, l, balanced_stream(), sync, seed=7))
+                for l in (1, 4)}
+        assert speedup(runs[4], runs[1]) < 0.9
+
+    def test_spin_fraction_grows_with_smt_under_lock(self):
+        sync = SyncProfile(lock_serial_fraction=0.3, lock_pingpong_coeff=1.0)
+        r1 = simulate_run(RunSpec(P7, 1, balanced_stream(), sync, seed=7))
+        r4 = simulate_run(RunSpec(P7, 4, balanced_stream(), sync, seed=7))
+        assert r4.spin_fraction > r1.spin_fraction
+
+    def test_spin_pollutes_branch_counters(self):
+        sync = SyncProfile(lock_serial_fraction=0.4, lock_pingpong_coeff=1.0)
+        clean = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=7))
+        spinny = simulate_run(RunSpec(P7, 4, balanced_stream(), sync, seed=7))
+        from repro.arch.classes import InstrClass
+        assert (
+            spinny.counter_sample().mix()[InstrClass.BRANCH]
+            > clean.counter_sample().mix()[InstrClass.BRANCH]
+        )
+
+    def test_blocking_raises_scalability_ratio(self):
+        sync = SyncProfile(block_coeff=0.5, block_half=4)
+        r = simulate_run(RunSpec(P7, 4, balanced_stream(), sync, seed=7))
+        assert r.counter_sample().scalability_ratio > 1.3
+
+    def test_work_inflation_slows_run(self):
+        sync = SyncProfile(work_inflation_coeff=0.5, work_inflation_half=8)
+        base = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=7))
+        inflated = simulate_run(RunSpec(P7, 4, balanced_stream(), sync, seed=7))
+        assert inflated.wall_time_s > base.wall_time_s
+
+    def test_deterministic_given_seed(self):
+        a = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=42))
+        b = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=42))
+        assert a.wall_time_s == b.wall_time_s
+        assert a.events == b.events
+
+    def test_seed_changes_noise(self):
+        a = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=1))
+        b = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=2))
+        assert a.wall_time_s != b.wall_time_s
+
+    def test_zero_noise_exact(self):
+        a = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=1, noise_rel=0.0))
+        b = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=2, noise_rel=0.0))
+        assert a.wall_time_s == pytest.approx(b.wall_time_s)
+
+    def test_explicit_thread_count(self):
+        r = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, n_threads=8, seed=7))
+        assert r.n_threads == 8
+        # One thread per core at SMT4: cores revert to SMT1 behaviour.
+        r1 = simulate_run(RunSpec(P7, 1, balanced_stream(), NO_SYNC, seed=7))
+        assert r.performance == pytest.approx(r1.performance, rel=0.1)
+
+    def test_two_chip_numa_slows_shared_workload(self):
+        sys2 = SystemSpec(power7(), 2)
+        shared = memory_stream()
+        # Same threads per chip; two-chip run sees NUMA extra latency.
+        r1 = simulate_run(RunSpec(P7, 4, shared, NO_SYNC, seed=7))
+        r2 = simulate_run(RunSpec(sys2, 4, shared, NO_SYNC, seed=7))
+        # Per-chip thread count equal, but the data_sharing=0 stream has
+        # no remote traffic; use a sharing stream to see the effect.
+        from repro.sim.stream import MemoryBehavior, StreamParams
+        sharing_stream = StreamParams(
+            shared.mix, shared.ilp,
+            MemoryBehavior(45, 42, 40, 0.05, 0.8), shared.branch_mispredict_rate,
+            mlp=shared.mlp,
+        )
+        p1 = simulate_run(RunSpec(P7, 4, sharing_stream, NO_SYNC, seed=7))
+        p2 = simulate_run(RunSpec(sys2, 4, sharing_stream, NO_SYNC, seed=7))
+        # Two chips double both work capacity and bandwidth; per-thread
+        # performance should drop due to NUMA latency.
+        per_thread_1 = p1.performance / p1.n_threads
+        per_thread_2 = p2.performance / p2.n_threads
+        assert per_thread_2 < per_thread_1
+
+    def test_nehalem_runs(self):
+        nh = SystemSpec(nehalem(), 1)
+        runs = {l: simulate_run(RunSpec(nh, l, balanced_stream(), NO_SYNC, seed=7))
+                for l in (1, 2)}
+        assert speedup(runs[2], runs[1]) > 1.0
+
+    def test_speedup_requires_same_work(self):
+        a = simulate_run(RunSpec(P7, 4, balanced_stream(), NO_SYNC, seed=7))
+        b = simulate_run(RunSpec(P7, 1, balanced_stream(), NO_SYNC, seed=7,
+                                 useful_instructions=1e9))
+        with pytest.raises(ValueError, match="same work"):
+            speedup(a, b)

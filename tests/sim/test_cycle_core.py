@@ -1,0 +1,154 @@
+"""Tests for the cycle-accurate pipeline engine."""
+
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.arch.classes import InstrClass
+from repro.sim.cycle_core import CycleCore, InstructionGenerator
+from repro.sim.cache import CacheModel, SharingContext
+from repro.sim.queues import IssueQueue, QueueEntry
+from repro.util.rng import RngStream
+
+from tests.sim.helpers import balanced_stream, fx_heavy_stream, memory_stream
+
+
+def make_core(arch=None, smt=1, stream=None, k=None, seed=5):
+    arch = arch or power7()
+    stream = stream or balanced_stream()
+    k = k or smt
+    return CycleCore(arch, smt, [stream] * k, seed=seed)
+
+
+class TestIssueQueue:
+    def test_per_thread_limit(self):
+        q = IssueQueue(2, 2)
+        q.insert(QueueEntry(0, 0, InstrClass.FX, 0, None, 0.0, False))
+        q.insert(QueueEntry(1, 0, InstrClass.FX, 0, None, 0.0, False))
+        assert not q.has_room(0)
+        assert q.has_room(1)
+        with pytest.raises(RuntimeError, match="full"):
+            q.insert(QueueEntry(2, 0, InstrClass.FX, 0, None, 0.0, False))
+
+    def test_ready_respects_dependences(self):
+        q = IssueQueue(1, 8)
+        q.insert(QueueEntry(0, 0, InstrClass.FX, 0, None, 0.0, False))
+        q.insert(QueueEntry(1, 0, InstrClass.FX, 0, dep_seq=0, extra_latency=0.0, mispredict=False))
+        # Producer not completed: only seq 0 is ready.
+        ready = list(q.ready_for_port(0, {0: {}}, now=5))
+        assert [e.seq for e in ready] == [0]
+        # Producer completed at cycle 3 -> dependant ready from cycle 4.
+        ready = list(q.ready_for_port(0, {0: {0: 3.0}}, now=5))
+        assert any(e.seq == 1 for e in ready)
+
+    def test_retire_frees_entries(self):
+        q = IssueQueue(1, 2)
+        e = QueueEntry(0, 0, InstrClass.FX, 0, None, 0.0, False)
+        q.insert(e)
+        e.issued = True
+        e.finish_cycle = 3.0
+        assert q.retire_finished(2.0) == []
+        done = q.retire_finished(3.0)
+        assert done == [e]
+        assert q.has_room(0)
+
+    def test_long_latency_outstanding(self):
+        q = IssueQueue(1, 4)
+        e = QueueEntry(0, 0, InstrClass.LOAD, 0, None, extra_latency=300.0, mispredict=False)
+        q.insert(e)
+        assert not q.has_long_latency_outstanding(0, 27.0, now=0)
+        e.issued = True
+        e.finish_cycle = 300.0
+        assert q.has_long_latency_outstanding(0, 27.0, now=0)
+        assert not q.has_long_latency_outstanding(0, 27.0, now=301)
+
+
+class TestInstructionGenerator:
+    def make_gen(self, stream):
+        arch = power7()
+        rates = CacheModel(arch).effective_rates(stream.memory, SharingContext(1, 8))
+        return InstructionGenerator(stream, rates, arch, RngStream(1), 0)
+
+    def test_sequence_numbers_increase(self):
+        gen = self.make_gen(balanced_stream())
+        instrs = [gen.next_instruction() for _ in range(10)]
+        assert [i.seq for i in instrs] == list(range(10))
+
+    def test_mix_statistics(self):
+        gen = self.make_gen(fx_heavy_stream())
+        instrs = [gen.next_instruction() for _ in range(3000)]
+        fx_frac = sum(1 for i in instrs if i.klass is InstrClass.FX) / len(instrs)
+        assert fx_frac == pytest.approx(0.78, abs=0.04)
+
+    def test_memory_stream_generates_misses(self):
+        gen = self.make_gen(memory_stream())
+        instrs = [gen.next_instruction() for _ in range(3000)]
+        long_misses = [i for i in instrs if i.extra_latency >= 300]
+        assert len(long_misses) > 50
+
+    def test_compute_stream_rarely_misses(self):
+        gen = self.make_gen(balanced_stream())
+        instrs = [gen.next_instruction() for _ in range(3000)]
+        long_misses = [i for i in instrs if i.extra_latency >= 300]
+        assert len(long_misses) < 10
+
+    def test_mispredicts_only_on_branches(self):
+        gen = self.make_gen(balanced_stream())
+        instrs = [gen.next_instruction() for _ in range(2000)]
+        assert all(i.klass is InstrClass.BRANCH for i in instrs if i.mispredict)
+
+    def test_ports_follow_routing(self):
+        gen = self.make_gen(balanced_stream())
+        arch = power7()
+        ls = arch.topology.port_index("LS")
+        for instr in (gen.next_instruction() for _ in range(500)):
+            if instr.klass in (InstrClass.LOAD, InstrClass.STORE):
+                assert instr.port == ls
+
+
+class TestCycleCore:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CycleCore(power7(), 1, [balanced_stream()] * 2)
+        with pytest.raises(ValueError, match="at least one"):
+            CycleCore(power7(), 1, [])
+
+    def test_single_thread_reasonable_ipc(self):
+        res = make_core().run(3000)
+        assert 0.5 < res.core_ipc < 2.5
+
+    def test_smt_increases_core_ipc(self):
+        solo = make_core(smt=1).run(3000)
+        smt4 = make_core(smt=4).run(3000)
+        assert smt4.core_ipc > solo.core_ipc * 1.3
+
+    def test_memory_bound_low_ipc_high_held(self):
+        res = make_core(stream=memory_stream(), smt=2, k=2).run(4000)
+        assert res.core_ipc < 1.0
+        assert res.dispatch_held_fraction > 0.3
+
+    def test_balanced_low_held(self):
+        res = make_core(smt=2, k=2).run(4000)
+        assert res.dispatch_held_fraction < 0.4
+
+    def test_port_issues_recorded(self):
+        res = make_core().run(2000)
+        assert sum(res.port_issues) == pytest.approx(sum(res.instructions), rel=0.2)
+
+    def test_counters_reset_after_warmup(self):
+        core = make_core()
+        res = core.run(1000, warmup=200)
+        assert res.cycles == 1000
+
+    def test_deterministic(self):
+        a = make_core(seed=9).run(1500)
+        b = make_core(seed=9).run(1500)
+        assert a.instructions == b.instructions
+        assert a.dispatch_held_cycles == b.dispatch_held_cycles
+
+    def test_nehalem_core_runs(self):
+        res = make_core(arch=nehalem(), smt=2, k=2).run(2000)
+        assert res.core_ipc > 0.3
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            make_core().run(0)

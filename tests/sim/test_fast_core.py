@@ -1,0 +1,138 @@
+"""Tests for the fast (mean-value-analysis) core solver."""
+
+import numpy as np
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.sim.fast_core import CoreInput, effective_smt_mode, solve_core
+
+from tests.sim.helpers import (
+    balanced_stream,
+    fx_heavy_stream,
+    memory_stream,
+    thrashy_fp_stream,
+)
+
+
+def core(arch, smt, stream, k=None, **kwargs):
+    k = k if k is not None else smt
+    defaults = dict(threads_per_chip=k)
+    defaults.update(kwargs)
+    return solve_core(CoreInput(arch, smt, tuple([stream] * k), **defaults))
+
+
+class TestValidation:
+    def test_rejects_too_many_streams(self):
+        with pytest.raises(ValueError, match="exceed"):
+            core(power7(), 2, balanced_stream(), k=3)
+
+    def test_rejects_empty_streams(self):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_core(CoreInput(power7(), 1, (), threads_per_chip=1))
+
+    def test_rejects_bad_latency_mult(self):
+        with pytest.raises(ValueError):
+            core(power7(), 1, balanced_stream(), mem_latency_mult=0.9)
+
+    def test_rejects_unsupported_level(self):
+        with pytest.raises(ValueError):
+            core(nehalem(), 4, balanced_stream(), k=1)
+
+
+class TestSingleThread:
+    def test_balanced_ipc_near_ilp(self):
+        out = core(power7(), 1, balanced_stream())
+        # Low stalls: IPC should approach the stream's ILP.
+        assert 1.2 < out.ipc[0] <= 1.8
+
+    def test_memory_bound_ipc_low(self):
+        out = core(power7(), 1, memory_stream())
+        assert out.ipc[0] < 0.8
+
+    def test_no_saturation_single_thread(self):
+        out = core(power7(), 1, balanced_stream())
+        assert out.port_scale == 1.0
+
+    def test_port_utilization_shape_and_bounds(self):
+        out = core(power7(), 1, balanced_stream())
+        assert out.port_utilization.shape == (4,)
+        assert np.all(out.port_utilization >= 0)
+        assert np.all(out.port_utilization <= 1.0 + 1e-9)
+
+
+class TestSmtScaling:
+    def test_balanced_gains_from_smt(self):
+        solo = core(power7(), 1, balanced_stream())
+        smt4 = core(power7(), 4, balanced_stream())
+        assert 1.5 < smt4.core_ipc / solo.core_ipc < 3.0
+
+    def test_fx_heavy_saturates_ports(self):
+        smt4 = core(power7(), 4, fx_heavy_stream())
+        assert smt4.port_scale < 1.0
+
+    def test_fx_heavy_gains_less_than_balanced(self):
+        gain_fx = core(power7(), 4, fx_heavy_stream()).core_ipc / core(
+            power7(), 1, fx_heavy_stream()
+        ).core_ipc
+        gain_bal = core(power7(), 4, balanced_stream()).core_ipc / core(
+            power7(), 1, balanced_stream()
+        ).core_ipc
+        assert gain_fx < gain_bal
+
+    def test_per_thread_ipc_drops_with_smt(self):
+        solo = core(power7(), 1, balanced_stream())
+        smt4 = core(power7(), 4, balanced_stream())
+        assert smt4.ipc[0] < solo.ipc[0]
+
+    def test_nehalem_smt2_gains(self):
+        solo = core(nehalem(), 1, balanced_stream(), threads_per_chip=4)
+        smt2 = core(nehalem(), 2, balanced_stream(), threads_per_chip=8)
+        assert 1.1 < smt2.core_ipc / solo.core_ipc < 2.0
+
+
+class TestDispatchHeld:
+    def test_low_for_balanced(self):
+        assert core(power7(), 4, balanced_stream()).dispatch_held_fraction < 0.1
+
+    def test_high_for_memory_bound(self):
+        assert core(power7(), 4, memory_stream()).dispatch_held_fraction > 0.5
+
+    def test_rises_with_port_saturation(self):
+        solo = core(power7(), 1, fx_heavy_stream())
+        smt4 = core(power7(), 4, fx_heavy_stream())
+        assert smt4.dispatch_held_fraction > solo.dispatch_held_fraction + 0.2
+
+    def test_bounded(self):
+        for stream in (balanced_stream(), memory_stream(), fx_heavy_stream()):
+            out = core(power7(), 4, stream)
+            assert 0.0 <= out.dispatch_held_fraction <= 1.0
+
+
+class TestMemoryCoupling:
+    def test_latency_mult_lowers_throughput(self):
+        base = core(power7(), 4, memory_stream())
+        slow = core(power7(), 4, memory_stream(), mem_latency_mult=3.0)
+        assert slow.core_ipc < base.core_ipc
+
+    def test_traffic_positive_for_memory_stream(self):
+        assert core(power7(), 1, memory_stream()).traffic_bytes_per_cycle > 1.0
+
+    def test_traffic_negligible_for_compute(self):
+        assert core(power7(), 1, balanced_stream()).traffic_bytes_per_cycle < 0.1
+
+    def test_l3_sharing_hurts_thrashy_stream(self):
+        few = core(power7(), 4, thrashy_fp_stream(), threads_per_chip=4)
+        many = core(power7(), 4, thrashy_fp_stream(), threads_per_chip=32)
+        assert many.core_ipc < few.core_ipc
+
+
+class TestEffectiveSmtMode:
+    def test_one_thread_is_smt1(self):
+        assert effective_smt_mode(power7(), 1) == 1
+
+    def test_three_threads_need_smt4(self):
+        assert effective_smt_mode(power7(), 3) == 4
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError, match="exceed"):
+            effective_smt_mode(nehalem(), 3)

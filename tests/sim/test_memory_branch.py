@@ -1,0 +1,101 @@
+"""Tests for the bandwidth, NUMA and branch models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import power7
+from repro.arch.classes import InstrClass, Mix
+from repro.sim.branch import BranchModel
+from repro.sim.memory import (
+    MAX_LATENCY_MULT,
+    BandwidthModel,
+    numa_extra_latency,
+    numa_remote_fraction,
+)
+
+
+class TestBandwidthModel:
+    def setup_method(self):
+        self.bw = BandwidthModel(capacity_gbps=50.0)
+
+    def test_idle_no_inflation(self):
+        assert self.bw.latency_multiplier(0.0) == 1.0
+
+    def test_light_load_mild_inflation(self):
+        assert self.bw.latency_multiplier(10.0) < 1.2
+
+    def test_heavy_load_strong_inflation(self):
+        assert self.bw.latency_multiplier(48.0) > 3.0
+
+    def test_overload_capped(self):
+        # Past the utilization cap the multiplier saturates: any further
+        # demand produces no additional inflation.
+        at_cap = self.bw.latency_multiplier(500.0)
+        assert at_cap == self.bw.latency_multiplier(5000.0)
+        assert at_cap <= MAX_LATENCY_MULT
+        assert at_cap > 5.0
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_multiplier_bounds(self, traffic):
+        m = self.bw.latency_multiplier(traffic)
+        assert 1.0 <= m <= MAX_LATENCY_MULT
+
+    @given(st.floats(min_value=0.0, max_value=100.0), st.floats(min_value=0.0, max_value=100.0))
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert self.bw.latency_multiplier(lo) <= self.bw.latency_multiplier(hi)
+
+    def test_achievable_caps_at_capacity(self):
+        assert self.bw.achievable_traffic(80.0) == 50.0
+        assert self.bw.achievable_traffic(30.0) == 30.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BandwidthModel(0.0)
+
+
+class TestNuma:
+    def test_single_chip_no_remote(self):
+        assert numa_remote_fraction(1, 0.8) == 0.0
+
+    def test_two_chips_half_of_shared(self):
+        assert numa_remote_fraction(2, 0.8) == pytest.approx(0.4)
+
+    def test_private_data_stays_local(self):
+        assert numa_remote_fraction(2, 0.0) == 0.0
+
+    def test_extra_latency(self):
+        assert numa_extra_latency(2, 0.5, 130.0) == pytest.approx(32.5)
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            numa_remote_fraction(0, 0.5)
+
+
+class TestBranchModel:
+    def setup_method(self):
+        self.model = BranchModel(power7())
+
+    def test_single_thread_base_rate(self):
+        assert self.model.effective_rate(0.02, 1) == pytest.approx(0.02)
+
+    def test_sharing_raises_rate(self):
+        assert self.model.effective_rate(0.02, 4) > 0.02
+
+    def test_rate_capped_at_one(self):
+        assert self.model.effective_rate(0.9, 4) <= 1.0
+
+    def test_stall_proportional_to_branch_fraction(self):
+        branchy = Mix({InstrClass.BRANCH: 0.4, InstrClass.FX: 0.6})
+        plain = Mix({InstrClass.BRANCH: 0.1, InstrClass.FX: 0.9})
+        assert self.model.stall_per_instruction(
+            branchy, 0.05
+        ) == pytest.approx(4 * self.model.stall_per_instruction(plain, 0.05))
+
+    def test_mpki(self):
+        mix = Mix({InstrClass.BRANCH: 0.2, InstrClass.FX: 0.8})
+        assert self.model.mispredicts_per_kilo(mix, 0.05) == pytest.approx(10.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            self.model.effective_rate(1.5, 1)

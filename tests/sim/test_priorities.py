@@ -1,0 +1,101 @@
+"""Tests for hardware-thread priorities (POWER-style, paper §I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import power7
+from repro.sim.fast_core import (
+    CoreInput,
+    NEUTRAL_PRIORITY,
+    _water_fill,
+    priority_weight,
+    solve_core,
+)
+
+from tests.sim.helpers import fx_heavy_stream, balanced_stream
+
+
+def contended_core(priorities=None):
+    """Four FX-heavy threads: the FX ports saturate, so priority matters."""
+    stream = fx_heavy_stream()
+    return solve_core(
+        CoreInput(power7(), 4, tuple([stream] * 4), threads_per_chip=4,
+                  priorities=priorities)
+    )
+
+
+class TestPriorityWeight:
+    def test_neutral_weight_is_one(self):
+        assert priority_weight(NEUTRAL_PRIORITY) == 1.0
+
+    def test_geometric_ladder(self):
+        assert priority_weight(5) == 2 * priority_weight(4)
+        assert priority_weight(3) == 0.5 * priority_weight(4)
+
+    @pytest.mark.parametrize("bad", [-1, 8])
+    def test_range_enforced(self, bad):
+        with pytest.raises(ValueError):
+            priority_weight(bad)
+
+
+class TestWaterFill:
+    def test_uniform_weights_scale_evenly(self):
+        caps = np.array([1.0, 1.0, 1.0, 1.0])
+        x = _water_fill(caps, np.ones(4), budget=2.0)
+        assert np.allclose(x, 0.5)
+
+    def test_weighted_allocation(self):
+        caps = np.array([10.0, 10.0])
+        x = _water_fill(caps, np.array([2.0, 1.0]), budget=3.0)
+        assert x[0] == pytest.approx(2.0)
+        assert x[1] == pytest.approx(1.0)
+
+    def test_caps_respected_and_surplus_redistributed(self):
+        caps = np.array([0.5, 10.0])
+        x = _water_fill(caps, np.array([3.0, 1.0]), budget=4.0)
+        assert x[0] == pytest.approx(0.5)
+        assert x[1] == pytest.approx(3.5)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=2, max_size=6),
+           st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=50)
+    def test_never_exceeds_caps_or_budget(self, caps_list, budget):
+        caps = np.array(caps_list)
+        weights = np.ones(len(caps))
+        x = _water_fill(caps, weights, budget)
+        assert np.all(x <= caps + 1e-9)
+        assert x.sum() <= min(budget, caps.sum()) + 1e-9
+
+
+class TestCorePriorities:
+    def test_default_matches_uniform(self):
+        base = contended_core()
+        neutral = contended_core(priorities=(4, 4, 4, 4))
+        assert np.allclose(base.ipc, neutral.ipc)
+
+    def test_boosted_thread_gains_under_contention(self):
+        base = contended_core()
+        boosted = contended_core(priorities=(6, 4, 4, 4))
+        assert boosted.ipc[0] > base.ipc[0] * 1.2
+        # The gain comes out of the neutral threads.
+        assert boosted.ipc[1] < base.ipc[1]
+
+    def test_priorities_neutral_when_uncontended(self):
+        stream = balanced_stream()
+        base = solve_core(CoreInput(power7(), 2, (stream, stream), threads_per_chip=2))
+        boosted = solve_core(
+            CoreInput(power7(), 2, (stream, stream), threads_per_chip=2,
+                      priorities=(7, 1))
+        )
+        # No structural contention -> priorities have nothing to divide.
+        assert np.allclose(base.ipc, boosted.ipc)
+
+    def test_core_throughput_roughly_conserved(self):
+        base = contended_core()
+        skewed = contended_core(priorities=(7, 4, 4, 1))
+        assert skewed.core_ipc == pytest.approx(base.core_ipc, rel=0.15)
+
+    def test_priority_count_validated(self):
+        with pytest.raises(ValueError, match="priorities"):
+            contended_core(priorities=(6, 4))

@@ -1,0 +1,131 @@
+"""Property-based invariants of the simulator, over random workloads.
+
+Hypothesis draws workload seeds; :func:`random_workload` turns each
+into a valid-but-arbitrary stream/sync pair.  Invariants here are the
+ones every downstream consumer (metric, experiments) relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import nehalem, power7
+from repro.sim.chip import solve_chip
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.fast_core import CoreInput, solve_core
+from repro.sim.results import speedup
+from repro.simos import SystemSpec
+from repro.simos.scheduler import place_threads
+from repro.util.rng import RngStream
+from repro.workloads.synthetic import random_workload
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+P7 = SystemSpec(power7(), 1)
+
+
+def stream_for(seed):
+    return random_workload(RngStream(seed)).stream
+
+
+class TestCoreInvariants:
+    @given(seeds, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_output_bounds(self, seed, level):
+        stream = stream_for(seed)
+        out = solve_core(CoreInput(power7(), level, tuple([stream] * level),
+                                   threads_per_chip=level))
+        arch = power7()
+        assert np.all(out.ipc >= 0)
+        assert out.core_ipc <= arch.partition.issue_width + 1e-9
+        assert out.core_ipc <= arch.partition.dispatch_width + 1e-9
+        assert np.all(out.port_utilization <= 1.0 + 1e-9)
+        assert 0.0 <= out.dispatch_held_fraction <= 1.0
+        assert 0.0 < out.port_scale <= 1.0
+        assert np.all(out.stall_fraction <= 1.0 + 1e-9)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_memory_latency_near_monotone(self, seed):
+        # Slower memory cannot *help* beyond a small structural effect:
+        # near the saturation boundary, throttling demand reduces
+        # scheduling conflicts (the lambda ** 1.3 penalty relaxes), so
+        # core IPC may tick up by a few percent — the same mechanism
+        # that makes SMT itself sometimes counterproductive.  Bound the
+        # effect; for genuinely memory-heavy streams latency must
+        # strictly dominate it.
+        stream = stream_for(seed)
+        fast = solve_core(CoreInput(power7(), 4, tuple([stream] * 4),
+                                    threads_per_chip=4, mem_latency_mult=1.0))
+        slow = solve_core(CoreInput(power7(), 4, tuple([stream] * 4),
+                                    threads_per_chip=4, mem_latency_mult=4.0))
+        assert slow.core_ipc <= fast.core_ipc * 1.05
+        if stream.memory.l3_mpki > 5.0 and slow.port_scale >= 1.0:
+            # Strictly worse — unless the core is structurally capped,
+            # where memory latency is not the binding constraint.
+            assert slow.core_ipc < fast.core_ipc
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_per_thread_ipc_drops_with_contexts(self, seed):
+        stream = stream_for(seed)
+        solo = solve_core(CoreInput(power7(), 1, (stream,), threads_per_chip=1))
+        packed = solve_core(CoreInput(power7(), 4, tuple([stream] * 4),
+                                      threads_per_chip=4))
+        assert packed.ipc[0] <= solo.ipc[0] + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_nehalem_bounds(self, seed):
+        stream = stream_for(seed)
+        out = solve_core(CoreInput(nehalem(), 2, (stream, stream), threads_per_chip=2))
+        assert out.core_ipc <= nehalem().partition.dispatch_width + 1e-9
+
+
+class TestChipInvariants:
+    @given(seeds, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_point_consistency(self, seed, level):
+        stream = stream_for(seed)
+        placement = place_threads(P7, level, P7.contexts_at(level))
+        sol = solve_chip(placement, stream)
+        assert 1.0 <= sol.mem_latency_mult <= 10.0 + 1e-9
+        assert 0.0 <= sol.mem_utilization <= 1.0 + 1e-9
+        assert len(sol.per_thread_ipc()) == P7.contexts_at(level)
+        # The converged point never sits above the capacity knee.
+        assert sol.mem_utilization <= 0.97
+
+
+class TestRunInvariants:
+    @given(seeds, st.sampled_from([1, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_run_self_consistency(self, seed, level):
+        spec = random_workload(RngStream(seed))
+        run = simulate_run(RunSpec(P7, level, spec.stream, spec.sync,
+                                   seed=seed, noise_rel=0.0))
+        sample = run.counter_sample()
+        # Class counters reconstruct the executed mix exactly.
+        class_total = sum(sample.class_counts().values())
+        assert class_total == pytest.approx(sample.instructions, rel=1e-6)
+        # Hierarchy monotone in the counters too.
+        assert sample.count("L1_DMISS") >= sample.count("L2_MISS") >= sample.count("L3_MISS")
+        # Time accounting sane.
+        assert sample.scalability_ratio >= 1.0 - 1e-6
+        assert run.wall_time_s > 0
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_self_speedup_is_one(self, seed):
+        spec = random_workload(RngStream(seed))
+        a = simulate_run(RunSpec(P7, 4, spec.stream, spec.sync, seed=1, noise_rel=0.0))
+        b = simulate_run(RunSpec(P7, 4, spec.stream, spec.sync, seed=2, noise_rel=0.0))
+        assert speedup(a, b) == pytest.approx(1.0, rel=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_spin_only_when_contended(self, seed):
+        spec = random_workload(RngStream(seed))
+        run = simulate_run(RunSpec(P7, 4, spec.stream, spec.sync, seed=seed))
+        if spec.sync.spin_coeff == 0.0 and spec.sync.lock_serial_fraction == 0.0:
+            assert run.spin_fraction == 0.0
+        assert 0.0 <= run.spin_fraction < 1.0

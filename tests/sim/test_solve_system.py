@@ -1,0 +1,63 @@
+"""Tests for the heterogeneous (per-thread stream) system solver."""
+
+import pytest
+
+from repro.sim.chip import solve_chip, solve_system
+from repro.simos.scheduler import Placement, place_threads
+from repro.simos.system import SystemSpec
+from repro.arch import power7
+
+from tests.sim.helpers import balanced_stream, fx_heavy_stream, memory_stream
+
+
+P7 = SystemSpec(power7(), 1)
+
+
+class TestSolveSystem:
+    def test_matches_homogeneous_solver(self):
+        placement = place_threads(P7, 4, 32)
+        stream = balanced_stream()
+        hetero = solve_system(placement, [stream] * 32)
+        homo = solve_chip(placement, stream)
+        assert hetero.aggregate_ipc == pytest.approx(homo.aggregate_ipc, rel=1e-6)
+        assert hetero.mem_latency_mult == pytest.approx(homo.mem_latency_mult, rel=1e-3)
+
+    def test_stream_count_must_match(self):
+        placement = place_threads(P7, 4, 8)
+        with pytest.raises(ValueError, match="one stream per thread"):
+            solve_system(placement, [balanced_stream()] * 7)
+
+    def test_requires_assignment(self):
+        placement = Placement(P7, 2, 2, (2,) + (0,) * 7, assignment=())
+        with pytest.raises(ValueError, match="assignment"):
+            solve_system(placement, [balanced_stream()] * 2)
+
+    def test_thread_values_follow_thread_order(self):
+        # Two threads on one core: a compute stream and a memory stream;
+        # the compute thread must show the higher IPC regardless of slot.
+        placement = Placement(
+            P7, 2, 2, (2,) + (0,) * 7, assignment=(0, 0)
+        )
+        fast, slow = balanced_stream(), memory_stream()
+        sol = solve_system(placement, [fast, slow])
+        assert sol.thread_ipc(0) > sol.thread_ipc(1)
+        sol_swapped = solve_system(placement, [slow, fast])
+        assert sol_swapped.thread_ipc(1) > sol_swapped.thread_ipc(0)
+
+    def test_heterogeneous_cores_differ(self):
+        # Core 0 runs two FX-heavy threads (port contention), core 1 a
+        # complementary pair: the complementary core should out-run it.
+        placement = Placement(
+            P7, 2, 4, (2, 2) + (0,) * 6, assignment=(0, 0, 1, 1)
+        )
+        fx = fx_heavy_stream()
+        bal = balanced_stream()
+        sol = solve_system(placement, [fx, fx, fx, bal])
+        contended = sol.core_outputs[0]
+        mixed = sol.core_outputs[1]
+        assert contended.port_scale <= mixed.port_scale
+
+    def test_per_thread_ipc_length(self):
+        placement = place_threads(P7, 2, 10)
+        sol = solve_system(placement, [balanced_stream()] * 10)
+        assert len(sol.per_thread_ipc()) == 10

@@ -1,0 +1,63 @@
+"""Tests for stream parameter validation and helpers."""
+
+import pytest
+
+from repro.arch.classes import InstrClass, Mix
+from repro.sim.stream import MemoryBehavior, StreamParams
+
+from tests.sim.helpers import balanced_stream
+
+
+class TestMemoryBehavior:
+    def test_valid(self):
+        m = MemoryBehavior(10, 5, 1, 0.5, 0.3)
+        assert m.l1_mpki == 10
+
+    def test_rejects_non_monotone_mpkis(self):
+        with pytest.raises(ValueError, match="monotone"):
+            MemoryBehavior(1, 5, 0.5, 0.5, 0.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(-1, -2, -3, 0.5, 0.3)
+
+    def test_rejects_bad_sharing(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(10, 5, 1, 0.5, 1.5)
+
+    def test_rejects_writeback_below_one(self):
+        with pytest.raises(ValueError, match="writeback"):
+            MemoryBehavior(10, 5, 1, 0.5, 0.3, writeback_factor=0.5)
+
+
+class TestStreamParams:
+    def test_rejects_implausible_ilp(self):
+        with pytest.raises(ValueError, match="implausible"):
+            balanced_stream(ilp=10.0)
+
+    def test_rejects_zero_ilp(self):
+        with pytest.raises(ValueError):
+            balanced_stream(ilp=0.0)
+
+    def test_rejects_bad_branch_rate(self):
+        with pytest.raises(ValueError):
+            balanced_stream(branch_mispredict_rate=1.5)
+
+    def test_with_mix_replaces_only_mix(self):
+        s = balanced_stream()
+        new_mix = Mix({InstrClass.FX: 1.0})
+        s2 = s.with_mix(new_mix)
+        assert s2.mix == new_mix
+        assert s2.ilp == s.ilp
+        assert s2.memory is s.memory
+
+    def test_scaled_misses(self):
+        s = balanced_stream()
+        s2 = s.scaled_misses(2.0)
+        assert s2.memory.l1_mpki == pytest.approx(2 * s.memory.l1_mpki)
+        assert s2.memory.l3_mpki == pytest.approx(2 * s.memory.l3_mpki)
+        assert s2.mix == s.mix
+
+    def test_scaled_misses_rejects_negative(self):
+        with pytest.raises(ValueError):
+            balanced_stream().scaled_misses(-1.0)

@@ -1,0 +1,73 @@
+"""Tests for pipeline tracing."""
+
+import pytest
+
+from repro.arch import power7
+from repro.sim.cycle_core import CycleCore
+from repro.sim.trace import PipelineTracer
+
+from tests.sim.helpers import balanced_stream, memory_stream
+
+
+def traced_run(stream, cycles=600, smt=2, k=2, max_instructions=10_000):
+    tracer = PipelineTracer(max_instructions=max_instructions)
+    core = CycleCore(power7(), smt, [stream] * k, seed=7, tracer=tracer)
+    result = core.run(cycles, warmup=0)
+    return tracer, result, core
+
+
+class TestTracerCollection:
+    def test_instruction_lifecycle_ordering(self):
+        tracer, _, _ = traced_run(balanced_stream())
+        completed = tracer.completed()
+        assert completed, "expected completed instructions in 600 cycles"
+        for r in completed:
+            assert r.dispatch_cycle <= r.issue_cycle
+            assert r.issue_cycle < r.complete_cycle
+
+    def test_completed_count_matches_counters(self):
+        tracer, result, _ = traced_run(balanced_stream())
+        assert len(tracer.completed()) == pytest.approx(
+            sum(result.instructions), abs=2
+        )
+
+    def test_held_cycles_match_counter(self):
+        tracer, result, _ = traced_run(memory_stream(), smt=2, k=2)
+        assert len(tracer.held_cycles) == result.dispatch_held_cycles
+
+    def test_queue_latency_nonnegative(self):
+        tracer, _, _ = traced_run(balanced_stream())
+        assert tracer.mean_queue_latency() >= 0.0
+
+    def test_memory_stream_waits_longer(self):
+        fast_tracer, _, _ = traced_run(balanced_stream())
+        slow_tracer, _, _ = traced_run(memory_stream())
+        assert (slow_tracer.mean_queue_latency()
+                > fast_tracer.mean_queue_latency())
+
+    def test_capacity_bound_drops_excess(self):
+        tracer, _, _ = traced_run(balanced_stream(), max_instructions=50)
+        assert len(tracer.instructions()) == 50
+        assert tracer.dropped > 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(max_instructions=0)
+
+    def test_empty_tracer_latency_raises(self):
+        with pytest.raises(ValueError, match="no issued"):
+            PipelineTracer().mean_queue_latency()
+
+
+class TestRendering:
+    def test_render_contains_ports_and_classes(self):
+        tracer, _, core = traced_run(balanced_stream())
+        text = tracer.render(core.arch.topology.port_names)
+        assert "pipeline trace" in text
+        assert "dispatch" in text and "queue wait" in text
+
+    def test_render_respects_limit(self):
+        tracer, _, core = traced_run(balanced_stream())
+        text = tracer.render(core.arch.topology.port_names, limit=5)
+        # Header/title lines + 5 rows.
+        assert len(text.splitlines()) <= 10

@@ -1,0 +1,76 @@
+"""Tests for the batch job queue."""
+
+import pytest
+
+from repro.core.predictor import SmtPredictor
+from repro.experiments.systems import p7_system
+from repro.simos.jobqueue import BatchJob, BatchScheduler
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return BatchScheduler(p7_system(), seed=3)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return [
+        BatchJob(get_workload("EP"), 1e10),
+        BatchJob(get_workload("SPECjbb_contention"), 1e10),
+    ]
+
+
+def predictors():
+    return {
+        1: SmtPredictor(threshold=0.07, high_level=4, low_level=1),
+        2: SmtPredictor(threshold=0.07, high_level=4, low_level=2),
+    }
+
+
+class TestValidation:
+    def test_job_work_positive(self):
+        with pytest.raises(ValueError):
+            BatchJob(get_workload("EP"), 0.0)
+
+    def test_probe_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(p7_system(), probe_fraction=1.0)
+
+    def test_static_level_validated(self, scheduler, jobs):
+        with pytest.raises(ValueError):
+            scheduler.run_static(jobs, 3)
+
+
+class TestPolicies:
+    def test_static_runs_all_jobs(self, scheduler, jobs):
+        outcome = scheduler.run_static(jobs, 4)
+        assert len(outcome.records) == 2
+        assert all(r.level == 4 for r in outcome.records)
+        assert outcome.makespan_s > 0
+
+    def test_oracle_picks_per_job_best(self, scheduler, jobs):
+        outcome = scheduler.run_oracle(jobs)
+        by_name = {r.name: r for r in outcome.records}
+        assert by_name["EP"].level == 4
+        assert by_name["SPECjbb_contention"].level in (1, 2)
+
+    def test_smtsm_policy_splits_decisions(self, scheduler, jobs):
+        outcome = scheduler.run_smtsm(jobs, predictors())
+        by_name = {r.name: r for r in outcome.records}
+        assert by_name["EP"].level == 4
+        assert by_name["SPECjbb_contention"].level == 1
+        assert all(r.measured_metric is not None for r in outcome.records)
+
+    def test_oracle_never_worse_than_static(self, scheduler, jobs):
+        oracle = scheduler.run_oracle(jobs)
+        for level in (1, 2, 4):
+            static = scheduler.run_static(jobs, level)
+            assert oracle.makespan_s <= static.makespan_s * 1.05
+
+    def test_smtsm_between_default_and_oracle(self, scheduler, jobs):
+        smtsm = scheduler.run_smtsm(jobs, predictors())
+        default = scheduler.run_static(jobs, 4)
+        oracle = scheduler.run_oracle(jobs)
+        assert smtsm.makespan_s < default.makespan_s
+        assert smtsm.makespan_s >= oracle.makespan_s * 0.95

@@ -1,0 +1,73 @@
+"""Tests for thread placement."""
+
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.simos.scheduler import place_threads
+from repro.simos.system import SystemSpec
+
+
+class TestSystemSpec:
+    def test_contexts_at_levels(self):
+        sys1 = SystemSpec(power7(), 1)
+        assert sys1.contexts_at(1) == 8
+        assert sys1.contexts_at(2) == 16
+        assert sys1.contexts_at(4) == 32
+
+    def test_two_chip_contexts(self):
+        sys2 = SystemSpec(power7(), 2)
+        assert sys2.total_cores == 16
+        assert sys2.contexts_at(4) == 64
+
+    def test_bandwidth_pools_across_chips(self):
+        one = SystemSpec(power7(), 1)
+        two = SystemSpec(power7(), 2)
+        assert two.mem_bandwidth_gbps() == pytest.approx(2 * one.mem_bandwidth_gbps())
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            SystemSpec(power7(), 0)
+
+
+class TestPlacement:
+    def test_full_smt4_placement(self):
+        placement = place_threads(SystemSpec(power7(), 1), 4, 32)
+        assert placement.threads_per_core == (4,) * 8
+        assert placement.core_modes() == (4,) * 8
+
+    def test_one_thread_per_core_reverts_to_smt1_mode(self):
+        # The paper's Nehalem protocol: SMT enabled, one thread per core.
+        placement = place_threads(SystemSpec(nehalem(), 1), 2, 4)
+        assert placement.threads_per_core == (1,) * 4
+        assert placement.core_modes() == (1,) * 4
+
+    def test_breadth_first_spreads_before_stacking(self):
+        placement = place_threads(SystemSpec(power7(), 1), 4, 10)
+        # 10 threads on 8 cores: two cores get 2, six get 1.
+        assert sorted(placement.threads_per_core) == [1] * 6 + [2] * 2
+
+    def test_partial_fill_mode_is_occupancy(self):
+        placement = place_threads(SystemSpec(power7(), 1), 4, 24)
+        # 24 threads on 8 cores -> 3 per core -> SMT4 hardware mode.
+        assert placement.threads_per_core == (3,) * 8
+        assert placement.core_modes() == (4,) * 8
+
+    def test_two_chips_balanced(self):
+        placement = place_threads(SystemSpec(power7(), 2), 1, 16)
+        assert placement.threads_per_chip() == (8, 8)
+
+    def test_two_chips_odd_count_spreads_across_chips(self):
+        placement = place_threads(SystemSpec(power7(), 2), 1, 2)
+        assert placement.threads_per_chip() == (1, 1)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError, match="exceed"):
+            place_threads(SystemSpec(power7(), 1), 1, 9)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            place_threads(SystemSpec(power7(), 1), 1, 0)
+
+    def test_occupied_cores(self):
+        placement = place_threads(SystemSpec(power7(), 1), 4, 6)
+        assert placement.occupied_cores == 6

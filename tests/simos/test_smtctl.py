@@ -1,0 +1,57 @@
+"""Tests for runtime SMT-level control."""
+
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.simos.smtctl import SmtController
+
+
+class TestSmtController:
+    def test_defaults_to_highest_level(self):
+        # Paper §IV-B: the highest SMT level is always the default.
+        assert SmtController(power7()).level == 4
+        assert SmtController(nehalem()).level == 2
+
+    def test_explicit_initial_level(self):
+        assert SmtController(power7(), initial_level=2).level == 2
+
+    def test_rejects_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SmtController(power7(), initial_level=3)
+
+    def test_switch_changes_level_and_charges_cost(self):
+        ctl = SmtController(power7(), switch_cost_s=0.01)
+        record = ctl.switch(1, at_time_s=5.0)
+        assert ctl.level == 1
+        assert record.cost_s == 0.01
+        assert record.from_level == 4
+
+    def test_noop_switch_is_free(self):
+        ctl = SmtController(power7(), switch_cost_s=0.01)
+        record = ctl.switch(4)
+        assert record.cost_s == 0.0
+        assert ctl.n_switches() == 0
+
+    def test_history_and_totals(self):
+        ctl = SmtController(power7(), switch_cost_s=0.01)
+        ctl.switch(1)
+        ctl.switch(1)
+        ctl.switch(4)
+        assert ctl.n_switches() == 2
+        assert ctl.total_switch_cost_s == pytest.approx(0.02)
+        assert len(ctl.history) == 3
+
+    def test_offline_only_architecture_refuses(self):
+        # The paper's Nehalem requires a BIOS change + reboot.
+        ctl = SmtController(nehalem(), allow_online_switch=False)
+        with pytest.raises(RuntimeError, match="online SMT switching"):
+            ctl.switch(1)
+
+    def test_rejects_unsupported_target(self):
+        ctl = SmtController(power7())
+        with pytest.raises(ValueError):
+            ctl.switch(3)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            SmtController(power7(), switch_cost_s=-1.0)

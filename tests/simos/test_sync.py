@@ -1,0 +1,108 @@
+"""Tests for synchronization/scalability profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simos.sync import MAX_WAIT_FRACTION, NO_SYNC, SyncProfile
+
+
+class TestValidation:
+    def test_default_is_scalable(self):
+        assert NO_SYNC.spin_fraction(64) == 0.0
+        assert NO_SYNC.blocked_fraction(64) == 0.0
+
+    def test_rejects_bad_serial_fraction(self):
+        with pytest.raises(ValueError):
+            SyncProfile(serial_fraction=1.5)
+
+    def test_rejects_serial_fraction_above_cap(self):
+        with pytest.raises(ValueError, match="parallel phase"):
+            SyncProfile(serial_fraction=0.95)
+
+    def test_rejects_negative_pingpong(self):
+        with pytest.raises(ValueError):
+            SyncProfile(lock_pingpong_coeff=-0.1)
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            NO_SYNC.spin_fraction(0)
+
+
+class TestSpinLaw:
+    def test_single_thread_never_spins(self):
+        p = SyncProfile(spin_coeff=0.8)
+        assert p.spin_fraction(1) == 0.0
+
+    def test_monotone_in_threads(self):
+        p = SyncProfile(spin_coeff=0.6, spin_half=8)
+        values = [p.spin_fraction(n) for n in (2, 4, 8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_saturates_below_coeff(self):
+        p = SyncProfile(spin_coeff=0.6, spin_half=8)
+        assert p.spin_fraction(10_000) < 0.6
+
+    def test_half_is_half(self):
+        p = SyncProfile(spin_coeff=0.6, spin_half=8)
+        # n-1 == half -> half the asymptote
+        assert p.spin_fraction(9) == pytest.approx(0.3)
+
+
+class TestBlockingLaw:
+    def test_io_wait_independent_of_threads(self):
+        p = SyncProfile(io_wait=0.3)
+        assert p.blocked_fraction(1) == pytest.approx(0.3)
+        assert p.blocked_fraction(64) == pytest.approx(0.3)
+
+    def test_blocked_capped(self):
+        p = SyncProfile(block_coeff=0.9, io_wait=0.5)
+        assert p.blocked_fraction(1000) == MAX_WAIT_FRACTION
+
+    def test_runnable_complements_blocked(self):
+        p = SyncProfile(block_coeff=0.4, io_wait=0.1)
+        for n in (1, 8, 32):
+            assert p.runnable_fraction(n) == pytest.approx(1 - p.blocked_fraction(n))
+
+
+class TestLockCap:
+    def test_no_lock_means_unbounded(self):
+        assert NO_SYNC.lock_throughput_cap(1e9, 32) == float("inf")
+
+    def test_cap_is_holder_rate_over_fraction(self):
+        p = SyncProfile(lock_serial_fraction=0.25)
+        assert p.lock_throughput_cap(1e9, 1) == pytest.approx(4e9)
+
+    def test_pingpong_degrades_cap_with_threads(self):
+        p = SyncProfile(lock_serial_fraction=0.25, lock_pingpong_coeff=1.0, lock_pingpong_half=8)
+        assert p.lock_throughput_cap(1e9, 32) < p.lock_throughput_cap(1e9, 8)
+
+    def test_slower_holder_lowers_cap(self):
+        # The SMT4 mechanism: the lock holder itself runs slower.
+        p = SyncProfile(lock_serial_fraction=0.25)
+        assert p.lock_throughput_cap(0.5e9, 8) == pytest.approx(
+            0.5 * p.lock_throughput_cap(1e9, 8)
+        )
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            SyncProfile(lock_serial_fraction=0.25).lock_throughput_cap(0.0, 8)
+
+
+class TestWorkInflation:
+    def test_single_thread_no_inflation(self):
+        p = SyncProfile(work_inflation_coeff=0.5)
+        assert p.work_inflation(1) == pytest.approx(1.0)
+
+    def test_saturates_at_one_plus_coeff(self):
+        p = SyncProfile(work_inflation_coeff=0.5, work_inflation_half=4)
+        assert 1.0 < p.work_inflation(64) < 1.5
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_inflation_at_least_one(self, n):
+        p = SyncProfile(work_inflation_coeff=0.8, work_inflation_half=16)
+        assert p.work_inflation(n) >= 1.0
+
+    @given(st.integers(min_value=2, max_value=128))
+    def test_monotone(self, n):
+        p = SyncProfile(work_inflation_coeff=0.8, work_inflation_half=16)
+        assert p.work_inflation(n) <= p.work_inflation(n + 1)

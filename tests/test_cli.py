@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndShow:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "EP" in out and "Blackscholes" in out
+
+    def test_list_workloads_suite_filter(self, capsys):
+        assert main(["list-workloads", "--suite", "parsec"]) == 0
+        out = capsys.readouterr().out
+        assert "Dedup" in out
+        assert "Swim" not in out
+
+    def test_show_workload(self, capsys):
+        assert main(["show-workload", "SSCA2"]) == 0
+        out = capsys.readouterr().out
+        assert "Lock heavy" in out
+        assert "MPKI" in out
+
+    def test_show_unknown_raises(self):
+        with pytest.raises(KeyError):
+            main(["show-workload", "doom"])
+
+
+class TestRun:
+    def test_run_all_levels(self, capsys):
+        assert main(["run", "EP", "--system", "p7"]) == 0
+        out = capsys.readouterr().out
+        assert "SMT1" in out and "SMT4" in out
+        assert "SMTsm@SMT4 factors" in out
+
+    def test_run_single_level(self, capsys):
+        assert main(["run", "EP", "--system", "nehalem", "--smt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SMT2" in out and "SMT1" not in out.split("factors")[0]
+
+    def test_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["run", "EP", "--system", "sparc"])
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "table1" in out and "batch" in out
+
+    def test_unknown_returns_error(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig01(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "Equake" in out
+
+    def test_priorities(self, capsys):
+        assert main(["experiment", "priorities"]) == 0
+        assert "priority" in capsys.readouterr().out

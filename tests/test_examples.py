@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The slowest examples (full-suite characterization, the optimizer demo)
+are exercised through their underlying experiment tests; here we run
+the quick ones as real subprocesses to catch import/CLI drift.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "EP")
+        assert proc.returncode == 0, proc.stderr
+        assert "SMTsm @SMT4" in proc.stdout
+        assert "recommend SMT4" in proc.stdout
+
+    def test_quickstart_contended_workload(self):
+        proc = run_example("quickstart.py", "SPECjbb_contention")
+        assert proc.returncode == 0, proc.stderr
+        assert "recommend SMT1" in proc.stdout
+
+    def test_port_the_metric(self):
+        proc = run_example("port_the_metric.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Fictional4W" in proc.stdout
+        assert "Gini" in proc.stdout and "PPI" in proc.stdout
+
+    def test_perf_sampling(self):
+        proc = run_example("perf_sampling.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "PHASE CHANGE" in proc.stdout

@@ -1,0 +1,47 @@
+"""Tests for ASCII report formatting."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.5000" in out
+        assert "bb" in out
+
+    def test_title_rendered(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(["c"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_bool_rendered_as_yes_no(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_custom_float_fmt(self):
+        out = format_table(["v"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out and "3.1416" not in out
+
+
+class TestFormatSeries:
+    def test_sorted_by_x(self):
+        out = format_series("s", {"late": (2.0, 1.0), "early": (1.0, 5.0)})
+        lines = out.splitlines()
+        assert lines.index([l for l in lines if "early" in l][0]) < lines.index(
+            [l for l in lines if "late" in l][0]
+        )
+
+    def test_labels_present(self):
+        out = format_series("fig", {"EP": (0.01, 2.5)}, xlabel="metric", ylabel="speedup")
+        assert "metric" in out and "speedup" in out and "EP" in out

@@ -1,0 +1,115 @@
+"""Calibration snapshot: the catalog's qualitative anchors.
+
+The workload parameters were calibrated against the paper's published
+numbers (Fig. 1 bars, the Fig. 7 speedup ladder, Streamcluster's
+profile, the 93%/86% success rates).  This module pins the *anchors* —
+if a future parameter edit moves a benchmark across a qualitative
+boundary, these tests catch it before the benches do.
+
+Deliberately coarse: bands, not exact values, so legitimate retuning
+within a band does not churn the suite.
+"""
+
+import pytest
+
+from repro.experiments.systems import nehalem_runs, p7_runs
+from repro.core.metric import smtsm_from_run
+from repro.sim.results import speedup
+
+
+@pytest.fixture(scope="module")
+def p7(p7_catalog_runs=None):
+    return p7_runs(seed=11)
+
+
+@pytest.fixture(scope="module")
+def nh():
+    return nehalem_runs(seed=11)
+
+
+def s41(runs, name):
+    by_level = runs.runs[name]
+    return speedup(by_level[4], by_level[1])
+
+
+def s21(runs, name):
+    by_level = runs.runs[name]
+    return speedup(by_level[2], by_level[1])
+
+
+def metric4(runs, name):
+    return smtsm_from_run(runs.runs[name][4]).value
+
+
+class TestFig1Anchors:
+    def test_equake_degrades(self, p7):
+        assert s41(p7, "Equake") < 0.65
+
+    def test_mg_oblivious(self, p7):
+        assert 0.85 < s41(p7, "MG") < 1.15
+
+    def test_ep_excels(self, p7):
+        assert s41(p7, "EP") > 1.7
+
+
+class TestFig7Ladder:
+    def test_blackscholes_band(self, p7):
+        assert 1.6 < s41(p7, "Blackscholes") < 2.0   # paper: 1.82
+
+    def test_fluidanimate_band(self, p7):
+        assert 1.2 < s41(p7, "Fluidanimate") < 1.8   # paper: 1.35
+
+    def test_dedup_band(self, p7):
+        assert 0.75 < s41(p7, "Dedup") < 1.0         # paper: 0.86
+
+    def test_ssca2_band(self, p7):
+        assert 0.6 < s41(p7, "SSCA2") < 0.9          # paper: 0.78
+
+    def test_jbb_contention_band(self, p7):
+        assert s41(p7, "SPECjbb_contention") < 0.45  # paper: 0.25
+
+
+class TestThresholdSides:
+    SMT4_FRIENDLY = ("EP", "EP_MPI", "Blackscholes", "Wupwise", "Fma3d",
+                     "LU_MPI", "FT_MPI", "CG_MPI", "Daytrader", "SPECjbb",
+                     "Fluidanimate", "BT")
+    SMT1_PREFERRING = ("Equake", "Swim", "Mgrid", "Applu", "Ammp", "Apsi",
+                       "IS_MPI", "SSCA2", "SPECjbb_contention", "Dedup",
+                       "Streamcluster", "Stream")
+
+    def test_friendly_set_below_threshold_and_fast(self, p7):
+        for name in self.SMT4_FRIENDLY:
+            assert metric4(p7, name) <= 0.07, name
+            assert s41(p7, name) > 1.0, name
+
+    def test_hostile_set_above_threshold_and_slow(self, p7):
+        for name in self.SMT1_PREFERRING:
+            assert metric4(p7, name) > 0.065, name
+            assert s41(p7, name) < 1.01, name
+
+    def test_borderliners_hover_at_one(self, p7):
+        for name in ("Gafort", "IS"):
+            assert 0.9 < s41(p7, name) < 1.1, name
+            assert metric4(p7, name) <= 0.07, name
+
+
+class TestNehalemAnchors:
+    def test_streamcluster_profile(self, nh):
+        # §IV-A: high load fraction drives the metric far right while
+        # memory-boundness keeps SMT2 winning.
+        m = smtsm_from_run(nh.runs["Streamcluster"][2])
+        assert m.mix_deviation > 0.28
+        assert s21(nh, "Streamcluster") > 1.0
+
+    def test_streamcluster_l3_mpki_near_paper(self, nh):
+        # §IV-A: "8 L3 Misses per thousand retired instructions".
+        sample = nh.runs["Streamcluster"][2].counter_sample()
+        assert 4.0 < sample.l3_mpki < 12.0
+
+    def test_most_prefer_smt2(self, nh):
+        from repro.workloads.catalog import NEHALEM_SET
+        winners = sum(1 for n in NEHALEM_SET if s21(nh, n) >= 1.0)
+        assert winners >= len(NEHALEM_SET) - 5
+
+    def test_ep_gains_modestly(self, nh):
+        assert 1.2 < s21(nh, "EP") < 1.7

@@ -1,0 +1,96 @@
+"""Tests for the Table I workload catalog."""
+
+import pytest
+
+from repro.workloads import (
+    all_workloads,
+    get_workload,
+    nehalem_catalog,
+    power7_catalog,
+)
+from repro.workloads.catalog import NEHALEM_SET, NEHALEM_SMT1_SET, POWER7_SET, table1_rows
+
+
+class TestCatalogStructure:
+    def test_power7_set_size(self):
+        # The paper's POWER7 experiments cover 28 labelled benchmarks.
+        assert len(POWER7_SET) == 28
+        assert len(power7_catalog()) == 28
+
+    def test_nehalem_fig10_set_size(self):
+        # Fig. 10 plots 21 benchmarks.
+        assert len(NEHALEM_SET) == 21
+
+    def test_nehalem_fig12_set(self):
+        # Fig. 12 includes canneal and drops five entries.
+        assert "canneal" in NEHALEM_SMT1_SET
+        assert len(NEHALEM_SMT1_SET) == 17
+
+    def test_no_duplicate_names(self):
+        specs = all_workloads()
+        assert len(specs) == len({s.name for s in specs.values()})
+
+    def test_lookup_by_name(self):
+        assert get_workload("EP").suite == "NAS"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == len(all_workloads())
+        labels = [r[0] for r in rows]
+        assert labels == sorted(labels)
+
+    def test_every_spec_has_description(self):
+        for spec in all_workloads().values():
+            assert spec.description
+            assert spec.suite
+
+
+class TestPaperCharacteristics:
+    """Spot checks on the paper's documented workload traits."""
+
+    def test_streamcluster_load_heavy(self):
+        # §IV-A: "an unusually high number of loads" (~40%), few stores.
+        from repro.arch.classes import InstrClass
+        mix = get_workload("Streamcluster").stream.mix
+        assert mix[InstrClass.LOAD] >= 0.35
+        assert mix[InstrClass.STORE] <= 0.08
+
+    def test_ssca2_lock_heavy(self):
+        # Table I: "Lock heavy".
+        sync = get_workload("SSCA2").sync
+        assert sync.lock_serial_fraction > 0
+
+    def test_jbb_contention_single_warehouse(self):
+        sync = get_workload("SPECjbb_contention").sync
+        assert sync.lock_serial_fraction > get_workload("SPECjbb").sync.lock_serial_fraction
+
+    def test_dedup_heavy_io(self):
+        assert get_workload("Dedup").sync.io_wait > 0.2
+
+    def test_stream_is_streaming(self):
+        mem = get_workload("Stream").stream.memory
+        assert mem.l3_mpki > 30
+        assert mem.locality_alpha < 0.3
+
+    def test_ep_scalable_and_light(self):
+        spec = get_workload("EP")
+        assert spec.stream.memory.l3_mpki < 0.5
+        assert spec.sync.serial_fraction == 0.0
+
+    def test_specomp_suite_fp_heavy(self):
+        from repro.arch.classes import InstrClass
+        for name in ("Applu", "Mgrid", "Swim", "Equake"):
+            assert get_workload(name).stream.mix[InstrClass.VS] >= 0.45
+
+    def test_mpi_variants_do_not_share(self):
+        for name in ("EP_MPI", "IS_MPI", "CG_MPI", "FT_MPI", "LU_MPI", "MG_MPI"):
+            assert get_workload(name).stream.memory.data_sharing == 0.0
+
+    def test_catalog_sets_exist_in_all(self):
+        specs = all_workloads()
+        for name in POWER7_SET + NEHALEM_SET + NEHALEM_SMT1_SET:
+            assert name in specs

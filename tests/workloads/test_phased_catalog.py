@@ -1,0 +1,83 @@
+"""Tests for the phased composite workloads."""
+
+import pytest
+
+from repro.core.metric import smtsm
+from repro.experiments.systems import p7_system
+from repro.sim.online import SteadyApp
+from repro.workloads.phased_catalog import (
+    dedup_pipeline,
+    ft_compute_transpose,
+    graph_analytics,
+    jbb_rampup,
+    phased_catalog,
+)
+
+
+class TestCatalogStructure:
+    def test_all_composites_present(self):
+        catalog = phased_catalog()
+        assert set(catalog) == {
+            "FT-compute-transpose", "dedup-pipeline", "specjbb-rampup",
+            "graph-analytics",
+        }
+
+    def test_total_work_positive(self):
+        for workload in phased_catalog().values():
+            assert workload.total_work > 0
+            assert len(workload.phases) >= 2
+
+    def test_phases_have_distinct_behaviour(self):
+        for workload in phased_catalog().values():
+            names = {p.spec.name for p in workload.phases}
+            assert len(names) >= 2, workload.name
+
+
+class TestPhaseVisibility:
+    """Each composite's phases must be distinguishable via SMTsm."""
+
+    @pytest.mark.parametrize("builder,factor", [
+        (graph_analytics, 2.0),
+        (jbb_rampup, 1.8),   # contention vs steady jbb: ~2x separation
+    ])
+    def test_contention_phases_move_the_metric(self, builder, factor):
+        system = p7_system()
+        workload = builder()
+        app = SteadyApp(system, 4, workload.phases[0].spec,
+                        phases=workload, seed=5)
+        values_by_phase = {}
+        for _ in range(400):
+            sample = app.advance(0.02)
+            values_by_phase.setdefault(app.phase_name, []).append(
+                smtsm(sample).value
+            )
+        means = {k: sum(v) / len(v) for k, v in values_by_phase.items()}
+        assert len(means) >= 2
+        assert max(means.values()) > factor * min(means.values())
+
+    def test_ft_transpose_raises_dispatch_held(self):
+        system = p7_system()
+        workload = ft_compute_transpose()
+        app = SteadyApp(system, 4, workload.phases[0].spec,
+                        phases=workload, seed=5)
+        held = {}
+        for _ in range(400):
+            sample = app.advance(0.02)
+            held.setdefault(app.phase_name, []).append(
+                sample.dispatch_held_fraction
+            )
+        means = {k: sum(v) / len(v) for k, v in held.items()}
+        assert means["FT-transpose"] > means["FT"]
+
+    def test_dedup_pipeline_phases_alternate_scalability(self):
+        system = p7_system()
+        workload = dedup_pipeline()
+        app = SteadyApp(system, 4, workload.phases[0].spec,
+                        phases=workload, seed=5)
+        scal = {}
+        for _ in range(400):
+            sample = app.advance(0.02)
+            scal.setdefault(app.phase_name, []).append(sample.scalability_ratio)
+        means = {k: sum(v) / len(v) for k, v in scal.items()}
+        # The I/O stage sleeps more than the hash stage.
+        assert means["Dedup"] > means["dedup-hash"]

@@ -1,0 +1,90 @@
+"""Tests for synthetic builders and phased workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import RngStream
+from repro.workloads.phases import Phase, PhasedWorkload, alternating
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import (
+    bandwidth_bound_workload,
+    compute_bound_workload,
+    make_stream,
+    random_workload,
+    spin_bound_workload,
+)
+
+
+class TestMakeStream:
+    def test_vs_defaults_to_remainder(self):
+        s = make_stream(loads=0.2, stores=0.1, branches=0.1, fx=0.3)
+        from repro.arch.classes import InstrClass
+        assert s.mix[InstrClass.VS] == pytest.approx(0.3)
+
+    def test_rejects_fractions_over_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            make_stream(loads=0.5, stores=0.4, branches=0.3, fx=0.3)
+
+    def test_mpkis_clamped_monotone(self):
+        s = make_stream(l1_mpki=5, l2_mpki=10, l3_mpki=20)
+        assert s.memory.l1_mpki >= s.memory.l2_mpki >= s.memory.l3_mpki
+
+
+class TestArchetypes:
+    def test_archetypes_build(self):
+        for builder in (compute_bound_workload, bandwidth_bound_workload, spin_bound_workload):
+            spec = builder()
+            assert isinstance(spec, WorkloadSpec)
+
+    def test_spin_archetype_configurable(self):
+        spec = spin_bound_workload(lock_serial_fraction=0.5)
+        assert spec.sync.lock_serial_fraction == 0.5
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_workload_always_valid(self, seed):
+        spec = random_workload(RngStream(seed))
+        assert spec.stream.mix.vector.sum() == pytest.approx(1.0)
+        assert spec.stream.memory.l1_mpki >= spec.stream.memory.l3_mpki
+
+
+class TestPhasedWorkload:
+    def make(self):
+        return alternating(
+            "ab", compute_bound_workload("a"), spin_bound_workload("b"),
+            work_per_phase=100.0, repeats=2,
+        )
+
+    def test_total_work(self):
+        assert self.make().total_work == 400.0
+
+    def test_phase_at_boundaries(self):
+        w = self.make()
+        assert w.phase_at(0.0).spec.name == "a"
+        assert w.phase_at(150.0).spec.name == "b"
+        assert w.phase_at(250.0).spec.name == "a"
+        assert w.phase_at(399.0).spec.name == "b"
+
+    def test_phase_at_past_end_returns_last(self):
+        w = self.make()
+        assert w.phase_at(10_000.0).spec.name == "b"
+
+    def test_phase_at_rejects_negative(self):
+        with pytest.raises(ValueError):
+            self.make().phase_at(-1.0)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PhasedWorkload("empty", ())
+
+    def test_zero_work_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(compute_bound_workload(), 0.0)
+
+    def test_alternating_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            alternating("x", compute_bound_workload(), spin_bound_workload(),
+                        work_per_phase=1.0, repeats=0)
+
+    def test_iteration(self):
+        assert len(list(self.make())) == 4

@@ -1,0 +1,52 @@
+"""Tests for input-scaled workload variants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import get_workload
+from repro.workloads.variants import MISS_SCALE_EXPONENT, scaled_input
+
+
+class TestScaledInput:
+    def test_identity_at_scale_one(self):
+        base = get_workload("Equake")
+        scaled = scaled_input(base, 1.0)
+        assert scaled.stream.memory.l1_mpki == pytest.approx(base.stream.memory.l1_mpki)
+
+    def test_smaller_input_fewer_misses(self):
+        base = get_workload("Equake")
+        small = scaled_input(base, 0.1)
+        assert small.stream.memory.l1_mpki < base.stream.memory.l1_mpki
+        expected = base.stream.memory.l1_mpki * 0.1 ** MISS_SCALE_EXPONENT
+        assert small.stream.memory.l1_mpki == pytest.approx(expected)
+
+    def test_larger_input_more_misses(self):
+        base = get_workload("BT")
+        big = scaled_input(base, 10.0)
+        assert big.stream.memory.l3_mpki > base.stream.memory.l3_mpki
+
+    def test_mix_and_sync_invariant(self):
+        base = get_workload("SSCA2")
+        scaled = scaled_input(base, 4.0)
+        assert scaled.stream.mix == base.stream.mix
+        assert scaled.sync == base.sync
+        assert scaled.stream.ilp == base.stream.ilp
+
+    def test_name_and_size_labelled(self):
+        scaled = scaled_input(get_workload("EP"), 2.0)
+        assert scaled.name == "EP@x2"
+        assert "scaled" in scaled.problem_size
+
+    def test_custom_label(self):
+        scaled = scaled_input(get_workload("EP"), 2.0, label="EP-big")
+        assert scaled.name == "EP-big"
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scaled_input(get_workload("EP"), 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30)
+    def test_hierarchy_stays_monotone(self, scale):
+        mem = scaled_input(get_workload("Swim"), scale).stream.memory
+        assert mem.l1_mpki >= mem.l2_mpki >= mem.l3_mpki
