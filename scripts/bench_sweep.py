@@ -1,0 +1,135 @@
+"""Benchmark the full catalog sweep: scalar vs batched vs warm cache.
+
+Times the complete POWER7 (28 workloads x SMT1/2/4) plus Nehalem
+(22 workloads x SMT1/2) sweeps through three paths:
+
+* ``scalar``  — the reference engine, one ``simulate_run`` per spec;
+* ``batched`` — ``run_catalog_batched`` with the cache disabled (cold);
+* ``cached``  — ``run_catalog_batched`` against a freshly populated
+  run cache (warm rerun; no simulation at all).
+
+Writes ``BENCH_sweep.json`` at the repo root with per-phase wall times
+and the two headline speedups (batched-vs-scalar, warm-vs-scalar).
+
+    PYTHONPATH=src python scripts/bench_sweep.py [--repeats N]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.runner import run_catalog, run_catalog_batched
+from repro.experiments.systems import nehalem_system, p7_system
+from repro.sim import engine
+from repro.sim.runcache import RunCache
+from repro.workloads.catalog import (
+    NEHALEM_SET,
+    NEHALEM_SMT1_SET,
+    all_workloads,
+    power7_catalog,
+)
+
+SEED = 11
+
+
+def sweeps():
+    specs = all_workloads()
+    nehalem_names = sorted(set(NEHALEM_SET) | set(NEHALEM_SMT1_SET))
+    return (
+        ("p7", p7_system(), power7_catalog(), (1, 2, 4)),
+        ("nehalem", nehalem_system(),
+         {n: specs[n] for n in nehalem_names}, (1, 2)),
+    )
+
+
+def reset_memo_state():
+    # The serial-rate memo survives across calls; clear it so every
+    # timed phase starts from the same cold state.
+    engine._SERIAL_RATE_CACHE.clear()
+
+
+def timed(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        reset_memo_state()
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def run_scalar():
+    for _, system, catalog, levels in sweeps():
+        run_catalog(system, catalog, levels, seed=SEED)
+
+
+def run_batched():
+    for _, system, catalog, levels in sweeps():
+        run_catalog_batched(system, catalog, levels, seed=SEED,
+                            use_cache=False)
+
+
+def run_with_cache(cache):
+    for _, system, catalog, levels in sweeps():
+        run_catalog_batched(system, catalog, levels, seed=SEED, cache=cache)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per phase (min is reported)")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: <repo>/BENCH_sweep.json)")
+    args = parser.parse_args(argv)
+
+    parts = [(name, len(catalog) * len(levels))
+             for name, _, catalog, levels in sweeps()]
+    n_runs = sum(count for _, count in parts)
+    detail = " + ".join(f"{name} {count}" for name, count in parts)
+    print(f"sweep size: {n_runs} runs ({detail}), repeats={args.repeats}")
+
+    scalar_s = timed(run_scalar, args.repeats)
+    print(f"scalar engine:        {scalar_s * 1e3:9.1f} ms")
+
+    batched_s = timed(run_batched, args.repeats)
+    print(f"batched engine (cold):{batched_s * 1e3:9.1f} ms "
+          f"({scalar_s / batched_s:.2f}x vs scalar)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = RunCache(Path(tmp))
+        reset_memo_state()
+        start = time.perf_counter()
+        run_with_cache(cache)
+        populate_s = time.perf_counter() - start
+        print(f"batched + cache fill: {populate_s * 1e3:9.1f} ms "
+              f"({len(cache)} entries)")
+        warm_s = timed(lambda: run_with_cache(cache), args.repeats)
+    print(f"warm cache rerun:     {warm_s * 1e3:9.1f} ms "
+          f"({scalar_s / warm_s:.2f}x vs scalar)")
+
+    payload = {
+        "n_runs": n_runs,
+        "repeats": args.repeats,
+        "seconds": {
+            "scalar": scalar_s,
+            "batched_cold": batched_s,
+            "batched_cache_fill": populate_s,
+            "warm_cache": warm_s,
+        },
+        "speedup": {
+            "batched_vs_scalar": scalar_s / batched_s,
+            "warm_cache_vs_scalar": scalar_s / warm_s,
+        },
+    }
+    out = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_sweep.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.core.metric import smtsm_from_run
-from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.engine import RunSpec, simulate_many, simulate_run
 from repro.simos import SystemSpec
 from repro.util.tables import format_table
 from repro.workloads import all_workloads, get_workload
@@ -57,15 +57,40 @@ def cmd_show_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim.runcache import RunCache, cache_enabled_by_default
+
     system = _system(args.system)
     spec = get_workload(args.name)
     levels = [args.smt] if args.smt else list(system.arch.smt_levels)
+    use_cache = args.cache if args.cache is not None else cache_enabled_by_default()
+    cache = RunCache() if use_cache else None
+    run_specs = [
+        RunSpec(system, level, spec.stream, spec.sync, seed=args.seed)
+        for level in levels
+    ]
+    results: List[Optional[object]] = [None] * len(run_specs)
+    missing = []
+    for i, run_spec in enumerate(run_specs):
+        if cache is not None:
+            results[i] = cache.get(run_spec)
+        if results[i] is None:
+            missing.append(i)
+    if missing:
+        todo = [run_specs[i] for i in missing]
+        if args.jobs and args.jobs > 1:
+            from repro.experiments.runner import _simulate_parallel
+
+            fresh = _simulate_parallel(todo, args.jobs)
+        else:
+            fresh = simulate_many(todo)
+        for i, result in zip(missing, fresh):
+            results[i] = result
+            if cache is not None:
+                cache.put(run_specs[i], result)
+
     rows = []
     metric_row = None
-    for level in levels:
-        result = simulate_run(
-            RunSpec(system, level, spec.stream, spec.sync, seed=args.seed)
-        )
+    for level, result in zip(levels, results):
         metric = smtsm_from_run(result)
         rows.append([f"SMT{level}", result.n_threads, result.wall_time_s,
                      result.performance / 1e9, metric.value])
@@ -145,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", default="p7", help="p7 | p7x2 | nehalem")
     p.add_argument("--smt", type=int, default=None, help="single SMT level")
     p.add_argument("--seed", type=int, default=11)
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="reuse/store converged runs under results/.runcache/ "
+        "(default: on unless REPRO_RUNCACHE=0)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulate cache misses across N worker processes instead of "
+        "the vectorized batch path",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="regenerate a paper experiment")

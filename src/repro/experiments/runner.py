@@ -19,14 +19,22 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.analysis.success import SuccessSummary, success_summary
 from repro.core.metric import SmtsmResult, smtsm_from_run
 from repro.core.predictor import Observation, SmtPredictor
-from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.engine import DEFAULT_WORK, RunSpec, simulate_many, simulate_run
 from repro.sim.results import RunResult, speedup
+from repro.sim.runcache import RunCache, cache_enabled_by_default
 from repro.simos.system import SystemSpec
 from repro.util.tables import format_table
 from repro.workloads.spec import WorkloadSpec
 
-#: Default per-run useful work; large enough to make noise marginal.
-DEFAULT_WORK = 2e10
+__all__ = [
+    "DEFAULT_WORK",  # re-exported; the engine owns the single definition
+    "CatalogRuns",
+    "run_catalog",
+    "run_catalog_batched",
+    "ScatterPoint",
+    "ScatterResult",
+    "scatter_from_runs",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,33 @@ class CatalogRuns:
         return tuple(self.runs)
 
 
+def _catalog_specs(
+    system: SystemSpec,
+    catalog: Mapping[str, WorkloadSpec],
+    levels: Sequence[int],
+    seed: int,
+    work: float,
+) -> List[Tuple[str, int, RunSpec]]:
+    for level in levels:
+        system.arch.validate_smt_level(level)
+    return [
+        (
+            name,
+            level,
+            RunSpec(
+                system=system,
+                smt_level=level,
+                stream=spec.stream,
+                sync=spec.sync,
+                useful_instructions=work,
+                seed=seed,
+            ),
+        )
+        for name, spec in catalog.items()
+        for level in levels
+    ]
+
+
 def run_catalog(
     system: SystemSpec,
     catalog: Mapping[str, WorkloadSpec],
@@ -53,26 +88,99 @@ def run_catalog(
     seed: int = 11,
     work: float = DEFAULT_WORK,
 ) -> CatalogRuns:
-    """Run every workload at every requested SMT level."""
+    """Run every workload at every requested SMT level (scalar engine)."""
     if levels is None:
         levels = system.arch.smt_levels
-    for level in levels:
-        system.arch.validate_smt_level(level)
+    keyed = _catalog_specs(system, catalog, levels, seed, work)
     all_runs: Dict[str, Dict[int, RunResult]] = {}
-    for name, spec in catalog.items():
-        all_runs[name] = {
-            level: simulate_run(
-                RunSpec(
-                    system=system,
-                    smt_level=level,
-                    stream=spec.stream,
-                    sync=spec.sync,
-                    useful_instructions=work,
-                    seed=seed,
-                )
-            )
-            for level in levels
-        }
+    for name, level, spec in keyed:
+        all_runs.setdefault(name, {})[level] = simulate_run(spec)
+    return CatalogRuns(system=system, runs=all_runs, seed=seed)
+
+
+def _simulate_worker(spec: RunSpec) -> RunResult:
+    return simulate_run(spec)
+
+
+def _simulate_parallel(specs: List[RunSpec], jobs: int) -> List[RunResult]:
+    """Multiprocessing fallback for engines that cannot batch.
+
+    The vectorized batch path only exists for the fast analytic engine;
+    detailed per-run simulation (e.g. the cycle engine) parallelizes
+    across processes instead.  Falls back to in-process execution when
+    a worker pool cannot be created (restricted environments).
+    """
+    import multiprocessing as mp
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = mp.get_context()
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(_simulate_worker, specs)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return [simulate_run(spec) for spec in specs]
+
+
+def run_catalog_batched(
+    system: SystemSpec,
+    catalog: Mapping[str, WorkloadSpec],
+    levels: Optional[Sequence[int]] = None,
+    *,
+    seed: int = 11,
+    work: float = DEFAULT_WORK,
+    cache: Optional[RunCache] = None,
+    use_cache: Optional[bool] = None,
+    jobs: Optional[int] = None,
+) -> CatalogRuns:
+    """Run a catalog through the batched sweep engine.
+
+    Produces the same :class:`CatalogRuns` as :func:`run_catalog` (to
+    floating-point round-off), but solves every (workload, level) run's
+    chip fixed points in vectorized lockstep via
+    :func:`repro.sim.engine.simulate_many`.
+
+    ``use_cache``/``cache`` control the persistent run cache: hits skip
+    simulation entirely, misses are simulated and stored.  The default
+    honours the ``REPRO_RUNCACHE`` environment switch.  ``jobs > 1``
+    bypasses batching and fans the runs out over worker processes
+    instead — the fallback for engines with no vectorized path.
+    """
+    if levels is None:
+        levels = system.arch.smt_levels
+    keyed = _catalog_specs(system, catalog, levels, seed, work)
+    specs = [spec for _, _, spec in keyed]
+    if use_cache is None:
+        use_cache = cache is not None or cache_enabled_by_default()
+    if use_cache and cache is None:
+        cache = RunCache()
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    missing: List[int] = []
+    if use_cache and cache is not None:
+        for i, spec in enumerate(specs):
+            results[i] = cache.get(spec)
+            if results[i] is None:
+                missing.append(i)
+    else:
+        missing = list(range(len(specs)))
+
+    if missing:
+        todo = [specs[i] for i in missing]
+        if jobs is not None and jobs > 1:
+            fresh = _simulate_parallel(todo, jobs)
+        else:
+            fresh = simulate_many(todo)
+        for i, result in zip(missing, fresh):
+            results[i] = result
+            if use_cache and cache is not None:
+                cache.put(specs[i], result)
+
+    all_runs: Dict[str, Dict[int, RunResult]] = {}
+    for (name, level, _), result in zip(keyed, results):
+        assert result is not None
+        all_runs.setdefault(name, {})[level] = result
     return CatalogRuns(system=system, runs=all_runs, seed=seed)
 
 

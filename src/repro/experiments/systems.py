@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.arch import nehalem, power7
-from repro.experiments.runner import CatalogRuns, run_catalog
+from repro.experiments.runner import CatalogRuns, run_catalog, run_catalog_batched
 from repro.simos.system import SystemSpec
 from repro.workloads.catalog import (
     NEHALEM_SET,
@@ -30,8 +30,8 @@ def nehalem_system() -> SystemSpec:
 
 def p7_runs(n_chips: int = 1, *, seed: int = DEFAULT_SEED,
             levels: Optional[Sequence[int]] = None) -> CatalogRuns:
-    """The POWER7 benchmark set at SMT1/2/4."""
-    return run_catalog(
+    """The POWER7 benchmark set at SMT1/2/4 (batched sweep engine)."""
+    return run_catalog_batched(
         p7_system(n_chips), power7_catalog(), levels or (1, 2, 4), seed=seed
     )
 
@@ -40,6 +40,6 @@ def nehalem_runs(*, seed: int = DEFAULT_SEED) -> CatalogRuns:
     """The Nehalem benchmark set (Fig. 10 + Fig. 12 entries) at SMT1/2."""
     specs = all_workloads()
     names = sorted(set(NEHALEM_SET) | set(NEHALEM_SMT1_SET))
-    return run_catalog(
+    return run_catalog_batched(
         nehalem_system(), {n: specs[n] for n in names}, (1, 2), seed=seed
     )

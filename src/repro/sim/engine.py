@@ -20,16 +20,17 @@ machinery like) real measurements.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arch.classes import CLASS_ORDER, SPIN_LOOP_MIX, InstrClass
 from repro.counters.events import CLASS_COUNT_EVENTS, port_issue_event
 from repro.counters.pmu import Pmu
-from repro.sim.chip import ChipSolution, solve_chip
-from repro.sim.fast_core import CoreInput, solve_core
+from repro.sim.chip import ChipSolution, solve_chip, solve_chip_batch
+from repro.sim.fast_core import CoreInput, solve_core, solve_core_batch
 from repro.sim.results import RunResult
 from repro.sim.stream import StreamParams
 from repro.simos.scheduler import Placement, place_threads
@@ -80,10 +81,9 @@ SPIN_ITERATIONS = 3
 def simulate_run(spec: RunSpec) -> RunResult:
     """Simulate one application run; see the module docstring for the flow."""
     system = spec.system
-    arch = system.arch
     n = spec.resolved_threads()
     placement = place_threads(system, spec.smt_level, n)
-    freq = arch.cycles_per_second()
+    freq = system.arch.cycles_per_second()
     runnable = spec.sync.runnable_fraction(n)
 
     # --- contended-lock throughput cap -------------------------------
@@ -100,22 +100,146 @@ def simulate_run(spec: RunSpec) -> RunResult:
     # the branch fraction and the deviation from the ideal mix).  The
     # spin fraction has two sources: a direct busy-wait component
     # (barrier-style) and the derived component from the lock cap.
-    spin = spec.sync.spin_fraction(n)
+    spin0 = spec.sync.spin_fraction(n)
+    spin = spin0
     solution = base_solution
-    useful_rate = None
-    for _ in range(SPIN_ITERATIONS):
-        effective_stream = spec.stream.with_mix(
-            spec.stream.mix.blend(SPIN_LOOP_MIX, spin)
+    if spin0 == 0.0 and math.isinf(lock_cap):
+        # Sync-free workload: a zero spin fraction blends the mix with
+        # weight 0 and an uncapped lock leaves the rate untouched, so
+        # every iteration would reproduce the base solution exactly.
+        useful_rate = float(np.sum(solution.per_thread_ipc())) * freq * runnable
+    else:
+        useful_rate = None
+        for _ in range(SPIN_ITERATIONS):
+            effective_stream = spec.stream.with_mix(
+                spec.stream.mix.blend(SPIN_LOOP_MIX, spin)
+            )
+            solution = solve_chip(placement, effective_stream)
+            raw_rate = float(np.sum(solution.per_thread_ipc())) * freq
+            available = raw_rate * runnable  # executed instr/s among running threads
+            useful_rate = min(available * (1.0 - spin0), lock_cap)
+            spin = min(MAX_SPIN, 1.0 - useful_rate / available)
+
+    return _finalize_run(spec, n, placement, solution, spin, useful_rate)
+
+
+def simulate_many(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Simulate many runs, batching the chip solves across specs.
+
+    Semantically equivalent to ``[simulate_run(s) for s in specs]`` (to
+    floating-point round-off): the lock cap, spin fixed point, time
+    accounting, jitter, and counters follow the exact scalar control
+    flow, but every round of chip solves — the base solve and each spin
+    iteration — runs through :func:`repro.sim.chip.solve_chip_batch` so
+    the whole sweep shares vectorized core evaluations.  Specs are
+    grouped by architecture instance (a batch cannot mix architectures);
+    results come back in input order.
+    """
+    specs = list(specs)
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    groups: Dict[int, List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(id(spec.system.arch), []).append(i)
+    for indices in groups.values():
+        for i, result in zip(indices, _simulate_group([specs[i] for i in indices])):
+            results[i] = result
+    return results  # type: ignore[return-value]
+
+
+def _simulate_group(specs: List[RunSpec]) -> List[RunResult]:
+    """Batched run loop for specs sharing one architecture instance."""
+    arch = specs[0].system.arch
+    freq = arch.cycles_per_second()
+    ns = [spec.resolved_threads() for spec in specs]
+    placements = [
+        place_threads(spec.system, spec.smt_level, n) for spec, n in zip(specs, ns)
+    ]
+
+    # Warm the serial-rate memo for the group's distinct streams in one
+    # vectorized pass (they are all independent SMT1 solo solves).
+    pending: Dict[Tuple[int, StreamParams], StreamParams] = {}
+    for spec in specs:
+        key = (id(arch), spec.stream)
+        hit = _SERIAL_RATE_CACHE.get(key)
+        if (hit is None or hit[0] is not arch) and key not in pending:
+            pending[key] = spec.stream
+    if pending:
+        solo = solve_core_batch(
+            [
+                CoreInput(arch=arch, smt_level=1, streams=(stream,), threads_per_chip=1)
+                for stream in pending.values()
+            ]
         )
-        solution = solve_chip(placement, effective_stream)
-        raw_rate = float(np.sum(solution.per_thread_ipc())) * freq
-        available = raw_rate * runnable  # executed instr/s among running threads
-        useful_rate = min(available * (1.0 - spec.sync.spin_fraction(n)), lock_cap)
-        spin = min(MAX_SPIN, 1.0 - useful_rate / available)
+        for key, out in zip(pending, solo):
+            _SERIAL_RATE_CACHE[key] = (arch, float(out.ipc[0]) * freq)
+
+    base = solve_chip_batch(
+        [(pl, spec.stream) for pl, spec in zip(placements, specs)]
+    )
+    solutions: List[ChipSolution] = list(base)
+    runnables: List[float] = []
+    lock_caps: List[float] = []
+    spin0s: List[float] = []
+    spins: List[float] = []
+    useful_rates: List[Optional[float]] = []
+    loop_idx: List[int] = []
+    for i, (spec, n, sol) in enumerate(zip(specs, ns, base)):
+        runnable = spec.sync.runnable_fraction(n)
+        holder_rate = float(np.mean(sol.per_thread_ipc())) * freq
+        lock_cap = spec.sync.lock_throughput_cap(holder_rate, n)
+        spin0 = spec.sync.spin_fraction(n)
+        runnables.append(runnable)
+        lock_caps.append(lock_cap)
+        spin0s.append(spin0)
+        spins.append(spin0)
+        if spin0 == 0.0 and math.isinf(lock_cap):
+            useful_rates.append(float(np.sum(sol.per_thread_ipc())) * freq * runnable)
+        else:
+            useful_rates.append(None)
+            loop_idx.append(i)
+
+    if loop_idx:
+        for _ in range(SPIN_ITERATIONS):
+            jobs = [
+                (
+                    placements[i],
+                    specs[i].stream.with_mix(
+                        specs[i].stream.mix.blend(SPIN_LOOP_MIX, spins[i])
+                    ),
+                )
+                for i in loop_idx
+            ]
+            for i, sol in zip(loop_idx, solve_chip_batch(jobs)):
+                solutions[i] = sol
+                raw_rate = float(np.sum(sol.per_thread_ipc())) * freq
+                available = raw_rate * runnables[i]
+                useful = min(available * (1.0 - spin0s[i]), lock_caps[i])
+                useful_rates[i] = useful
+                spins[i] = min(MAX_SPIN, 1.0 - useful / available)
+
+    return [
+        _finalize_run(spec, n, placement, solution, spin, useful_rate)
+        for spec, n, placement, solution, spin, useful_rate in zip(
+            specs, ns, placements, solutions, spins, useful_rates
+        )
+    ]
+
+
+def _finalize_run(
+    spec: RunSpec,
+    n: int,
+    placement: Placement,
+    solution: ChipSolution,
+    spin: float,
+    useful_rate: Optional[float],
+) -> RunResult:
+    """Time accounting, jitter, and counters for a converged run."""
+    system = spec.system
+    arch = system.arch
     effective_stream = spec.stream.with_mix(spec.stream.mix.blend(SPIN_LOOP_MIX, spin))
     per_thread_ipc = solution.per_thread_ipc()
+    runnable = spec.sync.runnable_fraction(n)
 
-    # --- time accounting ------------------------------------------------
     # Parallel overhead inflates executed work relative to useful work.
     inflation = spec.sync.work_inflation(n)
     serial_rate = _serial_rate(system, spec.stream)
@@ -152,21 +276,38 @@ def simulate_run(spec: RunSpec) -> RunResult:
     )
 
 
+#: Serial rates depend only on (architecture, stream) — not the SMT
+#: level — so one entry serves a workload's whole level sweep.  Keys use
+#: ``id(arch)`` because architectures hold dict-valued partition tables
+#: and are unhashable; the stored arch reference pins the id.
+_SERIAL_RATE_CACHE: Dict[Tuple[int, StreamParams], Tuple[object, float]] = {}
+_SERIAL_RATE_CACHE_MAX = 4096
+
+
 def _serial_rate(system: SystemSpec, stream: StreamParams) -> float:
-    """Single-thread throughput during serial sections.
+    """Single-thread throughput during serial sections (memoized).
 
     One thread on one otherwise-idle core: the core reverts to SMT1
     mode (paper §II-A) and sees no bandwidth contention.
     """
+    arch = system.arch
+    key = (id(arch), stream)
+    hit = _SERIAL_RATE_CACHE.get(key)
+    if hit is not None and hit[0] is arch:
+        return hit[1]
     out = solve_core(
         CoreInput(
-            arch=system.arch,
+            arch=arch,
             smt_level=1,
             streams=(stream,),
             threads_per_chip=1,
         )
     )
-    return float(out.ipc[0]) * system.arch.cycles_per_second()
+    rate = float(out.ipc[0]) * arch.cycles_per_second()
+    if len(_SERIAL_RATE_CACHE) >= _SERIAL_RATE_CACHE_MAX:
+        _SERIAL_RATE_CACHE.clear()
+    _SERIAL_RATE_CACHE[key] = (arch, rate)
+    return rate
 
 
 def _jitter_times(times: TimeAccounting, rng: RngStream, noise_rel: float) -> TimeAccounting:

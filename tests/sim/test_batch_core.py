@@ -1,0 +1,189 @@
+"""The batched solvers must agree with the scalar reference engines.
+
+`solve_core_batch` and `solve_chip_batch` are pure performance features:
+any scenario they accept must produce the same numbers the scalar
+`solve_core`/`solve_chip` produce, to floating-point round-off.  The
+property suite drives random workloads through both and pins agreement
+at <= 1e-9 relative error (observed disagreement is ~1e-15 — the bound
+leaves room for reassociation only, never model drift).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import nehalem, power7
+from repro.sim.chip import solve_chip, solve_chip_batch
+from repro.sim.fast_core import CoreBatch, CoreInput, solve_core, solve_core_batch
+from repro.simos import SystemSpec
+from repro.simos.scheduler import place_threads
+from repro.util.rng import RngStream
+from repro.workloads.synthetic import random_workload
+
+REL_TOL = 1e-9
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+P7 = power7()
+NEHALEM = nehalem()
+
+
+def stream_for(seed):
+    return random_workload(RngStream(seed)).stream
+
+
+def rel_err(a, b):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.max(np.abs(a - b) / (np.abs(a) + 1e-12))) if a.size else 0.0
+
+
+def assert_outputs_match(scalar, batched):
+    assert rel_err(scalar.ipc, batched.ipc) <= REL_TOL
+    assert rel_err(scalar.port_utilization, batched.port_utilization) <= REL_TOL
+    assert rel_err(scalar.stall_fraction, batched.stall_fraction) <= REL_TOL
+    assert rel_err(scalar.long_stall_fraction, batched.long_stall_fraction) <= REL_TOL
+    assert rel_err(scalar.branch_rate, batched.branch_rate) <= REL_TOL
+    assert rel_err(scalar.port_scale, batched.port_scale) <= REL_TOL
+    assert (
+        rel_err(scalar.dispatch_held_fraction, batched.dispatch_held_fraction)
+        <= REL_TOL
+    )
+    assert (
+        rel_err(scalar.traffic_bytes_per_cycle, batched.traffic_bytes_per_cycle)
+        <= REL_TOL
+    )
+    for sr, br in zip(scalar.miss_rates, batched.miss_rates):
+        assert rel_err(sr.l1_mpki, br.l1_mpki) <= REL_TOL
+        assert rel_err(sr.l2_mpki, br.l2_mpki) <= REL_TOL
+        assert rel_err(sr.l3_mpki, br.l3_mpki) <= REL_TOL
+
+
+def build_input(arch, seed, level, mult, extra, hetero, with_priorities):
+    k = 1 + seed % level if level > 1 else 1
+    if hetero:
+        streams = tuple(stream_for(seed + 31 * t) for t in range(k))
+    else:
+        streams = tuple([stream_for(seed)] * k)
+    priorities = None
+    if with_priorities:
+        priorities = tuple(1 + (seed + t) % 6 for t in range(k))
+    return CoreInput(
+        arch=arch,
+        smt_level=level,
+        streams=streams,
+        threads_per_chip=max(k, (seed % 4 + 1) * k),
+        mem_latency_mult=mult,
+        extra_mem_latency=extra,
+        priorities=priorities,
+    )
+
+
+class TestSolveCoreBatchEquivalence:
+    @given(
+        seeds,
+        st.sampled_from([1, 2, 4]),
+        st.floats(min_value=1.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=40.0),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_scenario(self, seed, level, mult, extra, hetero, with_prio):
+        inp = build_input(P7, seed, level, mult, extra, hetero, with_prio)
+        (batched,) = solve_core_batch([inp])
+        assert_outputs_match(solve_core(inp), batched)
+
+    @given(seeds, st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_batch_padding(self, seed, count):
+        # Scenarios of different widths share one padded batch: padded
+        # slots must never leak into real outputs.
+        inputs = [
+            build_input(
+                P7,
+                seed + 7 * i,
+                [1, 2, 4][(seed + i) % 3],
+                1.0 + (seed + i) % 5,
+                float((seed + i) % 2) * 15.0,
+                hetero=bool(i % 2),
+                with_priorities=bool((seed + i) % 3 == 0),
+            )
+            for i in range(count)
+        ]
+        for inp, batched in zip(inputs, solve_core_batch(inputs)):
+            assert_outputs_match(solve_core(inp), batched)
+
+    @given(seeds, st.sampled_from([1, 2]))
+    @settings(max_examples=30, deadline=None)
+    def test_nehalem(self, seed, level):
+        inp = build_input(NEHALEM, seed, level, 1.0 + seed % 7, 0.0, False, False)
+        (batched,) = solve_core_batch([inp])
+        assert_outputs_match(solve_core(inp), batched)
+
+    def test_empty_batch(self):
+        assert solve_core_batch([]) == []
+
+    def test_rejects_mixed_architectures(self):
+        s = stream_for(3)
+        a = CoreInput(power7(), 1, (s,), threads_per_chip=1)
+        b = CoreInput(power7(), 1, (s,), threads_per_chip=1)
+        with pytest.raises(ValueError, match="one Architecture instance"):
+            CoreBatch([a, b])
+
+    def test_reuses_precomputation_across_mults(self):
+        inputs = [build_input(P7, 11 + i, 4, 1.0, 0.0, False, False) for i in range(4)]
+        batch = CoreBatch(inputs)
+        for mult in (1.0, 2.5, 8.7):
+            outs = batch.outputs(np.full(len(inputs), mult))
+            for inp, out in zip(inputs, outs):
+                scalar = solve_core(
+                    CoreInput(
+                        arch=inp.arch,
+                        smt_level=inp.smt_level,
+                        streams=inp.streams,
+                        threads_per_chip=inp.threads_per_chip,
+                        mem_latency_mult=mult,
+                        extra_mem_latency=inp.extra_mem_latency,
+                        priorities=inp.priorities,
+                    )
+                )
+                assert_outputs_match(scalar, out)
+
+
+class TestSolveChipBatchEquivalence:
+    @given(st.lists(seeds, min_size=1, max_size=6, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_fixed_point(self, seed_list):
+        system = SystemSpec(P7, 1)
+        jobs = []
+        for seed in seed_list:
+            level = [1, 2, 4][seed % 3]
+            placement = place_threads(system, level, system.contexts_at(level))
+            jobs.append((placement, stream_for(seed)))
+        for (placement, stream), batched in zip(jobs, solve_chip_batch(jobs)):
+            scalar = solve_chip(placement, stream)
+            assert scalar.core_occupancy == batched.core_occupancy
+            assert rel_err(scalar.mem_latency_mult, batched.mem_latency_mult) <= REL_TOL
+            assert rel_err(scalar.traffic_gbps, batched.traffic_gbps) <= REL_TOL
+            assert rel_err(scalar.mem_utilization, batched.mem_utilization) <= REL_TOL
+            assert (
+                rel_err(scalar.per_thread_ipc(), batched.per_thread_ipc()) <= REL_TOL
+            )
+            assert (
+                rel_err(scalar.mean_dispatch_held, batched.mean_dispatch_held)
+                <= REL_TOL
+            )
+
+    def test_uneven_occupancy(self):
+        # 5 threads on a 4-core Nehalem: one core runs 2, three run 1.
+        system = SystemSpec(NEHALEM, 1)
+        placement = place_threads(system, 2, 5)
+        stream = stream_for(17)
+        (batched,) = solve_chip_batch([(placement, stream)])
+        scalar = solve_chip(placement, stream)
+        assert scalar.core_occupancy == batched.core_occupancy
+        assert rel_err(scalar.per_thread_ipc(), batched.per_thread_ipc()) <= REL_TOL
+
+    def test_empty_jobs(self):
+        assert solve_chip_batch([]) == []
