@@ -8,8 +8,14 @@ Times the complete POWER7 (28 workloads x SMT1/2/4) plus Nehalem
 * ``cached``  — ``run_catalog_batched`` against a freshly populated
   run cache (warm rerun; no simulation at all).
 
-Writes ``BENCH_sweep.json`` at the repo root with per-phase wall times
-and the two headline speedups (batched-vs-scalar, warm-vs-scalar).
+The warm phase is then re-run once with in-process telemetry enabled
+(``repro.obs``) so the cache hit/miss counts are *measured*, not
+inferred from timing: every run must be a ``runcache.hits`` increment
+and none a miss, or the warm speedup is mislabelled.
+
+Writes ``BENCH_sweep.json`` at the repo root with per-phase wall times,
+the two headline speedups (batched-vs-scalar, warm-vs-scalar), and the
+telemetry-verified warm-cache hit counts.
 
     PYTHONPATH=src python scripts/bench_sweep.py [--repeats N]
 """
@@ -23,6 +29,7 @@ from pathlib import Path
 
 from repro.experiments.runner import run_catalog, run_catalog_batched
 from repro.experiments.systems import nehalem_system, p7_system
+from repro.obs import configure
 from repro.sim import engine
 from repro.sim.runcache import RunCache
 from repro.workloads.catalog import (
@@ -107,8 +114,25 @@ def main(argv=None):
         print(f"batched + cache fill: {populate_s * 1e3:9.1f} ms "
               f"({len(cache)} entries)")
         warm_s = timed(lambda: run_with_cache(cache), args.repeats)
+
+        # Counted (untimed) warm pass: telemetry reports what the cache
+        # actually did, instead of inferring it from the speedup.
+        tracer = configure(enabled=True)
+        tracer.reset()
+        reset_memo_state()
+        run_with_cache(cache)
+        warm_counters = tracer.counters()
+        configure(enabled=False)
+        tracer.reset()
+
+    hits = int(warm_counters.get("runcache.hits", 0))
+    misses = int(warm_counters.get("runcache.misses", 0))
     print(f"warm cache rerun:     {warm_s * 1e3:9.1f} ms "
-          f"({scalar_s / warm_s:.2f}x vs scalar)")
+          f"({scalar_s / warm_s:.2f}x vs scalar, "
+          f"{hits}/{hits + misses} cache hits)")
+    if hits != n_runs or misses != 0:
+        print(f"WARNING: warm pass expected {n_runs} hits / 0 misses, "
+              f"telemetry saw {hits} hits / {misses} misses")
 
     payload = {
         "n_runs": n_runs,
@@ -122,6 +146,11 @@ def main(argv=None):
         "speedup": {
             "batched_vs_scalar": scalar_s / batched_s,
             "warm_cache_vs_scalar": scalar_s / warm_s,
+        },
+        "warm_cache_telemetry": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / max(hits + misses, 1),
         },
     }
     out = Path(args.output) if args.output else (

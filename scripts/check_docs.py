@@ -1,0 +1,68 @@
+"""Docs-consistency check: the API page must cover the public surface.
+
+Every public symbol re-exported in ``repro/__init__.py`` (and, since
+the observability PR, in ``repro/obs/__init__.py``) must be mentioned
+in ``docs/api.md`` — otherwise the API page silently drifts from the
+code, which is exactly how the batched-engine symbols went
+undocumented for a whole PR.
+
+Run standalone (exit code 1 lists the missing symbols)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+or via the test suite (``tests/test_docs_consistency.py`` imports this
+module and asserts the same thing).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "api.md"
+
+#: Modules whose ``__all__`` constitutes the documented public surface.
+PUBLIC_MODULES = ("repro", "repro.obs")
+
+
+def public_symbols(module_name: str) -> List[str]:
+    module = importlib.import_module(module_name)
+    return [name for name in module.__all__ if not name.startswith("_")]
+
+
+def missing_symbols(doc_text: str = None) -> Dict[str, List[str]]:
+    """Symbols absent from docs/api.md, keyed by module (empty = ok).
+
+    Mention is a plain substring test: table cells list symbols
+    verbatim, so a symbol rename that misses the docs fails loudly
+    without requiring any markup discipline beyond "write the name".
+    """
+    if doc_text is None:
+        doc_text = API_DOC.read_text()
+    missing: Dict[str, List[str]] = {}
+    for module_name in PUBLIC_MODULES:
+        absent = [s for s in public_symbols(module_name) if s not in doc_text]
+        if absent:
+            missing[module_name] = absent
+    return missing
+
+
+def main() -> int:
+    problems = missing_symbols()
+    if not problems:
+        total = sum(len(public_symbols(m)) for m in PUBLIC_MODULES)
+        print(f"docs/api.md covers all {total} public symbols "
+              f"of {', '.join(PUBLIC_MODULES)}")
+        return 0
+    for module_name, symbols in problems.items():
+        print(f"docs/api.md is missing {len(symbols)} symbol(s) "
+              f"from {module_name}.__all__: {', '.join(symbols)}",
+              file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,17 +9,18 @@ quickstart path; see the subpackages for the rest:
 
 ``repro.arch``, ``repro.sim``, ``repro.counters``, ``repro.simos``,
 ``repro.workloads``, ``repro.core``, ``repro.experiments``,
-``repro.analysis``.
+``repro.analysis``, ``repro.obs``.
 """
 
 from repro.arch import generic_core, get_architecture, nehalem, power7
 from repro.core import SmtPredictor, smtsm, smtsm_from_run
-from repro.sim.engine import RunSpec, simulate_run
+from repro.obs import configure_telemetry, get_tracer
+from repro.sim.engine import RunSpec, simulate_many, simulate_run
 from repro.sim.results import speedup
 from repro.simos import SystemSpec
 from repro.workloads import all_workloads, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "power7",
@@ -31,9 +32,12 @@ __all__ = [
     "smtsm_from_run",
     "RunSpec",
     "simulate_run",
+    "simulate_many",
     "speedup",
     "SystemSpec",
     "all_workloads",
     "get_workload",
+    "get_tracer",
+    "configure_telemetry",
     "__version__",
 ]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.core.metric import smtsm_from_run
@@ -59,6 +60,17 @@ def cmd_show_workload(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.sim.runcache import RunCache, cache_enabled_by_default
 
+    telemetry_path: Optional[Path] = None
+    if args.telemetry is not None:
+        from repro.obs import configure, default_telemetry_path
+
+        telemetry_path = (
+            Path(args.telemetry)
+            if isinstance(args.telemetry, str)
+            else default_telemetry_path()
+        )
+        configure(enabled=True, sink_path=telemetry_path)
+
     system = _system(args.system)
     spec = get_workload(args.name)
     levels = [args.smt] if args.smt else list(system.arch.smt_levels)
@@ -68,25 +80,35 @@ def cmd_run(args: argparse.Namespace) -> int:
         RunSpec(system, level, spec.stream, spec.sync, seed=args.seed)
         for level in levels
     ]
-    results: List[Optional[object]] = [None] * len(run_specs)
-    missing = []
-    for i, run_spec in enumerate(run_specs):
-        if cache is not None:
-            results[i] = cache.get(run_spec)
-        if results[i] is None:
-            missing.append(i)
-    if missing:
-        todo = [run_specs[i] for i in missing]
-        if args.jobs and args.jobs > 1:
-            from repro.experiments.runner import _simulate_parallel
+    from repro.obs import get_tracer
 
-            fresh = _simulate_parallel(todo, args.jobs)
-        else:
-            fresh = simulate_many(todo)
-        for i, result in zip(missing, fresh):
-            results[i] = result
+    results: List[Optional[object]] = [None] * len(run_specs)
+    with get_tracer().span(
+        "cli.run",
+        workload=spec.name,
+        system=f"{system.arch.name} x{system.n_chips}",
+        runs=len(run_specs),
+    ) as span:
+        missing = []
+        for i, run_spec in enumerate(run_specs):
             if cache is not None:
-                cache.put(run_specs[i], result)
+                results[i] = cache.get(run_spec)
+            if results[i] is None:
+                missing.append(i)
+        span.set(cache_hits=len(run_specs) - len(missing),
+                 cache_misses=len(missing))
+        if missing:
+            todo = [run_specs[i] for i in missing]
+            if args.jobs and args.jobs > 1:
+                from repro.experiments.runner import _simulate_parallel
+
+                fresh = _simulate_parallel(todo, args.jobs)
+            else:
+                fresh = simulate_many(todo)
+            for i, result in zip(missing, fresh):
+                results[i] = result
+                if cache is not None:
+                    cache.put(run_specs[i], result)
 
     rows = []
     metric_row = None
@@ -105,6 +127,35 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"mix={metric_row.mix_deviation:.4f} "
               f"dispHeld={metric_row.dispatch_held:.4f} "
               f"wall/cpu={metric_row.scalability_ratio:.4f}")
+    if telemetry_path is not None:
+        from repro.obs import get_tracer
+
+        get_tracer().close()
+        print(f"\ntelemetry written to {telemetry_path} "
+              f"(summarize with: python -m repro stats {telemetry_path})")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        default_telemetry_dir,
+        latest_telemetry_file,
+        render_summary,
+        summarize_file,
+    )
+
+    path: Optional[Path] = Path(args.path) if args.path else None
+    if path is None or not path.is_file():
+        found = latest_telemetry_file(path) if (path is None or path.is_dir()) \
+            else None
+        if found is None:
+            where = path if path is not None else default_telemetry_dir()
+            print(f"no telemetry files under {where} "
+                  f"(run with --telemetry or REPRO_TELEMETRY=1)", file=sys.stderr)
+            return 1
+        path = found
+    print(f"telemetry: {path}\n")
+    print(render_summary(summarize_file(path), top=args.top))
     return 0
 
 
@@ -182,7 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate cache misses across N worker processes instead of "
         "the vectorized batch path",
     )
+    p.add_argument(
+        "--telemetry", nargs="?", const=True, default=None, metavar="PATH",
+        help="record telemetry for this invocation to a JSONL file "
+        "(default: a fresh file under results/.telemetry/)",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("stats", help="summarize a telemetry JSONL file")
+    p.add_argument(
+        "path", nargs="?", default=None,
+        help="telemetry file or directory "
+        "(default: the latest file under results/.telemetry/)",
+    )
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="slowest runs to list")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiment", help="regenerate a paper experiment")
     p.add_argument("name", help="fig01..fig17, table1, optimizer, "

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.success import SuccessSummary, success_summary
 from repro.core.metric import SmtsmResult, smtsm_from_run
+from repro.obs import get_tracer
 from repro.core.predictor import Observation, SmtPredictor
 from repro.sim.engine import DEFAULT_WORK, RunSpec, simulate_many, simulate_run
 from repro.sim.results import RunResult, speedup
@@ -88,13 +89,25 @@ def run_catalog(
     seed: int = 11,
     work: float = DEFAULT_WORK,
 ) -> CatalogRuns:
-    """Run every workload at every requested SMT level (scalar engine)."""
+    """Run every workload at every requested SMT level (scalar engine).
+
+    Telemetry: the sweep is a ``runner.run_catalog`` span with one
+    nested ``run`` span per (workload, level) — the per-run wall times
+    behind ``repro stats``' slowest-runs table.
+    """
     if levels is None:
         levels = system.arch.smt_levels
     keyed = _catalog_specs(system, catalog, levels, seed, work)
     all_runs: Dict[str, Dict[int, RunResult]] = {}
-    for name, level, spec in keyed:
-        all_runs.setdefault(name, {})[level] = simulate_run(spec)
+    tracer = get_tracer()
+    with tracer.span(
+        "runner.run_catalog",
+        system=f"{system.arch.name} x{system.n_chips}",
+        runs=len(keyed),
+    ):
+        for name, level, spec in keyed:
+            with tracer.span("run", workload=name, level=level):
+                all_runs.setdefault(name, {})[level] = simulate_run(spec)
     return CatalogRuns(system=system, runs=all_runs, seed=seed)
 
 
@@ -146,6 +159,11 @@ def run_catalog_batched(
     honours the ``REPRO_RUNCACHE`` environment switch.  ``jobs > 1``
     bypasses batching and fans the runs out over worker processes
     instead — the fallback for engines with no vectorized path.
+
+    Telemetry: one ``runner.run_catalog_batched`` span covers the sweep
+    (attrs: system, run count, cache hits/misses), with nested
+    ``cache_lookup`` and ``simulate`` phases; the run cache itself
+    accumulates ``runcache.hits`` / ``runcache.misses``.
     """
     if levels is None:
         levels = system.arch.smt_levels
@@ -156,26 +174,36 @@ def run_catalog_batched(
     if use_cache and cache is None:
         cache = RunCache()
 
-    results: List[Optional[RunResult]] = [None] * len(specs)
-    missing: List[int] = []
-    if use_cache and cache is not None:
-        for i, spec in enumerate(specs):
-            results[i] = cache.get(spec)
-            if results[i] is None:
-                missing.append(i)
-    else:
-        missing = list(range(len(specs)))
-
-    if missing:
-        todo = [specs[i] for i in missing]
-        if jobs is not None and jobs > 1:
-            fresh = _simulate_parallel(todo, jobs)
+    tracer = get_tracer()
+    with tracer.span(
+        "runner.run_catalog_batched",
+        system=f"{system.arch.name} x{system.n_chips}",
+        runs=len(specs),
+        cached=bool(use_cache and cache is not None),
+    ) as sweep:
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        missing: List[int] = []
+        if use_cache and cache is not None:
+            with tracer.span("cache_lookup", runs=len(specs)):
+                for i, spec in enumerate(specs):
+                    results[i] = cache.get(spec)
+                    if results[i] is None:
+                        missing.append(i)
         else:
-            fresh = simulate_many(todo)
-        for i, result in zip(missing, fresh):
-            results[i] = result
-            if use_cache and cache is not None:
-                cache.put(specs[i], result)
+            missing = list(range(len(specs)))
+
+        sweep.set(cache_hits=len(specs) - len(missing), cache_misses=len(missing))
+        if missing:
+            with tracer.span("simulate", runs=len(missing), jobs=jobs or 1):
+                todo = [specs[i] for i in missing]
+                if jobs is not None and jobs > 1:
+                    fresh = _simulate_parallel(todo, jobs)
+                else:
+                    fresh = simulate_many(todo)
+                for i, result in zip(missing, fresh):
+                    results[i] = result
+                    if use_cache and cache is not None:
+                        cache.put(specs[i], result)
 
     all_runs: Dict[str, Dict[int, RunResult]] = {}
     for (name, level, _), result in zip(keyed, results):

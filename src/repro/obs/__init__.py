@@ -1,0 +1,78 @@
+"""Structured telemetry for the sweep engine (spans, counters, sinks).
+
+Quickstart::
+
+    from repro.obs import configure, get_tracer
+
+    tracer = configure(enabled=True)           # in-process only
+    ... run a sweep ...
+    print(tracer.counters()["runcache.hits"])
+
+    configure(enabled=True, sink_path="trace.jsonl")   # stream to JSONL
+    ... run ...
+    get_tracer().close()
+
+See ``docs/observability.md`` for the event schema, the instrumented
+counter names, and the ``repro stats`` walkthrough.
+"""
+
+from repro.obs.core import (
+    DEFAULT_TELEMETRY_DIR,
+    ENV_TELEMETRY,
+    ENV_TELEMETRY_DIR,
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    Tracer,
+    configure,
+    default_telemetry_dir,
+    default_telemetry_path,
+    get_tracer,
+    telemetry_enabled_by_env,
+)
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    ListSink,
+    latest_telemetry_file,
+    read_events,
+)
+from repro.obs.stats import (
+    SpanStats,
+    TelemetrySummary,
+    render_summary,
+    summarize_events,
+    summarize_file,
+    summarize_tracer,
+)
+
+#: Top-level alias: ``repro.configure_telemetry`` reads better than a
+#: bare ``configure`` next to the simulator exports.
+configure_telemetry = configure
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "NULL_SPAN",
+    "get_tracer",
+    "configure",
+    "configure_telemetry",
+    "telemetry_enabled_by_env",
+    "default_telemetry_dir",
+    "default_telemetry_path",
+    "ENV_TELEMETRY",
+    "ENV_TELEMETRY_DIR",
+    "DEFAULT_TELEMETRY_DIR",
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "ListSink",
+    "read_events",
+    "latest_telemetry_file",
+    "SpanStats",
+    "TelemetrySummary",
+    "summarize_events",
+    "summarize_file",
+    "summarize_tracer",
+    "render_summary",
+]

@@ -1,0 +1,123 @@
+"""JSONL event sink and reader for :mod:`repro.obs`.
+
+One event per line, plain JSON, one tracer session per file (opening a
+sink truncates its target, so the aggregated counter totals a session
+flushes are never mixed with a previous session's).  The file and its
+parent directory are created lazily on the first ``emit`` so that an
+enabled tracer that never records costs no I/O.  Like the run cache, all I/O
+failures degrade silently: telemetry must never break a sweep, it just
+forfeits the trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Bumped when the event shapes documented in docs/observability.md change.
+SCHEMA_VERSION = 1
+
+
+class JsonlSink:
+    """Append telemetry events to one JSONL file."""
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self._fh = None
+        self._failed = False
+
+    def _open(self):
+        if self._fh is None and not self._failed:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "w")
+                self._write(
+                    {
+                        "type": "meta",
+                        "schema": SCHEMA_VERSION,
+                        "created_unix": time.time(),
+                        "pid": os.getpid(),
+                    }
+                )
+            except OSError:
+                self._failed = True
+                self._fh = None
+        return self._fh
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event) + "\n")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        try:
+            if self._open() is not None:
+                self._write(event)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    def flush(self) -> None:
+        try:
+            if self._fh is not None:
+                self._fh.flush()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        try:
+            if self._fh is not None:
+                self._fh.close()
+        except OSError:
+            pass
+        finally:
+            self._fh = None
+
+
+class ListSink:
+    """In-memory sink for tests and programmatic capture."""
+
+    def __init__(self):
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def read_events(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Load a telemetry JSONL file, skipping corrupt or foreign lines."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict) and "type" in event:
+                events.append(event)
+    return events
+
+
+def latest_telemetry_file(directory: Optional[os.PathLike] = None) -> Optional[Path]:
+    """The most recently modified ``*.jsonl`` under ``directory``.
+
+    Defaults to the env-resolved telemetry directory; ``None`` when the
+    directory does not exist or holds no telemetry files.
+    """
+    from repro.obs.core import default_telemetry_dir
+
+    root = Path(directory) if directory is not None else default_telemetry_dir()
+    try:
+        candidates: Iterable[Path] = root.glob("*.jsonl")
+        return max(candidates, key=lambda p: p.stat().st_mtime)
+    except (OSError, ValueError):
+        return None

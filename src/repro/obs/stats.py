@@ -1,0 +1,191 @@
+"""Summarize a telemetry stream: span tree, counter totals, cache hits.
+
+Consumes the JSONL events a :class:`repro.obs.Tracer` emits (or a live
+tracer's snapshot) and aggregates them into the report ``repro stats``
+prints: a duration-annotated span tree, counter and gauge totals, the
+run-cache hit rate, and the slowest individual runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.sink import read_events
+from repro.util.tables import format_table
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over every occurrence of one span path."""
+
+    path: str
+    depth: int
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Everything ``repro stats`` needs, already aggregated."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    span_stats: Dict[str, SpanStats] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Run-cache hit fraction, or ``None`` with no cache traffic."""
+        hits = self.counters.get("runcache.hits", 0.0)
+        misses = self.counters.get("runcache.misses", 0.0)
+        total = hits + misses
+        return hits / total if total > 0 else None
+
+    def slowest_runs(self, top: int = 10) -> List[Dict[str, Any]]:
+        """The longest per-run spans (``runner.run`` / ``engine.simulate_run``)."""
+        runs = [
+            s
+            for s in self.spans
+            if s.get("name") in ("run", "simulate_run")
+            or s.get("attrs", {}).get("workload") is not None
+        ]
+        runs.sort(key=lambda s: s.get("duration_s", 0.0), reverse=True)
+        return runs[:top]
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> TelemetrySummary:
+    """Aggregate raw telemetry events.
+
+    Counter and gauge events carry aggregated totals already (the tracer
+    flushes its registry); repeated flushes of the same name keep the
+    latest value rather than double-counting.
+    """
+    summary = TelemetrySummary()
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            path = str(event.get("path", event.get("name", "?")))
+            stats = summary.span_stats.get(path)
+            if stats is None:
+                stats = summary.span_stats[path] = SpanStats(
+                    path=path, depth=int(event.get("depth", path.count("/")))
+                )
+            duration = float(event.get("duration_s", 0.0))
+            stats.count += 1
+            stats.total_s += duration
+            stats.max_s = max(stats.max_s, duration)
+            summary.spans.append(event)
+        elif kind == "counter":
+            summary.counters[str(event["name"])] = float(event["value"])
+        elif kind == "gauge":
+            summary.gauges[str(event["name"])] = float(event["value"])
+    return summary
+
+
+def summarize_file(path: os.PathLike) -> TelemetrySummary:
+    return summarize_events(read_events(path))
+
+
+def summarize_tracer(tracer) -> TelemetrySummary:
+    """Summarize a live tracer's registry without going through a file."""
+    snapshot = tracer.snapshot()
+    events: List[Dict[str, Any]] = list(snapshot["spans"])
+    events += [
+        {"type": "counter", "name": k, "value": v}
+        for k, v in snapshot["counters"].items()
+    ]
+    events += [
+        {"type": "gauge", "name": k, "value": v}
+        for k, v in snapshot["gauges"].items()
+    ]
+    return summarize_events(events)
+
+
+def _span_order(summary: TelemetrySummary) -> List[SpanStats]:
+    """Tree order: parents before children, by first appearance."""
+    first_seen: Dict[str, int] = {}
+    for i, event in enumerate(summary.spans):
+        path = str(event.get("path", ""))
+        if path not in first_seen:
+            first_seen[path] = i
+
+    def sort_key(stats: SpanStats) -> Tuple:
+        # Sorting by the ancestor chain's first-seen indices keeps every
+        # subtree contiguous even when siblings interleave in time.
+        parts = stats.path.split("/")
+        prefixes = ["/".join(parts[: i + 1]) for i in range(len(parts))]
+        return tuple(first_seen.get(p, len(summary.spans)) for p in prefixes)
+
+    return sorted(summary.span_stats.values(), key=sort_key)
+
+
+def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
+    """The ``repro stats`` report as text."""
+    sections: List[str] = []
+
+    if summary.span_stats:
+        rows = []
+        for stats in _span_order(summary):
+            rows.append(
+                [
+                    "  " * stats.depth + stats.name,
+                    stats.count,
+                    f"{stats.total_s * 1e3:.1f}",
+                    f"{stats.mean_s * 1e3:.2f}",
+                    f"{stats.max_s * 1e3:.2f}",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["span", "count", "total (ms)", "mean (ms)", "max (ms)"],
+                rows,
+                title="span tree",
+            )
+        )
+
+    if summary.counters:
+        rows = [
+            [name, f"{value:g}"] for name, value in sorted(summary.counters.items())
+        ]
+        sections.append(format_table(["counter", "total"], rows, title="counters"))
+
+    if summary.gauges:
+        rows = [[name, f"{value:g}"] for name, value in sorted(summary.gauges.items())]
+        sections.append(format_table(["gauge", "value"], rows, title="gauges"))
+
+    hit_rate = summary.cache_hit_rate()
+    if hit_rate is not None:
+        hits = summary.counters.get("runcache.hits", 0.0)
+        misses = summary.counters.get("runcache.misses", 0.0)
+        sections.append(
+            f"run cache: {hits:g} hits / {misses:g} misses "
+            f"({100.0 * hit_rate:.1f}% hit rate)"
+        )
+
+    slowest = summary.slowest_runs(top)
+    if slowest:
+        rows = []
+        for span in slowest:
+            attrs = span.get("attrs", {})
+            label = attrs.get("workload", span.get("name", "?"))
+            level = attrs.get("level")
+            if level is not None:
+                label = f"{label}@SMT{level}"
+            rows.append([label, f"{float(span.get('duration_s', 0.0)) * 1e3:.2f}"])
+        sections.append(
+            format_table(["run", "wall (ms)"], rows, title=f"slowest runs (top {top})")
+        )
+
+    if not sections:
+        return "no telemetry events"
+    return "\n\n".join(sections)

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.sim.fast_core import (
     CoreBatch,
     CoreInput,
@@ -72,6 +73,8 @@ def _bandwidth_fixed_point(capacity_gbps, solve_at, traffic_of):
     :func:`solve_chip`).
     """
     bandwidth = BandwidthModel(capacity_gbps)
+    tracer = get_tracer()
+    tracer.add("chip.fixed_points")
 
     def offered_utilization(sol) -> float:
         return bandwidth.utilization(traffic_of(sol))
@@ -86,7 +89,7 @@ def _bandwidth_fixed_point(capacity_gbps, solve_at, traffic_of):
         # Demand exceeds capacity even at maximum inflation.
         return hi_sol, hi_mult
     mult = 1.0
-    for _ in range(BISECTION_STEPS):
+    for step in range(BISECTION_STEPS):
         mid = (lo + hi) / 2.0
         mult = bandwidth.latency_multiplier(mid * bandwidth.capacity_gbps)
         solution = solve_at(mult)
@@ -96,6 +99,7 @@ def _bandwidth_fixed_point(capacity_gbps, solve_at, traffic_of):
             hi = mid
         if hi - lo < TOLERANCE:
             break
+    tracer.add("chip.bisection_steps", step + 1)
     return solution, mult
 
 
@@ -175,10 +179,22 @@ def solve_chip_batch(jobs) -> List[ChipSolution]:
     latency or saturate at the cap drop out of the ``active`` mask, and
     the rest bisect their own ``(lo, hi)`` brackets against a shared
     batch evaluation until every bracket closes.
+
+    Telemetry: the call is wrapped in a ``chip.solve_chip_batch`` span
+    (attrs: job and scenario counts, lockstep bisection steps) and
+    accumulates ``chip.batch_bisection_steps`` / ``chip.batch_solves``.
     """
     jobs = list(jobs)
     if not jobs:
         return []
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _solve_chip_batch(jobs)
+    with tracer.span("chip.solve_chip_batch", jobs=len(jobs)) as span:
+        return _solve_chip_batch(jobs, span)
+
+
+def _solve_chip_batch(jobs, span=None) -> List[ChipSolution]:
     arch = jobs[0][0].system.arch
     scen_inputs: List[CoreInput] = []
     scen_owner: List[int] = []
@@ -233,6 +249,7 @@ def solve_chip_batch(jobs) -> List[ChipSolution]:
             ]
         )
 
+    steps_used = 0
     final_mult = np.ones(n_jobs)
     utils = job_utils(batch.solve(final_mult[owner]))
     undone = utils > TOLERANCE
@@ -250,6 +267,7 @@ def solve_chip_batch(jobs) -> List[ChipSolution]:
         for _ in range(BISECTION_STEPS):
             if not active.any():
                 break
+            steps_used += 1
             mid = (lo + hi) / 2.0
             step_mult = np.array(
                 [
@@ -267,6 +285,12 @@ def solve_chip_batch(jobs) -> List[ChipSolution]:
 
     final_sol = batch.solve(final_mult[owner])
     outs = batch.materialize(final_sol)
+    if span is not None:
+        span.set(scenarios=len(scen_inputs), bisection_steps=steps_used)
+        tracer = get_tracer()
+        tracer.add("chip.batch_bisection_steps", steps_used)
+        tracer.add("chip.batch_solves", 2 + steps_used + int(undone.any()))
+        tracer.add("chip.batch_jobs", n_jobs)
     results: List[ChipSolution] = []
     for j in range(n_jobs):
         bw = job_bw[j]

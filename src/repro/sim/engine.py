@@ -29,6 +29,7 @@ import numpy as np
 from repro.arch.classes import CLASS_ORDER, SPIN_LOOP_MIX, InstrClass
 from repro.counters.events import CLASS_COUNT_EVENTS, port_issue_event
 from repro.counters.pmu import Pmu
+from repro.obs import get_tracer
 from repro.sim.chip import ChipSolution, solve_chip, solve_chip_batch
 from repro.sim.fast_core import CoreInput, solve_core, solve_core_batch
 from repro.sim.results import RunResult
@@ -108,6 +109,7 @@ def simulate_run(spec: RunSpec) -> RunResult:
         # weight 0 and an uncapped lock leaves the rate untouched, so
         # every iteration would reproduce the base solution exactly.
         useful_rate = float(np.sum(solution.per_thread_ipc())) * freq * runnable
+        get_tracer().add("engine.sync_free_runs")
     else:
         useful_rate = None
         for _ in range(SPIN_ITERATIONS):
@@ -119,6 +121,9 @@ def simulate_run(spec: RunSpec) -> RunResult:
             available = raw_rate * runnable  # executed instr/s among running threads
             useful_rate = min(available * (1.0 - spin0), lock_cap)
             spin = min(MAX_SPIN, 1.0 - useful_rate / available)
+        tracer = get_tracer()
+        tracer.add("engine.spin_rounds", SPIN_ITERATIONS)
+        tracer.add("engine.spin_iterations", SPIN_ITERATIONS)
 
     return _finalize_run(spec, n, placement, solution, spin, useful_rate)
 
@@ -140,9 +145,12 @@ def simulate_many(specs: Sequence[RunSpec]) -> List[RunResult]:
     groups: Dict[int, List[int]] = {}
     for i, spec in enumerate(specs):
         groups.setdefault(id(spec.system.arch), []).append(i)
-    for indices in groups.values():
-        for i, result in zip(indices, _simulate_group([specs[i] for i in indices])):
-            results[i] = result
+    with get_tracer().span(
+        "engine.simulate_many", runs=len(specs), arch_groups=len(groups)
+    ):
+        for indices in groups.values():
+            for i, result in zip(indices, _simulate_group([specs[i] for i in indices])):
+                results[i] = result
     return results  # type: ignore[return-value]
 
 
@@ -164,6 +172,7 @@ def _simulate_group(specs: List[RunSpec]) -> List[RunResult]:
         if (hit is None or hit[0] is not arch) and key not in pending:
             pending[key] = spec.stream
     if pending:
+        get_tracer().add("engine.serial_memo_misses", len(pending))
         solo = solve_core_batch(
             [
                 CoreInput(arch=arch, smt_level=1, streams=(stream,), threads_per_chip=1)
@@ -197,6 +206,13 @@ def _simulate_group(specs: List[RunSpec]) -> List[RunResult]:
         else:
             useful_rates.append(None)
             loop_idx.append(i)
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add("engine.sync_free_runs", len(specs) - len(loop_idx))
+        if loop_idx:
+            tracer.add("engine.spin_rounds", SPIN_ITERATIONS)
+            tracer.add("engine.spin_iterations", SPIN_ITERATIONS * len(loop_idx))
 
     if loop_idx:
         for _ in range(SPIN_ITERATIONS):
@@ -294,7 +310,9 @@ def _serial_rate(system: SystemSpec, stream: StreamParams) -> float:
     key = (id(arch), stream)
     hit = _SERIAL_RATE_CACHE.get(key)
     if hit is not None and hit[0] is arch:
+        get_tracer().add("engine.serial_memo_hits")
         return hit[1]
+    get_tracer().add("engine.serial_memo_misses")
     out = solve_core(
         CoreInput(
             arch=arch,

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.machine import Architecture
+from repro.obs import get_tracer
 from repro.sim.branch import SHARING_PENALTY_PER_THREAD, BranchModel
 from repro.sim.cache import (
     MAX_PRESSURE_SCALE,
@@ -354,6 +355,16 @@ class CoreBatch:
         K = max(len(inp.streams) for inp in inputs)
         P = arch.topology.n_ports
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Padding waste: slots allocated for the widest scenario but
+            # masked off for narrower ones (wasted array work per solve).
+            total_threads = sum(len(inp.streams) for inp in inputs)
+            tracer.add("core_batch.batches")
+            tracer.add("core_batch.scenarios", B)
+            tracer.add("core_batch.slots", B * K)
+            tracer.add("core_batch.padded_slots", B * K - total_threads)
+
         self.n = np.array([len(inp.streams) for inp in inputs], dtype=float)
         mask = np.zeros((B, K), dtype=bool)
         ilp = np.zeros((B, K))
@@ -474,6 +485,7 @@ class CoreBatch:
 
     def solve(self, mults: np.ndarray) -> BatchSolution:
         """Solve every scenario at its own memory-latency multiplier."""
+        get_tracer().add("core_batch.solves")
         mults = np.asarray(mults, dtype=float)
         if mults.shape != (len(self.inputs),):
             raise ValueError(

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.arch.machine import Architecture
+from repro.obs import get_tracer
 from repro.sim import chip, fast_core, memory
 from repro.sim.branch import SHARING_PENALTY_PER_THREAD
 from repro.sim.cache import (
@@ -232,15 +233,30 @@ class RunCache:
         return run_cache_key(spec)
 
     def get(self, spec) -> Optional[RunResult]:
-        """The cached result for ``spec``, or ``None`` on a miss."""
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        Telemetry: ``runcache.hits`` / ``runcache.misses`` count lookup
+        outcomes; a present-but-unreadable entry additionally counts as
+        ``runcache.invalid`` (it behaves as a miss).
+        """
+        tracer = get_tracer()
         try:
             text = self._path(run_cache_key(spec)).read_text()
-            return _result_from_payload(json.loads(text), spec.system.arch)
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            tracer.add("runcache.misses")
             return None
+        try:
+            result = _result_from_payload(json.loads(text), spec.system.arch)
+        except (ValueError, KeyError, TypeError):
+            tracer.add("runcache.misses")
+            tracer.add("runcache.invalid")
+            return None
+        tracer.add("runcache.hits")
+        return result
 
     def put(self, spec, result: RunResult) -> None:
         """Store ``result`` under ``spec``'s key (atomic, best-effort)."""
+        get_tracer().add("runcache.puts")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             payload = json.dumps(_result_payload(result))
@@ -270,6 +286,7 @@ class RunCache:
                     pass
         except OSError:
             pass
+        get_tracer().add("runcache.invalidated", removed)
         return removed
 
     def __len__(self) -> int:

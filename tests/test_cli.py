@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.obs import configure, read_events
 
 
 class TestListAndShow:
@@ -43,6 +44,56 @@ class TestRun:
     def test_unknown_system(self):
         with pytest.raises(SystemExit):
             main(["run", "EP", "--system", "sparc"])
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def _restore_global_tracer(self):
+        # ``run --telemetry`` mutates the process-wide tracer; put it
+        # back so later tests see the default disabled state.
+        yield
+        tracer = configure(enabled=False)
+        tracer.reset()
+
+    def test_run_with_telemetry_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "EP", "--smt", "4", "--no-cache",
+                     "--telemetry", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry written to {trace}" in out
+        events = read_events(trace)
+        assert events[0]["type"] == "meta"
+        spans = [e for e in events if e["type"] == "span"]
+        names = {e["name"] for e in spans}
+        assert "cli.run" in names and "engine.simulate_many" in names
+        (top,) = [e for e in spans if e["name"] == "cli.run"]
+        assert top["attrs"]["workload"] == "EP"
+        assert top["attrs"]["cache_misses"] == 1
+        counters = {e["name"] for e in events if e["type"] == "counter"}
+        assert "chip.batch_jobs" in counters
+
+    def test_stats_summarizes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["run", "EP", "--smt", "4", "--no-cache",
+              "--telemetry", str(trace)])
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "cli.run" in out
+        assert "chip.batch_jobs" in out
+
+    def test_stats_picks_latest_from_directory(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["run", "EP", "--smt", "4", "--no-cache",
+              "--telemetry", str(trace)])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        assert f"telemetry: {trace}" in capsys.readouterr().out
+
+    def test_stats_without_trace_errors(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "empty")]) == 1
+        assert "no telemetry" in capsys.readouterr().err
 
 
 class TestExperiment:

@@ -1,0 +1,35 @@
+"""docs/api.md must mention every public symbol (see scripts/check_docs.py)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    path = REPO_ROOT / "scripts" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_doc_covers_public_surface():
+    check_docs = load_check_docs()
+    missing = check_docs.missing_symbols()
+    assert missing == {}, (
+        "docs/api.md is missing public symbols: "
+        + "; ".join(f"{mod}: {', '.join(names)}"
+                    for mod, names in missing.items())
+    )
+
+
+def test_public_surface_is_nonempty():
+    check_docs = load_check_docs()
+    assert "smtsm" in check_docs.public_symbols("repro")
+    assert "Tracer" in check_docs.public_symbols("repro.obs")
+
+
+def test_missing_symbols_detects_drift():
+    check_docs = load_check_docs()
+    assert "repro.obs" in check_docs.missing_symbols(doc_text="smtsm only")
