@@ -1,8 +1,8 @@
 """Docs-consistency check: the API page must cover the public surface.
 
 Every public symbol re-exported in ``repro/__init__.py`` (and, since
-the observability PR, in ``repro/obs/__init__.py``) must be mentioned
-in ``docs/api.md`` — otherwise the API page silently drifts from the
+the observability and robustness PRs, in ``repro/obs/__init__.py`` and
+``repro/faults/__init__.py``) must be mentioned in ``docs/api.md`` — otherwise the API page silently drifts from the
 code, which is exactly how the batched-engine symbols went
 undocumented for a whole PR.
 
@@ -25,7 +25,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
 #: Modules whose ``__all__`` constitutes the documented public surface.
-PUBLIC_MODULES = ("repro", "repro.obs")
+PUBLIC_MODULES = ("repro", "repro.obs", "repro.faults")
 
 
 def public_symbols(module_name: str) -> List[str]:

@@ -159,6 +159,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments import noise_ablation
+
+    results = []
+    for arch in args.arch:
+        result = noise_ablation.run(
+            seed=args.seed,
+            arch=arch,
+            severities=(
+                tuple(args.severities)
+                if args.severities is not None
+                else noise_ablation.NOISE_SEVERITIES
+            ),
+            samples=args.samples or noise_ablation.SAMPLES_PER_TRIAL,
+            trials=args.trials or noise_ablation.TRIALS,
+        )
+        results.append(result)
+        print(result.render())
+        print()
+    if args.json is not None:
+        import json
+
+        payload = {r.arch: r.payload() for r in results}
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _experiment_registry() -> Dict[str, Callable[[], str]]:
     from repro import experiments as ex
 
@@ -189,6 +217,7 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
         "batch": lambda: ex.batch_scheduler.run().render(),
         "scaling": lambda: ex.scaling_cores.run().render(),
         "mathis-power5": lambda: ex.related_mathis_power5.run().render(),
+        "robustness": lambda: ex.noise_ablation.run().render(),
     }
 
 
@@ -249,6 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="slowest runs to list")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "robustness",
+        help="sweep SMT decision accuracy vs injected counter noise",
+    )
+    p.add_argument(
+        "--arch", nargs="+", default=["p7"], choices=["p7", "power7", "nehalem"],
+        help="architectures to sweep (default: p7)",
+    )
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument(
+        "--severities", nargs="+", type=float, default=None, metavar="S",
+        help="fault severities in [0, 1] (default: the documented sweep)",
+    )
+    p.add_argument("--samples", type=int, default=None, metavar="N",
+                   help="sampling intervals per workload trial")
+    p.add_argument("--trials", type=int, default=None, metavar="N",
+                   help="independent trials per workload")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full sweep as JSON")
+    p.set_defaults(func=cmd_robustness)
 
     p = sub.add_parser("experiment", help="regenerate a paper experiment")
     p.add_argument("name", help="fig01..fig17, table1, optimizer, "

@@ -12,7 +12,10 @@ This package is the paper's contribution:
 * :mod:`repro.core.baselines` — the naive single-counter predictors of
   Fig. 2 and the online IPC-probing alternative of §I;
 * :mod:`repro.core.optimizer` — an online SMT-level optimizer (§V);
-* :mod:`repro.core.phases` — windowed/online metric tracking.
+* :mod:`repro.core.phases` — windowed/online metric tracking;
+* :mod:`repro.core.robust` — noise-hardened online estimation and
+  SMT-level control (graceful degradation, EWMA + hysteresis +
+  cooldown) for fault-injected counter streams.
 """
 
 from repro.core.metric import SmtsmResult, smtsm, smtsm_from_run
@@ -34,6 +37,15 @@ from repro.core.baselines import (
 )
 from repro.core.optimizer import OnlineSmtOptimizer, OptimizerConfig, OptimizerStep
 from repro.core.phases import MetricTracker
+from repro.core.robust import (
+    ControllerDecision,
+    HardenedConfig,
+    HardenedController,
+    RobustSmtsm,
+    drive_online,
+    naive_decision,
+    robust_smtsm,
+)
 
 __all__ = [
     "SmtsmResult",
@@ -57,4 +69,11 @@ __all__ = [
     "OptimizerConfig",
     "OptimizerStep",
     "MetricTracker",
+    "RobustSmtsm",
+    "robust_smtsm",
+    "HardenedConfig",
+    "HardenedController",
+    "ControllerDecision",
+    "naive_decision",
+    "drive_online",
 ]

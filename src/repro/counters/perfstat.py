@@ -91,6 +91,25 @@ class PerfStat:
     def __init__(self, config: PerfStatConfig, rng: Optional[RngStream] = None):
         self.config = config
         self.rng = rng if rng is not None else RngStream(0, ("perfstat",))
+        self._t = 0.0  # running clock across standalone sample() calls
+
+    def sample(self, app: MeasurableApp) -> PerfReading:
+        """Take one standalone interval reading (advances the app).
+
+        The unit a closed-loop controller consumes; :meth:`measure` is
+        the batch loop over a fixed duration.  Successive calls
+        accumulate an internal clock, including the tool overhead.
+        """
+        cfg = self.config
+        sample = self._measure_interval(app)
+        start = self._t
+        self._t = start + cfg.interval_s + cfg.overhead_per_sample_s
+        return PerfReading(
+            sample=sample,
+            t_start_s=start,
+            t_end_s=self._t,
+            overhead_fraction=cfg.overhead_fraction,
+        )
 
     def measure(self, app: MeasurableApp, duration_s: float) -> List[PerfReading]:
         """Sample ``app`` for ``duration_s`` of wall time.

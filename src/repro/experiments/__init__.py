@@ -17,6 +17,7 @@ from repro.experiments.runner import (
 from repro.experiments import (
     batch_scheduler,
     coschedule_symbiosis,
+    noise_ablation,
     fig01_motivation,
     fig02_naive_metrics,
     fig06_smt4v1_at4,
@@ -60,6 +61,7 @@ __all__ = [
     "fig15_two_chip_21",
     "fig16_gini",
     "fig17_ppi",
+    "noise_ablation",
     "online_optimizer",
     "offline_vs_online",
     "batch_scheduler",

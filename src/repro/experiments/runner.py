@@ -13,8 +13,9 @@ for the speedup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.success import SuccessSummary, success_summary
 from repro.core.metric import SmtsmResult, smtsm_from_run
@@ -30,6 +31,7 @@ from repro.workloads.spec import WorkloadSpec
 __all__ = [
     "DEFAULT_WORK",  # re-exported; the engine owns the single definition
     "CatalogRuns",
+    "RetryPolicy",
     "run_catalog",
     "run_catalog_batched",
     "ScatterPoint",
@@ -40,11 +42,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CatalogRuns:
-    """All runs of one benchmark set on one system."""
+    """All runs of one benchmark set on one system.
+
+    ``failures`` records runs the sweep could not produce (keyed
+    ``"name@SMT<level>"`` with the error text); a partially-failed
+    sweep reports them here instead of aborting, and downstream
+    projections skip the incomplete workloads.
+    """
 
     system: SystemSpec
     runs: Mapping[str, Mapping[int, RunResult]]
     seed: int
+    failures: Mapping[str, str] = field(default_factory=dict)
 
     def levels(self) -> Tuple[int, ...]:
         any_runs = next(iter(self.runs.values()))
@@ -52,6 +61,13 @@ class CatalogRuns:
 
     def names(self) -> Tuple[str, ...]:
         return tuple(self.runs)
+
+    def complete_names(self, levels: Sequence[int]) -> Tuple[str, ...]:
+        """Workloads that have a run at every requested level."""
+        return tuple(
+            name for name, by_level in self.runs.items()
+            if all(level in by_level for level in levels)
+        )
 
 
 def _catalog_specs(
@@ -115,25 +131,128 @@ def _simulate_worker(spec: RunSpec) -> RunResult:
     return simulate_run(spec)
 
 
-def _simulate_parallel(specs: List[RunSpec], jobs: int) -> List[RunResult]:
-    """Multiprocessing fallback for engines that cannot batch.
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs for the multiprocessing fan-out.
+
+    ``task_timeout_s`` bounds one attempt of one task; a worker that
+    hangs (or dies without reporting — a hard crash leaves its task
+    forever pending) is detected through it.  Failed attempts are
+    retried up to ``max_retries`` times with exponential backoff
+    (``backoff_s * backoff_mult**attempt``); a task that exhausts its
+    retries falls back to authoritative in-process execution, so a
+    flaky pool degrades the sweep's speed, never its result.
+    """
+
+    task_timeout_s: float = 120.0
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_mult: float = 2.0
+
+    def __post_init__(self):
+        if self.task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be > 0, got {self.task_timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_mult < 1.0:
+            raise ValueError(f"backoff_mult must be >= 1, got {self.backoff_mult}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_mult ** (attempt - 1)
+
+
+def _resilient_worker(index: int, spec: RunSpec, attempt: int, fault_hook) -> RunResult:
+    """Worker entry point; ``fault_hook(index, spec, attempt)`` (when
+    given) runs first so tests can crash or stall chosen tasks."""
+    if fault_hook is not None:
+        fault_hook(index, spec, attempt)
+    return simulate_run(spec)
+
+
+def _simulate_parallel(
+    specs: List[RunSpec],
+    jobs: int,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    fault_hook: Optional[Callable[[int, RunSpec, int], None]] = None,
+) -> List[RunResult]:
+    """Multiprocessing fallback for engines that cannot batch — resilient.
 
     The vectorized batch path only exists for the fast analytic engine;
     detailed per-run simulation (e.g. the cycle engine) parallelizes
-    across processes instead.  Falls back to in-process execution when
-    a worker pool cannot be created (restricted environments).
+    across processes instead.  Worker failures never lose a run:
+
+    * a task whose attempt raises is retried (bounded, with backoff);
+    * a task whose worker hangs or dies silently trips the per-task
+      timeout and is retried the same way;
+    * a task that exhausts its retries is recomputed in-process;
+    * if no pool can be created at all (restricted environments), the
+      whole list runs in-process.
+
+    Every recovery flows through ``runner.*`` obs counters
+    (``task_errors``, ``task_timeouts``, ``task_retries``,
+    ``recovered_tasks``, ``serial_fallbacks``).  ``fault_hook`` is the
+    test seam: a picklable callable (e.g.
+    :class:`repro.faults.WorkerFaultPlan`) invoked inside the worker
+    before simulation.
     """
     import multiprocessing as mp
 
+    if policy is None:
+        policy = RetryPolicy()
+    tracer = get_tracer()
     try:
         ctx = mp.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = mp.get_context()
     try:
-        with ctx.Pool(processes=jobs) as pool:
-            return pool.map(_simulate_worker, specs)
+        pool = ctx.Pool(processes=jobs)
     except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        tracer.add("runner.serial_fallbacks", len(specs))
         return [simulate_run(spec) for spec in specs]
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    try:
+        pending = {
+            i: pool.apply_async(_resilient_worker, (i, spec, 0, fault_hook))
+            for i, spec in enumerate(specs)
+        }
+        for i, spec in enumerate(specs):
+            attempt = 0
+            while True:
+                try:
+                    results[i] = pending[i].get(policy.task_timeout_s)
+                    break
+                except mp.TimeoutError:
+                    tracer.add("runner.task_timeouts")
+                except Exception:
+                    tracer.add("runner.task_errors")
+                attempt += 1
+                if attempt > policy.max_retries:
+                    # Authoritative fallback: the sweep's correctness
+                    # never depends on the pool behaving.
+                    results[i] = simulate_run(spec)
+                    tracer.add("runner.serial_fallbacks")
+                    break
+                delay = policy.backoff_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                tracer.add("runner.task_retries")
+                pending[i] = pool.apply_async(
+                    _resilient_worker, (i, spec, attempt, fault_hook)
+                )
+            if attempt > 0:
+                tracer.add("runner.recovered_tasks")
+    finally:
+        # terminate(), not close(): hung or injected-fault workers must
+        # not block sweep completion.
+        pool.terminate()
+        pool.join()
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def run_catalog_batched(
@@ -146,6 +265,8 @@ def run_catalog_batched(
     cache: Optional[RunCache] = None,
     use_cache: Optional[bool] = None,
     jobs: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_hook: Optional[Callable[[int, RunSpec, int], None]] = None,
 ) -> CatalogRuns:
     """Run a catalog through the batched sweep engine.
 
@@ -158,7 +279,14 @@ def run_catalog_batched(
     simulation entirely, misses are simulated and stored.  The default
     honours the ``REPRO_RUNCACHE`` environment switch.  ``jobs > 1``
     bypasses batching and fans the runs out over worker processes
-    instead — the fallback for engines with no vectorized path.
+    instead — the fallback for engines with no vectorized path;
+    ``retry_policy`` / ``fault_hook`` feed the resilient fan-out
+    (:class:`RetryPolicy`, :class:`repro.faults.WorkerFaultPlan`).
+
+    A run that fails to simulate does not abort the sweep: the batch
+    is salvaged run-by-run, the failure lands in
+    :attr:`CatalogRuns.failures` and the ``runner.failed_runs`` obs
+    counter, and projections skip the incomplete workload.
 
     Telemetry: one ``runner.run_catalog_batched`` span covers the sweep
     (attrs: system, run count, cache hits/misses), with nested
@@ -193,23 +321,44 @@ def run_catalog_batched(
             missing = list(range(len(specs)))
 
         sweep.set(cache_hits=len(specs) - len(missing), cache_misses=len(missing))
+        failed: Dict[int, str] = {}
         if missing:
             with tracer.span("simulate", runs=len(missing), jobs=jobs or 1):
                 todo = [specs[i] for i in missing]
-                if jobs is not None and jobs > 1:
-                    fresh = _simulate_parallel(todo, jobs)
-                else:
-                    fresh = simulate_many(todo)
+                fresh: Optional[List[Optional[RunResult]]]
+                try:
+                    if jobs is not None and jobs > 1:
+                        fresh = list(_simulate_parallel(
+                            todo, jobs, policy=retry_policy, fault_hook=fault_hook,
+                        ))
+                    else:
+                        fresh = list(simulate_many(todo))
+                except Exception:
+                    # One bad spec must not abort the whole sweep:
+                    # salvage run-by-run and report the casualties.
+                    fresh = []
+                    for idx, spec in zip(missing, todo):
+                        try:
+                            fresh.append(simulate_run(spec))
+                        except Exception as exc:
+                            fresh.append(None)
+                            failed[idx] = f"{type(exc).__name__}: {exc}"
+                            tracer.add("runner.failed_runs")
                 for i, result in zip(missing, fresh):
                     results[i] = result
-                    if use_cache and cache is not None:
+                    if result is not None and use_cache and cache is not None:
                         cache.put(specs[i], result)
+        if failed:
+            sweep.set(failed_runs=len(failed))
 
     all_runs: Dict[str, Dict[int, RunResult]] = {}
-    for (name, level, _), result in zip(keyed, results):
-        assert result is not None
+    failures: Dict[str, str] = {}
+    for i, ((name, level, _), result) in enumerate(zip(keyed, results)):
+        if result is None:
+            failures[f"{name}@SMT{level}"] = failed.get(i, "unknown failure")
+            continue
         all_runs.setdefault(name, {})[level] = result
-    return CatalogRuns(system=system, runs=all_runs, seed=seed)
+    return CatalogRuns(system=system, runs=all_runs, seed=seed, failures=failures)
 
 
 @dataclass(frozen=True)
@@ -235,6 +384,9 @@ class ScatterResult:
     high_level: int
     low_level: int
     points: Tuple[ScatterPoint, ...]
+    #: Workloads dropped because their catalog runs were incomplete
+    #: (partially-failed sweep) or their metric could not be evaluated.
+    skipped: Tuple[str, ...] = ()
 
     def observations(self) -> List[Observation]:
         return [p.observation() for p in self.points]
@@ -289,6 +441,8 @@ class ScatterResult:
         ]
         if summary.misses:
             lines.append(f"mispredicted: {', '.join(summary.misses)}")
+        if self.skipped:
+            lines.append(f"skipped (incomplete runs): {', '.join(self.skipped)}")
         return "\n".join(lines)
 
 
@@ -301,24 +455,58 @@ def scatter_from_runs(
     low_level: int,
     names: Optional[Iterable[str]] = None,
 ) -> ScatterResult:
-    """Project cached runs into one speedup-vs-metric figure."""
+    """Project cached runs into one speedup-vs-metric figure.
+
+    Workloads whose runs are incomplete (a partially-failed sweep left
+    holes at one of the requested levels) or whose metric cannot be
+    evaluated are *skipped and reported* — listed in
+    :attr:`ScatterResult.skipped` and counted in the
+    ``runner.scatter_skipped`` obs counter — rather than aborting the
+    figure with a bare ``KeyError``.  Asking for a name the catalog
+    never contained is still a programming error and raises.
+    """
     if high_level <= low_level:
         raise ValueError(f"high_level {high_level} must exceed low_level {low_level}")
+    tracer = get_tracer()
     points: List[ScatterPoint] = []
-    selected = list(names) if names is not None else list(catalog_runs.runs)
+    skipped: List[str] = []
+    if names is not None:
+        selected = list(names)
+    else:
+        # A workload every one of whose runs failed is absent from
+        # ``runs`` entirely; surface it in the skip report rather than
+        # letting it vanish from the figure silently.
+        all_failed = {
+            key.split("@SMT", 1)[0] for key in catalog_runs.failures
+        } - set(catalog_runs.runs)
+        selected = list(catalog_runs.runs) + sorted(all_failed)
     for name in selected:
         try:
             runs = catalog_runs.runs[name]
         except KeyError:
-            raise KeyError(f"workload {name!r} not in catalog runs") from None
-        metric = smtsm_from_run(runs[measure_level])
-        points.append(
-            ScatterPoint(
+            if names is not None and not any(
+                key.startswith(f"{name}@SMT") for key in catalog_runs.failures
+            ):
+                raise KeyError(f"workload {name!r} not in catalog runs") from None
+            skipped.append(name)
+            tracer.add("runner.scatter_skipped")
+            continue
+        try:
+            metric = smtsm_from_run(runs[measure_level])
+            point = ScatterPoint(
                 name=name,
                 metric=metric.value,
                 speedup=speedup(runs[high_level], runs[low_level]),
                 metric_detail=metric,
             )
+        except (KeyError, ValueError):
+            skipped.append(name)
+            tracer.add("runner.scatter_skipped")
+            continue
+        points.append(point)
+    if not points:
+        raise ValueError(
+            f"no complete workloads to plot (skipped: {', '.join(skipped) or 'none'})"
         )
     return ScatterResult(
         title=title,
@@ -327,4 +515,5 @@ def scatter_from_runs(
         high_level=high_level,
         low_level=low_level,
         points=tuple(points),
+        skipped=tuple(skipped),
     )

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the online-measurement stack.
+
+Two halves:
+
+* **counter faults** — :class:`FaultConfig` (the fault model) and
+  :class:`FaultyApp` (a ``MeasurableApp`` wrapper that corrupts the
+  samples of whatever it wraps, reproducibly, from seeded RNG
+  streams).  :func:`noise_profile` is the one-knob composite severity
+  the robustness ablation sweeps.
+* **worker faults** — :class:`WorkerFaultPlan` crashes or stalls chosen
+  tasks inside the parallel sweep runner's worker processes, so the
+  recovery path (retry, backoff, serial fallback) is testable on
+  demand.
+
+See ``docs/robustness.md`` for the fault model and tuning guidance.
+"""
+
+from repro.faults.app import PROTECTED_EVENTS, FaultyApp
+from repro.faults.model import FaultConfig, noise_profile
+from repro.faults.workers import InjectedWorkerCrash, WorkerFaultPlan
+
+__all__ = [
+    "FaultConfig",
+    "noise_profile",
+    "FaultyApp",
+    "PROTECTED_EVENTS",
+    "InjectedWorkerCrash",
+    "WorkerFaultPlan",
+]

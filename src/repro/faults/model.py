@@ -1,0 +1,118 @@
+"""The fault model: what can go wrong with an online counter stream.
+
+The paper's metric is only useful if it can be computed *online*, and
+online counter streams are never clean.  :class:`FaultConfig` names the
+failure axes a real PMU sampling stack exhibits and gives each a
+deterministic, seeded knob:
+
+* **Gaussian sampling noise** (``noise_rel``) — per-event multiplicative
+  jitter from interval misalignment and counter read skew;
+* **heavy-tailed glitches** (``heavy_tail_prob`` / ``heavy_tail_scale``)
+  — occasional wildly-wrong single counters (interrupt storms, SMIs,
+  context-switch attribution errors);
+* **multiplex-group dropout** (``dropout_prob``) — a rotation slot lost
+  entirely, so every event of one counter group goes missing from the
+  interval (the kernel reports ``<not counted>``);
+* **stale intervals** (``stale_prob``) — a read that returns the
+  previous interval's values again (dropped sample, delayed reader);
+* **counter saturation** (``saturation_count``) — narrow hardware
+  counters clipping at their maximum;
+* **phase-transition spikes** (``phase_spike_mult`` /
+  ``phase_spike_intervals``) — transient dispatch-stall and
+  branch-miss bursts while the pipeline re-warms after a phase change.
+
+Every fault draws from :class:`repro.util.rng.RngStream` children, so a
+given ``(seed, config)`` corrupts a stream identically run-to-run —
+the property the robustness ablation and the fault-injection tests
+build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-interval fault probabilities and magnitudes (all off by default)."""
+
+    noise_rel: float = 0.0
+    heavy_tail_prob: float = 0.0
+    heavy_tail_scale: float = 3.0
+    dropout_prob: float = 0.0
+    stale_prob: float = 0.0
+    saturation_count: Optional[float] = None
+    phase_spike_mult: float = 1.0
+    phase_spike_intervals: int = 1
+
+    def __post_init__(self):
+        check_fraction("noise_rel", self.noise_rel)
+        check_fraction("heavy_tail_prob", self.heavy_tail_prob)
+        check_fraction("dropout_prob", self.dropout_prob)
+        check_fraction("stale_prob", self.stale_prob)
+        if self.heavy_tail_scale < 1.0:
+            raise ValueError(
+                f"heavy_tail_scale must be >= 1, got {self.heavy_tail_scale}"
+            )
+        if self.saturation_count is not None:
+            check_positive("saturation_count", self.saturation_count)
+        if self.phase_spike_mult < 1.0:
+            raise ValueError(
+                f"phase_spike_mult must be >= 1, got {self.phase_spike_mult}"
+            )
+        if self.phase_spike_intervals < 1:
+            raise ValueError(
+                f"phase_spike_intervals must be >= 1, got {self.phase_spike_intervals}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this config can corrupt anything at all."""
+        return (
+            self.noise_rel > 0
+            or self.heavy_tail_prob > 0
+            or self.dropout_prob > 0
+            or self.stale_prob > 0
+            or self.saturation_count is not None
+            or self.phase_spike_mult > 1.0
+        )
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """A copy with every probability/noise knob scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return replace(
+            self,
+            noise_rel=min(1.0, self.noise_rel * factor),
+            heavy_tail_prob=min(1.0, self.heavy_tail_prob * factor),
+            dropout_prob=min(1.0, self.dropout_prob * factor),
+            stale_prob=min(1.0, self.stale_prob * factor),
+        )
+
+
+def noise_profile(severity: float) -> FaultConfig:
+    """The documented composite fault mix at a severity in ``[0, 1]``.
+
+    This is the knob the robustness ablation sweeps: one scalar that
+    scales every fault axis together, anchored so that ``severity=1``
+    is a badly-behaved production box (40% relative noise, one glitched
+    counter roughly every two intervals, one dropped multiplex group
+    roughly every two) and ``severity=0`` is a clean stream.  The
+    exact mix is documented in ``docs/robustness.md``; change it there
+    and here together.
+    """
+    check_fraction("severity", severity)
+    if severity == 0.0:
+        return FaultConfig()
+    return FaultConfig(
+        noise_rel=0.40 * severity,
+        heavy_tail_prob=0.50 * severity,
+        heavy_tail_scale=1.0 + 4.0 * severity,
+        dropout_prob=0.70 * severity,
+        stale_prob=0.10 * severity,
+        phase_spike_mult=1.0 + 3.0 * severity,
+        phase_spike_intervals=1,
+    )

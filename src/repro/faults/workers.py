@@ -1,0 +1,59 @@
+"""Worker-process fault injection for the resilient sweep runner.
+
+:class:`WorkerFaultPlan` is a picklable callable the runner threads
+through to its worker processes; tests use it to crash or stall chosen
+tasks on demand and assert that
+:func:`repro.experiments.runner._simulate_parallel` recovers.  Faults
+are keyed on ``(task index, attempt)``, so "crash once, then succeed"
+needs no cross-process shared state: the retry resubmits with a higher
+attempt number and the plan stands down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised inside a worker process by a :class:`WorkerFaultPlan`."""
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic crash/hang schedule for parallel sweep tasks.
+
+    ``fault_attempts`` bounds how many attempts of a task misbehave
+    (the default 1 means: fail the first attempt, succeed on retry).
+    ``hard`` crashes kill the worker process outright (``os._exit``)
+    instead of raising, modelling a segfault rather than an exception;
+    the runner can only detect those through its per-task timeout.
+    """
+
+    crash_indices: Tuple[int, ...] = ()
+    hang_indices: Tuple[int, ...] = ()
+    hang_s: float = 3600.0
+    fault_attempts: int = 1
+    hard: bool = False
+
+    def __post_init__(self):
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be > 0, got {self.hang_s}")
+        if self.fault_attempts < 1:
+            raise ValueError(
+                f"fault_attempts must be >= 1, got {self.fault_attempts}"
+            )
+
+    def __call__(self, index: int, spec, attempt: int) -> None:
+        if attempt >= self.fault_attempts:
+            return
+        if index in self.hang_indices:
+            time.sleep(self.hang_s)
+        if index in self.crash_indices:
+            if self.hard:
+                os._exit(23)  # pragma: no cover - kills the worker process
+            raise InjectedWorkerCrash(
+                f"injected crash for task {index} (attempt {attempt})"
+            )

@@ -94,6 +94,21 @@ class SteadyApp:
             n_software_threads=ref.n_threads,
         )
 
+    def switch_level(self, level: int) -> None:
+        """Re-place the application at a new SMT level (online switch).
+
+        Progress (elapsed time, completed work) carries over; the
+        steady-state solution is recomputed at the new level, so the
+        next ``advance`` samples counters as the re-placed program
+        would generate them.  This is the hook a closed-loop controller
+        (:func:`repro.core.robust.drive_online`) drives.
+        """
+        level = self.system.arch.validate_smt_level(level)
+        if level == self.smt_level:
+            return
+        self.smt_level = level
+        self._refresh(self._current_spec())
+
     @property
     def phase_name(self) -> Optional[str]:
         return self._phase_name

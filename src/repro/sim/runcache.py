@@ -236,12 +236,15 @@ class RunCache:
         """The cached result for ``spec``, or ``None`` on a miss.
 
         Telemetry: ``runcache.hits`` / ``runcache.misses`` count lookup
-        outcomes; a present-but-unreadable entry additionally counts as
-        ``runcache.invalid`` (it behaves as a miss).
+        outcomes; a present-but-malformed entry additionally counts as
+        ``runcache.corrupt`` and is *deleted* — it behaves as a miss
+        once, instead of being re-parsed (and re-missed) on every
+        sweep until someone clears the cache by hand.
         """
         tracer = get_tracer()
+        path = self._path(run_cache_key(spec))
         try:
-            text = self._path(run_cache_key(spec)).read_text()
+            text = path.read_text()
         except OSError:
             tracer.add("runcache.misses")
             return None
@@ -249,7 +252,11 @@ class RunCache:
             result = _result_from_payload(json.loads(text), spec.system.arch)
         except (ValueError, KeyError, TypeError):
             tracer.add("runcache.misses")
-            tracer.add("runcache.invalid")
+            tracer.add("runcache.corrupt")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction
+                pass
             return None
         tracer.add("runcache.hits")
         return result

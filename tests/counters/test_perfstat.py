@@ -125,3 +125,52 @@ class TestMultiplexingAndPollution:
         cfg = PerfStatConfig(interval_s=0.1, jitter_rel=0.05)
         readings = PerfStat(cfg).measure(StationaryApp(), 0.1)
         assert readings[0].sample.ipc != pytest.approx(1.0, abs=1e-12)
+
+
+class TestMultiplexEdgeCases:
+    def test_single_group_is_exact(self):
+        # One group means no rotation at all: estimates must equal the
+        # exact counts, not a scaled version of them.
+        sched = MultiplexSchedule(
+            [CounterGroup("only", ("CYCLES", "INSTRUCTIONS"))], width=6
+        )
+        cfg = PerfStatConfig(interval_s=0.1, multiplex=sched)
+        readings = PerfStat(cfg).measure(StationaryApp(), 0.1)
+        assert readings[0].sample.count("CYCLES") == pytest.approx(1e8, rel=1e-9)
+
+    def test_more_groups_than_sub_intervals_rejected(self):
+        sched = MultiplexSchedule(
+            [CounterGroup("A", ("CYCLES",)), CounterGroup("B", ("L1_DMISS",))],
+            width=6,
+        )
+        with pytest.raises(ValueError, match="sub-intervals"):
+            sched.estimate([{"CYCLES": 1.0}])  # one sub, two groups
+
+    def test_zero_length_interval_counts_stay_zero(self):
+        # A sub-interval in which nothing ran (all counts zero) must
+        # produce zero estimates, not a scaling blow-up.
+        sched = MultiplexSchedule(
+            [CounterGroup("A", ("CYCLES",)), CounterGroup("B", ("L1_DMISS",))],
+            width=6,
+        )
+        estimates = sched.estimate([
+            {"CYCLES": 0.0, "L1_DMISS": 0.0},
+            {"CYCLES": 0.0, "L1_DMISS": 0.0},
+        ])
+        assert estimates == {"CYCLES": 0.0, "L1_DMISS": 0.0}
+
+
+class TestStandaloneSample:
+    def test_successive_samples_accumulate_clock(self):
+        cfg = PerfStatConfig(interval_s=0.1, overhead_per_sample_s=0.02)
+        perf = PerfStat(cfg)
+        first = perf.sample(StationaryApp())
+        second = perf.sample(StationaryApp())
+        assert first.t_start_s == 0.0
+        assert first.t_end_s == pytest.approx(0.12)
+        assert second.t_start_s == pytest.approx(first.t_end_s)
+
+    def test_sample_advances_exactly_one_interval(self):
+        app = StationaryApp()
+        PerfStat(PerfStatConfig(interval_s=0.1)).sample(app)
+        assert app.advanced_s == pytest.approx(0.1)

@@ -1,0 +1,89 @@
+"""Acceptance tests for the robustness (noise ablation) experiment.
+
+Pins the documented claim: at :data:`DOCUMENTED_SEVERITY` the naive
+single-sample controller mispredicts at least 20% of its readings,
+while the hardened controller stays within 5 points of its own
+zero-noise decision accuracy.  ``BENCH_robustness.json`` records the
+same numbers; ``scripts/bench_robustness.py`` regenerates it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import noise_ablation
+
+pytestmark = pytest.mark.faults
+
+NAIVE_MISPREDICT_FLOOR = 0.20
+HARDENED_DROP_CEILING = 0.05
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return noise_ablation.run(
+        severities=(0.0, noise_ablation.DOCUMENTED_SEVERITY)
+    )
+
+
+class TestAcceptance:
+    def test_naive_mispredicts_enough(self, sweep):
+        doc = sweep.cell(noise_ablation.DOCUMENTED_SEVERITY)
+        assert doc.naive_mispredict_rate >= NAIVE_MISPREDICT_FLOOR
+
+    def test_hardened_holds_near_zero_noise_accuracy(self, sweep):
+        doc = sweep.cell(noise_ablation.DOCUMENTED_SEVERITY)
+        zero = sweep.zero_noise()
+        drop = zero.hardened_accuracy - doc.hardened_accuracy
+        assert drop <= HARDENED_DROP_CEILING
+
+    def test_hardened_beats_naive_under_noise(self, sweep):
+        doc = sweep.cell(noise_ablation.DOCUMENTED_SEVERITY)
+        assert doc.hardened_accuracy > doc.naive_accuracy
+
+    def test_naive_crashes_under_dropout(self, sweep):
+        # Dropout removes events the raw metric needs: the naive path
+        # must actually be crashing, not merely mispredicting.
+        doc = sweep.cell(noise_ablation.DOCUMENTED_SEVERITY)
+        assert doc.naive_crashes > 0
+        assert sweep.zero_noise().naive_crashes == 0
+
+
+class TestResultShape:
+    def test_covers_every_catalog_workload(self, sweep):
+        assert len(sweep.reference) == 28  # the POWER7 Table I set
+
+    def test_render_mentions_documented_severity(self, sweep):
+        text = sweep.render()
+        assert "documented severity" in text
+        assert str(noise_ablation.DOCUMENTED_SEVERITY) in text
+
+    def test_payload_roundtrips_to_json(self, sweep):
+        payload = sweep.payload()
+        again = json.loads(json.dumps(payload))
+        assert again["documented_severity"] == noise_ablation.DOCUMENTED_SEVERITY
+        assert len(again["cells"]) == 2
+
+    def test_unknown_severity_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cell(0.77)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            noise_ablation.run(samples=0)
+        with pytest.raises(ValueError, match="unknown arch"):
+            noise_ablation.run(arch="sparc")
+
+
+class TestBenchArtifact:
+    def test_committed_record_matches_acceptance(self):
+        path = Path(__file__).resolve().parents[2] / "BENCH_robustness.json"
+        assert path.is_file(), "run scripts/bench_robustness.py"
+        record = json.loads(path.read_text())
+        acceptance = record["acceptance"]
+        assert acceptance["naive_ok"] is True
+        assert acceptance["hardened_ok"] is True
+        assert acceptance["documented_severity"] == (
+            noise_ablation.DOCUMENTED_SEVERITY
+        )

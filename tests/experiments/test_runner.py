@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.runner import run_catalog, scatter_from_runs
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import (
+    run_catalog,
+    run_catalog_batched,
+    scatter_from_runs,
+)
 from repro.experiments.systems import p7_system
 from repro.workloads.catalog import all_workloads
 
@@ -77,3 +82,77 @@ class TestScatterFromRuns:
         summary = result.success(threshold=0.07)
         assert summary.n_total == 3
         assert summary.success_rate == 1.0
+
+
+@pytest.fixture
+def broken_equake(monkeypatch):
+    """Force the batch path down the salvage loop and fail one workload."""
+    real_simulate_run = runner_mod.simulate_run
+    specs = all_workloads()
+    subset = {n: specs[n] for n in ("EP", "Equake", "SPECjbb_contention")}
+
+    def batch_dies(run_specs):
+        raise RuntimeError("injected batch failure")
+
+    def run_or_die(spec):
+        if spec.stream is subset["Equake"].stream:
+            raise RuntimeError("injected per-run failure")
+        return real_simulate_run(spec)
+
+    monkeypatch.setattr(runner_mod, "simulate_many", batch_dies)
+    monkeypatch.setattr(runner_mod, "simulate_run", run_or_die)
+    return subset
+
+
+class TestPartialFailures:
+    def make_runs(self, subset):
+        return run_catalog_batched(p7_system(), subset, (1, 4), seed=5,
+                                   use_cache=False)
+
+    def test_failed_runs_reported_not_raised(self, broken_equake):
+        runs = self.make_runs(broken_equake)
+        assert set(runs.failures) == {"Equake@SMT1", "Equake@SMT4"}
+        assert all("injected per-run failure" in msg
+                   for msg in runs.failures.values())
+        # The healthy workloads completed normally.
+        assert set(runs.complete_names((1, 4))) == {"EP", "SPECjbb_contention"}
+
+    def test_scatter_skips_incomplete_workloads(self, broken_equake):
+        runs = self.make_runs(broken_equake)
+        result = scatter_from_runs(runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1)
+        assert {p.name for p in result.points} == {"EP", "SPECjbb_contention"}
+        assert result.skipped == ("Equake",)
+        assert "Equake" in result.render()
+
+    def test_explicit_failed_name_is_skipped_not_keyerror(self, broken_equake):
+        runs = self.make_runs(broken_equake)
+        result = scatter_from_runs(runs, title="t", measure_level=4,
+                                   high_level=4, low_level=1,
+                                   names=["EP", "Equake"])
+        assert {p.name for p in result.points} == {"EP"}
+        assert result.skipped == ("Equake",)
+
+    def test_unknown_name_still_raises(self, broken_equake):
+        runs = self.make_runs(broken_equake)
+        with pytest.raises(KeyError, match="not in catalog"):
+            scatter_from_runs(runs, title="t", measure_level=4,
+                              high_level=4, low_level=1, names=["nope"])
+
+    def test_all_failed_raises_with_skip_list(self, broken_equake):
+        runs = self.make_runs(broken_equake)
+        with pytest.raises(ValueError, match="no complete workloads"):
+            scatter_from_runs(runs, title="t", measure_level=4,
+                              high_level=4, low_level=1, names=["Equake"])
+
+    def test_failure_counter_increments(self, broken_equake):
+        from repro.obs import configure
+
+        tracer = configure(enabled=True)
+        tracer.reset()
+        try:
+            self.make_runs(broken_equake)
+            assert tracer.counters().get("runner.failed_runs") == 2
+        finally:
+            configure(enabled=False)
+            tracer.reset()

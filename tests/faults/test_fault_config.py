@@ -1,0 +1,75 @@
+"""Tests for the fault model configuration."""
+
+import pytest
+
+from repro.faults import FaultConfig, noise_profile
+
+pytestmark = pytest.mark.faults
+
+
+class TestValidation:
+    def test_defaults_are_clean(self):
+        cfg = FaultConfig()
+        assert not cfg.any_faults
+
+    @pytest.mark.parametrize("field", [
+        "noise_rel", "heavy_tail_prob", "dropout_prob", "stale_prob",
+    ])
+    def test_rejects_out_of_range_fractions(self, field):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: -0.1})
+
+    def test_rejects_shrinking_heavy_tail(self):
+        with pytest.raises(ValueError):
+            FaultConfig(heavy_tail_scale=0.5)
+
+    def test_rejects_nonpositive_saturation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(saturation_count=0.0)
+
+    def test_rejects_damping_spike(self):
+        with pytest.raises(ValueError):
+            FaultConfig(phase_spike_mult=0.9)
+
+    def test_any_faults_flags_each_axis(self):
+        assert FaultConfig(noise_rel=0.1).any_faults
+        assert FaultConfig(heavy_tail_prob=0.1).any_faults
+        assert FaultConfig(dropout_prob=0.1).any_faults
+        assert FaultConfig(stale_prob=0.1).any_faults
+        assert FaultConfig(saturation_count=1e6).any_faults
+        assert FaultConfig(phase_spike_mult=2.0).any_faults
+
+
+class TestScaled:
+    def test_scales_probabilities(self):
+        cfg = FaultConfig(noise_rel=0.2, dropout_prob=0.4)
+        half = cfg.scaled(0.5)
+        assert half.noise_rel == pytest.approx(0.1)
+        assert half.dropout_prob == pytest.approx(0.2)
+
+    def test_clamps_at_one(self):
+        cfg = FaultConfig(dropout_prob=0.6)
+        assert cfg.scaled(10.0).dropout_prob == 1.0
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            FaultConfig().scaled(-1.0)
+
+
+class TestNoiseProfile:
+    def test_zero_severity_is_clean(self):
+        assert not noise_profile(0.0).any_faults
+
+    def test_severity_scales_every_axis(self):
+        low, high = noise_profile(0.2), noise_profile(0.8)
+        assert high.noise_rel > low.noise_rel > 0
+        assert high.heavy_tail_prob > low.heavy_tail_prob > 0
+        assert high.dropout_prob > low.dropout_prob > 0
+        assert high.stale_prob > low.stale_prob > 0
+        assert high.phase_spike_mult > low.phase_spike_mult > 1
+
+    def test_rejects_out_of_range_severity(self):
+        with pytest.raises(ValueError):
+            noise_profile(1.5)

@@ -1,0 +1,183 @@
+"""Tests for the seeded fault-injection wrapper."""
+
+import pytest
+
+from repro.arch import power7
+from repro.counters.pmu import CounterSample
+from repro.faults import PROTECTED_EVENTS, FaultConfig, FaultyApp
+
+pytestmark = pytest.mark.faults
+
+
+class StationaryApp:
+    """Fake app producing exact, rate-proportional counters."""
+
+    def __init__(self, ipc=1.0, freq=1e9):
+        self.arch = power7()
+        self.freq = freq
+        self.ipc = ipc
+        self.phase_name = "steady"
+        self.smt_level = 4
+        self.switched_to = []
+
+    def switch_level(self, level):
+        self.switched_to.append(level)
+        self.smt_level = level
+
+    def advance(self, wall_seconds):
+        cycles = wall_seconds * self.freq
+        instrs = cycles * self.ipc
+        events = {
+            "CYCLES": cycles,
+            "INSTRUCTIONS": instrs,
+            "DISP_HELD_RES": 0.1 * cycles,
+            "LD_CMPL": 0.2 * instrs,
+            "ST_CMPL": 0.1 * instrs,
+            "BR_CMPL": 0.15 * instrs,
+            "FX_CMPL": 0.3 * instrs,
+            "VS_CMPL": 0.25 * instrs,
+            "L1_DMISS": 0.01 * instrs,
+            "L2_MISS": 0.002 * instrs,
+            "L3_MISS": 0.0005 * instrs,
+            "BR_MISPRED": 0.001 * instrs,
+        }
+        return CounterSample(
+            arch=self.arch,
+            smt_level=self.smt_level,
+            events=events,
+            wall_time_s=wall_seconds,
+            avg_thread_cpu_s=wall_seconds * 0.95,
+            n_software_threads=32,
+        )
+
+
+SEVERE = FaultConfig(
+    noise_rel=0.2, heavy_tail_prob=0.5, heavy_tail_scale=5.0,
+    dropout_prob=0.5, stale_prob=0.2,
+)
+
+
+def stream(config, seed=7, n=20):
+    app = FaultyApp(StationaryApp(), config, seed=seed)
+    return [app.advance(0.1) for _ in range(n)], app
+
+
+class TestPassthrough:
+    def test_clean_config_is_identity(self):
+        faulty = FaultyApp(StationaryApp(), FaultConfig(), seed=3)
+        exact = StationaryApp().advance(0.1)
+        sample = faulty.advance(0.1)
+        assert dict(sample.events) == dict(exact.events)
+        assert faulty.injections == {}
+
+    def test_phase_name_forwarded(self):
+        app = StationaryApp()
+        faulty = FaultyApp(app, FaultConfig(), seed=3)
+        assert faulty.phase_name == "steady"
+
+    def test_switch_level_forwarded(self):
+        app = StationaryApp()
+        faulty = FaultyApp(app, FaultConfig(), seed=3)
+        faulty.switch_level(2)
+        assert app.switched_to == [2]
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self):
+        a, _ = stream(SEVERE, seed=7)
+        b, _ = stream(SEVERE, seed=7)
+        for sa, sb in zip(a, b):
+            assert dict(sa.events) == dict(sb.events)
+
+    def test_different_seed_differs(self):
+        a, _ = stream(SEVERE, seed=7)
+        b, _ = stream(SEVERE, seed=8)
+        assert any(
+            dict(sa.events) != dict(sb.events) for sa, sb in zip(a, b)
+        )
+
+
+class TestDropout:
+    def test_protected_events_always_survive(self):
+        samples, app = stream(FaultConfig(dropout_prob=1.0), n=30)
+        assert app.injections.get("dropout", 0) > 0
+        for sample in samples:
+            for name in PROTECTED_EVENTS:
+                assert name in sample.events
+
+    def test_drops_whole_groups(self):
+        samples, _ = stream(FaultConfig(dropout_prob=1.0), n=30)
+        exact = set(StationaryApp().advance(0.1).events)
+        assert any(set(s.events) < exact for s in samples)
+
+
+class TestOtherAxes:
+    def test_saturation_clips(self):
+        cap = 5e7
+        samples, app = stream(FaultConfig(saturation_count=cap))
+        assert app.injections.get("saturated", 0) > 0
+        for sample in samples:
+            assert max(sample.events.values()) <= cap
+
+    def test_stale_returns_previous_interval(self):
+        samples, app = stream(FaultConfig(stale_prob=1.0), n=3)
+        assert app.injections.get("stale", 0) == 2
+        # Every sample after the first repeats the first one.
+        assert dict(samples[1].events) == dict(samples[0].events)
+        assert dict(samples[2].events) == dict(samples[0].events)
+
+    def test_noise_perturbs_each_event(self):
+        samples, _ = stream(FaultConfig(noise_rel=0.1), n=1)
+        exact = StationaryApp().advance(0.1)
+        assert samples[0].events["CYCLES"] != pytest.approx(
+            exact.events["CYCLES"], abs=1e-9
+        )
+
+    def test_heavy_tail_inflates_one_counter(self):
+        samples, app = stream(
+            FaultConfig(heavy_tail_prob=1.0, heavy_tail_scale=50.0), n=10
+        )
+        assert app.injections.get("heavy_tail", 0) > 0
+        exact = StationaryApp().advance(0.1)
+        blowups = 0
+        for sample in samples:
+            inflated = [
+                name for name, v in sample.events.items()
+                if v > 3.0 * exact.events[name]
+            ]
+            blowups += len(inflated)
+            assert len(inflated) <= 1  # a glitch hits a single event
+        assert blowups > 0
+
+    def test_phase_spike_on_transition(self):
+        app = StationaryApp()
+        faulty = FaultyApp(
+            app, FaultConfig(phase_spike_mult=3.0, phase_spike_intervals=1),
+            seed=3,
+        )
+        before = faulty.advance(0.1)
+        app.phase_name = "next-phase"
+        spiked = faulty.advance(0.1)
+        after = faulty.advance(0.1)
+        assert spiked.events["DISP_HELD_RES"] == pytest.approx(
+            3.0 * before.events["DISP_HELD_RES"]
+        )
+        assert after.events["DISP_HELD_RES"] == pytest.approx(
+            before.events["DISP_HELD_RES"]
+        )
+        assert faulty.injections.get("phase_spike", 0) == 1
+
+    def test_inner_app_always_advances(self):
+        app = StationaryApp()
+        seen = []
+        original = app.advance
+
+        def tracking(wall):
+            seen.append(wall)
+            return original(wall)
+
+        app.advance = tracking
+        faulty = FaultyApp(app, SEVERE, seed=7)
+        for _ in range(5):
+            faulty.advance(0.1)
+        assert seen == [0.1] * 5

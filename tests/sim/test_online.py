@@ -85,3 +85,52 @@ class TestPhasedApp:
             app.advance(0.05)
         late = smtsm(app.advance(0.05)).value
         assert late > 10 * early  # EP ~0.001 vs contention ~0.12
+
+    def test_advance_across_phase_boundary(self, system):
+        # One long interval that crosses the phase boundary: the sample
+        # is attributed to the phase current at the interval's start,
+        # the crossing registers on the next advance, and the work
+        # account stays continuous (no work lost or double-counted).
+        app = self.make_app(system)
+        rate = app._reference.performance
+        remaining = (1e10 - app.work_done) / rate
+        before = app.work_done
+        sample = app.advance(remaining + 1.0)
+        assert app.phase_name == "EP"  # still the starting phase's rates
+        assert app.work_done == pytest.approx(
+            before + (remaining + 1.0) * rate
+        )
+        assert app.work_done > 1e10
+        app.advance(0.05)
+        assert app.phase_name == "SPECjbb_contention"
+        assert sample.count("INSTRUCTIONS") > 0
+
+
+class TestSwitchLevel:
+    def test_switch_changes_thread_count(self, system):
+        app = SteadyApp(system, 4, get_workload("EP"), seed=1)
+        assert app.advance(0.1).n_software_threads == 32
+        app.switch_level(1)
+        sample = app.advance(0.1)
+        assert app.smt_level == 1
+        assert sample.n_software_threads == 8
+        assert sample.smt_level == 1
+
+    def test_progress_carries_over(self, system):
+        app = SteadyApp(system, 4, get_workload("EP"), seed=1)
+        app.advance(0.5)
+        elapsed, work = app.elapsed_s, app.work_done
+        app.switch_level(2)
+        assert app.elapsed_s == elapsed
+        assert app.work_done == work
+
+    def test_same_level_is_noop(self, system):
+        app = SteadyApp(system, 4, get_workload("EP"), seed=1)
+        reference = app._reference
+        app.switch_level(4)
+        assert app._reference is reference  # no recompute
+
+    def test_rejects_unsupported_level(self, system):
+        app = SteadyApp(system, 4, get_workload("EP"), seed=1)
+        with pytest.raises(ValueError):
+            app.switch_level(3)

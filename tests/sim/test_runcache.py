@@ -138,6 +138,44 @@ class TestCacheStore:
         path.write_text("{not json")
         assert cache.get(spec) is None
 
+    def test_corrupt_entry_is_deleted_and_counted(self, tmp_path):
+        from repro.obs import configure
+
+        cache = RunCache(tmp_path)
+        spec = make_spec()
+        result = simulate_run(spec)
+        cache.put(spec, result)
+        path = tmp_path / f"{run_cache_key(spec)}.json"
+        path.write_text("{not json")
+        tracer = configure(enabled=True)
+        tracer.reset()
+        try:
+            assert cache.get(spec) is None
+            counters = tracer.counters()
+            assert counters.get("runcache.corrupt") == 1
+            assert counters.get("runcache.misses") == 1
+        finally:
+            configure(enabled=False)
+            tracer.reset()
+        # The bad entry is gone: a re-put works and the next get hits.
+        assert not path.exists()
+        cache.put(spec, result)
+        cached = cache.get(spec)
+        assert cached is not None
+        assert_results_equal(cached, result)
+
+    def test_valid_payload_with_missing_key_is_corrupt(self, tmp_path):
+        # Malformed means structurally wrong too, not just bad JSON.
+        cache = RunCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, simulate_run(spec))
+        path = tmp_path / f"{run_cache_key(spec)}.json"
+        payload = json.loads(path.read_text())
+        del payload["times"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert not path.exists()
+
     def test_clear(self, tmp_path):
         cache = RunCache(tmp_path)
         spec = make_spec()
