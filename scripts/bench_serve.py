@@ -1,0 +1,148 @@
+"""Benchmark the prediction service: batched vs unbatched serving.
+
+Boots the server in-process twice — once with micro-batching enabled
+(``max_batch=32``, a few ms of linger) and once effectively disabled
+(``max_batch=1``, zero linger) — and drives each with the same closed
+loop of concurrent clients issuing ``predict`` requests.  Every request
+carries a distinct seed and the server session runs with the run cache
+off, so each request costs a real simulation: the measured difference
+is purely the coalescing win (one vectorized ``simulate_many`` dispatch
+per batch instead of one per request).
+
+Telemetry (``repro.obs``) is read in-process after each phase so the
+achieved mean batch size is *measured*, not assumed.
+
+Writes ``BENCH_serve.json`` at the repo root::
+
+    PYTHONPATH=src python scripts/bench_serve.py [--requests N]
+
+The headline number — batched vs unbatched requests/s at 16 concurrent
+clients — is expected to be >= 2x (the acceptance bar for the serving
+layer; the script exits 1 below it).
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import configure
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+#: Skewed toward sync-heavy workloads (spin/lock fixed points): their
+#: solver iterations are exactly the work the batched engine vectorizes,
+#: and they are the workloads an SMT-selection service exists for.
+WORKLOADS = ("SSCA2", "Fluidanimate", "SPECjbb_contention", "Dedup",
+             "Streamcluster", "Daytrader", "EP", "CG")
+
+#: A fixed threshold skips the per-session catalog fit, which would
+#: otherwise dominate the first batch and pollute the timing.
+SESSION = {"seed": 11, "use_cache": False, "threshold": 0.064}
+
+
+def drive(host, port, n_clients, requests_per_client):
+    """Closed-loop load: each client fires its requests back to back."""
+    barrier = threading.Barrier(n_clients + 1)
+    errors = []
+
+    def worker(client_index):
+        try:
+            with ServeClient(host, port) as client:
+                barrier.wait(timeout=30)
+                for i in range(requests_per_client):
+                    workload = WORKLOADS[(client_index + i) % len(WORKLOADS)]
+                    seed = 1000 * client_index + i
+                    client.predict(workload, seed=seed)
+        except Exception as exc:  # pragma: no cover - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(c,))
+               for c in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed: {errors[0]}")
+    total = n_clients * requests_per_client
+    return total, elapsed
+
+
+def run_phase(config, n_clients, requests_per_client):
+    tracer = configure(enabled=True)
+    tracer.reset()
+    with BackgroundServer(config) as bg:
+        total, elapsed = drive(bg.host, bg.port, n_clients,
+                               requests_per_client)
+    counters = tracer.counters()
+    configure(enabled=False)
+    tracer.reset()
+    batches = counters.get("serve.batches", 0)
+    batched_requests = counters.get("serve.batched_requests", 0)
+    return {
+        "clients": n_clients,
+        "requests": total,
+        "seconds": elapsed,
+        "requests_per_s": total / elapsed,
+        "batches": int(batches),
+        "mean_batch_size": batched_requests / batches if batches else 0.0,
+    }
+
+
+def batched_config():
+    return ServeConfig(max_batch=32, max_linger_ms=4.0, session=SESSION)
+
+
+def unbatched_config():
+    return ServeConfig(max_batch=1, max_linger_ms=0.0, session=SESSION)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client per phase")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: <repo>/BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    phases = {}
+    for label, config, clients in (
+        ("single_client_batched", batched_config(), 1),
+        ("batched_16_clients", batched_config(), 16),
+        ("unbatched_16_clients", unbatched_config(), 16),
+    ):
+        phases[label] = run_phase(config, clients, args.requests)
+        p = phases[label]
+        print(f"{label:24s} {p['requests']:4d} requests in "
+              f"{p['seconds']:6.2f}s = {p['requests_per_s']:7.1f} req/s "
+              f"(mean batch size {p['mean_batch_size']:.1f})")
+
+    speedup = (phases["batched_16_clients"]["requests_per_s"]
+               / phases["unbatched_16_clients"]["requests_per_s"])
+    print(f"batched vs unbatched @16 clients: {speedup:.2f}x")
+
+    payload = {
+        "workloads": list(WORKLOADS),
+        "requests_per_client": args.requests,
+        "phases": phases,
+        "speedup_batched_vs_unbatched_16_clients": speedup,
+    }
+    out = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_serve.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if speedup < 2.0:
+        print(f"FAIL: batched serving is only {speedup:.2f}x unbatched "
+              f"(acceptance bar: 2x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

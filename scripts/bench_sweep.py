@@ -4,8 +4,8 @@ Times the complete POWER7 (28 workloads x SMT1/2/4) plus Nehalem
 (22 workloads x SMT1/2) sweeps through three paths:
 
 * ``scalar``  — the reference engine, one ``simulate_run`` per spec;
-* ``batched`` — ``run_catalog_batched`` with the cache disabled (cold);
-* ``cached``  — ``run_catalog_batched`` against a freshly populated
+* ``batched`` — ``run_catalog(strategy="batched")`` with the cache disabled (cold);
+* ``cached``  — the batched strategy against a freshly populated
   run cache (warm rerun; no simulation at all).
 
 The warm phase is then re-run once with in-process telemetry enabled
@@ -27,7 +27,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.experiments.runner import run_catalog, run_catalog_batched
+from repro.experiments.runner import run_catalog
 from repro.experiments.systems import nehalem_system, p7_system
 from repro.obs import configure
 from repro.sim import engine
@@ -70,18 +70,18 @@ def timed(fn, repeats):
 
 def run_scalar():
     for _, system, catalog, levels in sweeps():
-        run_catalog(system, catalog, levels, seed=SEED)
+        run_catalog(system, catalog, levels, strategy="serial", seed=SEED)
 
 
 def run_batched():
     for _, system, catalog, levels in sweeps():
-        run_catalog_batched(system, catalog, levels, seed=SEED,
-                            use_cache=False)
+        run_catalog(system, catalog, levels, seed=SEED,
+                    use_cache=False)
 
 
 def run_with_cache(cache):
     for _, system, catalog, levels in sweeps():
-        run_catalog_batched(system, catalog, levels, seed=SEED, cache=cache)
+        run_catalog(system, catalog, levels, seed=SEED, cache=cache)
 
 
 def main(argv=None):

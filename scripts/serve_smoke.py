@@ -1,0 +1,71 @@
+"""CI smoke test: boot ``python -m repro serve``, round-trip, drain.
+
+Launches the real CLI entry point as a subprocess (ephemeral port),
+parses the ``serving on host:port`` line, performs one ``ping`` and one
+``predict`` through :class:`repro.serve.ServeClient`, then sends
+SIGINT and requires a graceful, zero-exit shutdown.
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TIMEOUT_S = 60.0
+
+
+def main():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--no-cache"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.match(r"serving on (\S+):(\d+)", line)
+        if not match:
+            raise RuntimeError(f"unexpected first line: {line!r}")
+        host, port = match.group(1), int(match.group(2))
+        print(f"server up at {host}:{port}")
+
+        from repro.serve import ServeClient
+
+        with ServeClient(host, port, timeout_s=TIMEOUT_S) as client:
+            assert client.ping() is True
+            prediction = client.predict("EP")
+            assert prediction["workload"] == "EP"
+            assert prediction["recommended_level"] in (
+                prediction["high_level"], prediction["low_level"]
+            )
+            print(f"predict EP -> SMT{prediction['recommended_level']} "
+                  f"(SMTsm {prediction['smtsm']:.5f})")
+
+        proc.send_signal(signal.SIGINT)
+        deadline = time.monotonic() + TIMEOUT_S
+        while proc.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+        output = proc.stdout.read()
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"server exited {proc.returncode}; output: {output!r}"
+            )
+        if "stopped" not in output:
+            raise RuntimeError(f"no graceful-stop marker in: {output!r}")
+        print("graceful shutdown ok")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

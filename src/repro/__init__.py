@@ -9,9 +9,15 @@ quickstart path; see the subpackages for the rest:
 
 ``repro.arch``, ``repro.sim``, ``repro.counters``, ``repro.simos``,
 ``repro.workloads``, ``repro.core``, ``repro.experiments``,
-``repro.analysis``, ``repro.obs``.
+``repro.analysis``, ``repro.obs``, ``repro.api``, ``repro.serve``.
+
+For application code, prefer the stable facade in :mod:`repro.api`
+(``Session``/``predict``/``sweep``/``score_counters``, re-exported
+here); the prediction service in :mod:`repro.serve` is built entirely
+on top of it.
 """
 
+from repro.api import Session, predict, score_counters, sweep
 from repro.arch import generic_core, get_architecture, nehalem, power7
 from repro.core import SmtPredictor, smtsm, smtsm_from_run
 from repro.obs import configure_telemetry, get_tracer
@@ -23,6 +29,10 @@ from repro.workloads import all_workloads, get_workload
 __version__ = "1.1.0"
 
 __all__ = [
+    "Session",
+    "predict",
+    "sweep",
+    "score_counters",
     "power7",
     "nehalem",
     "generic_core",

@@ -149,13 +149,57 @@ def cmd_stats(args: argparse.Namespace) -> int:
         found = latest_telemetry_file(path) if (path is None or path.is_dir()) \
             else None
         if found is None:
+            # Having recorded no telemetry yet is a normal state, not an
+            # error: report it clearly and exit 0 (no traceback, no red CI).
             where = path if path is not None else default_telemetry_dir()
-            print(f"no telemetry files under {where} "
-                  f"(run with --telemetry or REPRO_TELEMETRY=1)", file=sys.stderr)
-            return 1
+            print(f"no telemetry found under {where} "
+                  f"(record some with --telemetry or REPRO_TELEMETRY=1)")
+            return 0
         path = found
+    try:
+        summary = summarize_file(path)
+    except OSError as exc:
+        print(f"cannot read telemetry file {path}: {exc.strerror or exc}")
+        return 0
     print(f"telemetry: {path}\n")
-    print(render_summary(summarize_file(path), top=args.top))
+    print(render_summary(summary, top=args.top))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the prediction service until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+
+    from repro.serve import PredictionServer, ServeConfig
+
+    session: Dict[str, object] = {"seed": args.seed}
+    if args.no_cache:
+        session["use_cache"] = False
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_linger_ms=args.max_linger_ms,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        session=session,
+    )
+
+    async def _serve() -> None:
+        server = PredictionServer(config)
+        host, port = await server.start()
+        print(f"serving on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.stop()
+        print("stopped", flush=True)
+
+    asyncio.run(_serve())
     return 0
 
 
@@ -278,6 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="slowest runs to list")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the batched SMTsm prediction service (NDJSON over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: an ephemeral port, printed on start)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="micro-batch size ceiling")
+    p.add_argument("--max-linger-ms", type=float, default=2.0,
+                   help="how long a batch waits to coalesce more requests")
+    p.add_argument("--queue-size", type=int, default=256,
+                   help="admission queue bound (full queue => overloaded)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="executor threads running handlers")
+    p.add_argument("--seed", type=int, default=11,
+                   help="simulation seed applied to every session")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the persistent run cache for this server")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "robustness",

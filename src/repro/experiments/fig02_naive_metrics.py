@@ -16,7 +16,8 @@ from repro.analysis.correlation import pearson, spearman
 from repro.core.baselines import CounterPredictor, NAIVE_METRICS, naive_metric_value
 from repro.core.predictor import Observation
 from repro.experiments.runner import CatalogRuns
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.sim.results import speedup
 from repro.util.tables import format_series, format_table
 
@@ -71,7 +72,7 @@ class NaiveMetricsResult:
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> NaiveMetricsResult:
     if runs is None:
-        runs = p7_runs(seed=seed)
+        runs = run_catalog("p7", seed=seed)
     series: Dict[str, Dict[str, Tuple[float, float]]] = {m: {} for m in NAIVE_METRICS}
     for name, by_level in runs.runs.items():
         sample = by_level[MEASURE_LEVEL].counter_sample()

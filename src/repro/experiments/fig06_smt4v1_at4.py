@@ -11,7 +11,8 @@ SMT4, for a 93% success rate.
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 #: The eyeballed threshold the paper quotes for this system.
 PAPER_THRESHOLD = 0.07
@@ -19,7 +20,7 @@ PAPER_THRESHOLD = 0.07
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(seed=seed)
+        runs = run_catalog("p7", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 6: SMT4/SMT1 speedup vs SMTsm@SMT4 (8-core POWER7)",

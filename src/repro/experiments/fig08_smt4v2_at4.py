@@ -7,14 +7,15 @@ benchmarks with a metric greater than the threshold prefer SMT2."
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 PAPER_THRESHOLD = 0.07
 
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(seed=seed)
+        runs = run_catalog("p7", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 8: SMT4/SMT2 speedup vs SMTsm@SMT4 (8-core POWER7)",

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.experiments.runner import CatalogRuns, ScatterPoint, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 #: The paper's unambiguous-prediction boundaries for this figure.
 LOWER_BOUND = 0.07
@@ -21,7 +22,7 @@ UPPER_BOUND = 0.19
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(seed=seed)
+        runs = run_catalog("p7", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 9: SMT2/SMT1 speedup vs SMTsm@SMT2 (8-core POWER7)",

@@ -11,7 +11,8 @@ extra SMT threads still help (§IV-A).  Success rate: 86%.
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, nehalem_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.workloads.catalog import NEHALEM_SET
 
 OUTLIER = "Streamcluster"
@@ -19,7 +20,7 @@ OUTLIER = "Streamcluster"
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = nehalem_runs(seed=seed)
+        runs = run_catalog("nehalem", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 10: SMT2/SMT1 speedup vs SMTsm@SMT2 (quad-core Core i7)",

@@ -12,12 +12,13 @@ with one thread per core.
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(seed=seed)
+        runs = run_catalog("p7", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 11: SMT4/SMT1 speedup vs SMTsm@SMT1 (8-core POWER7)",

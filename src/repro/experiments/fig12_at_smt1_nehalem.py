@@ -8,13 +8,14 @@ contend over.
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, nehalem_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.workloads.catalog import NEHALEM_SMT1_SET
 
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = nehalem_runs(seed=seed)
+        runs = run_catalog("nehalem", seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 12: SMT2/SMT1 speedup vs SMTsm@SMT1 (quad-core Core i7)",

@@ -8,12 +8,13 @@ so the scalability-detection part of the metric holds up (§IV-C).
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(n_chips=2, seed=seed)
+        runs = run_catalog("p7", n_chips=2, seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 14: SMT4/SMT2 speedup vs SMTsm@SMT4 (two 8-core POWER7 chips)",

@@ -7,12 +7,13 @@ same as in the single chip case" (§IV-C).
 from __future__ import annotations
 
 from repro.experiments.runner import CatalogRuns, ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 
 
 def run(seed: int = DEFAULT_SEED, runs: CatalogRuns = None) -> ScatterResult:
     if runs is None:
-        runs = p7_runs(n_chips=2, seed=seed)
+        runs = run_catalog("p7", n_chips=2, seed=seed)
     return scatter_from_runs(
         runs,
         title="Fig. 15: SMT2/SMT1 speedup vs SMTsm@SMT2 (two 8-core POWER7 chips)",

@@ -33,7 +33,8 @@ from repro.core.predictor import SmtPredictor
 from repro.core.robust import HardenedConfig, HardenedController, naive_decision
 from repro.counters.perfstat import PerfStat, PerfStatConfig
 from repro.experiments.runner import CatalogRuns, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, nehalem_runs, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.faults import FaultyApp, noise_profile
 from repro.sim.online import SteadyApp
 from repro.util.rng import spawn_rng
@@ -145,10 +146,10 @@ class NoiseAblationResult:
 
 def _arch_setup(arch: str, seed: int, runs: Optional[CatalogRuns]):
     if arch in ("p7", "power7"):
-        runs = runs if runs is not None else p7_runs(seed=seed)
+        runs = runs if runs is not None else run_catalog("p7", seed=seed)
         return runs, 4, 4, 1
     if arch == "nehalem":
-        runs = runs if runs is not None else nehalem_runs(seed=seed)
+        runs = runs if runs is not None else run_catalog("nehalem", seed=seed)
         return runs, 2, 2, 1
     raise ValueError(f"unknown arch {arch!r} (use p7 or nehalem)")
 

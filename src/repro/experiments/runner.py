@@ -8,17 +8,25 @@ SMT1/2/4, and speedups compare completion of the *same work*.
 :func:`run_catalog` executes a benchmark set once per SMT level and
 caches the runs; every scatter figure (6, 8-15) is then a cheap
 projection: pick the measurement level for the metric and a level pair
-for the speedup.
+for the speedup.  One entry point covers every execution strategy:
+``run_catalog(arch_or_system, ..., strategy="batched"|"serial"|"parallel")``
+— the vectorized batch engine (default), the scalar reference loop, or
+the resilient multiprocessing fan-out.  The historical names
+(``run_catalog_batched``, ``systems.p7_runs``/``nehalem_runs``) survive
+as thin :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.success import SuccessSummary, success_summary
 from repro.core.metric import SmtsmResult, smtsm_from_run
+from repro.faults.retry import RetryPolicy
 from repro.obs import get_tracer
 from repro.core.predictor import Observation, SmtPredictor
 from repro.sim.engine import DEFAULT_WORK, RunSpec, simulate_many, simulate_run
@@ -31,13 +39,74 @@ from repro.workloads.spec import WorkloadSpec
 __all__ = [
     "DEFAULT_WORK",  # re-exported; the engine owns the single definition
     "CatalogRuns",
-    "RetryPolicy",
+    "RetryPolicy",  # re-exported; now lives in repro.faults.retry
+    "STRATEGIES",
+    "resolve_system",
     "run_catalog",
     "run_catalog_batched",
     "ScatterPoint",
     "ScatterResult",
     "scatter_from_runs",
 ]
+
+#: Execution strategies the unified :func:`run_catalog` accepts.
+STRATEGIES = ("batched", "serial", "parallel")
+
+#: Named systems accepted wherever a :class:`SystemSpec` is expected:
+#: alias -> (architecture registry name, chip count).
+_SYSTEM_ALIASES = {
+    "p7": ("power7", 1),
+    "power7": ("power7", 1),
+    "p7x2": ("power7", 2),
+    "nehalem": ("nehalem", 1),
+}
+
+
+def resolve_system(system: Union[str, SystemSpec],
+                   n_chips: Optional[int] = None) -> SystemSpec:
+    """Resolve a system alias (``"p7"``/``"p7x2"``/``"nehalem"``/any
+    registered architecture name) or pass a :class:`SystemSpec` through.
+
+    ``n_chips`` overrides the alias's default chip count; it is an
+    error combined with an explicit :class:`SystemSpec` (the spec
+    already fixes the chip count).
+    """
+    if isinstance(system, SystemSpec):
+        if n_chips is not None and n_chips != system.n_chips:
+            raise ValueError(
+                f"n_chips={n_chips} conflicts with SystemSpec(n_chips="
+                f"{system.n_chips}); pass one or the other"
+            )
+        return system
+    from repro.arch import get_architecture
+
+    try:
+        arch_name, default_chips = _SYSTEM_ALIASES[system]
+    except KeyError:
+        arch_name, default_chips = system, 1
+    return SystemSpec(get_architecture(arch_name), n_chips or default_chips)
+
+
+def _default_catalog(system: SystemSpec):
+    """The paper's benchmark set and levels for a named system."""
+    from repro.workloads.catalog import (
+        NEHALEM_SET,
+        NEHALEM_SMT1_SET,
+        all_workloads,
+        power7_catalog,
+    )
+
+    name = system.arch.name.lower()
+    if name.startswith("nehalem"):
+        specs = all_workloads()
+        names = sorted(set(NEHALEM_SET) | set(NEHALEM_SMT1_SET))
+        return {n: specs[n] for n in names}, (1, 2)
+    if name.startswith("power7"):
+        return power7_catalog(), tuple(system.arch.smt_levels)
+    raise ValueError(
+        f"no default benchmark catalog for architecture {system.arch.name!r}; "
+        "pass catalog= explicitly"
+    )
 
 
 @dataclass(frozen=True)
@@ -97,71 +166,8 @@ def _catalog_specs(
     ]
 
 
-def run_catalog(
-    system: SystemSpec,
-    catalog: Mapping[str, WorkloadSpec],
-    levels: Optional[Sequence[int]] = None,
-    *,
-    seed: int = 11,
-    work: float = DEFAULT_WORK,
-) -> CatalogRuns:
-    """Run every workload at every requested SMT level (scalar engine).
-
-    Telemetry: the sweep is a ``runner.run_catalog`` span with one
-    nested ``run`` span per (workload, level) — the per-run wall times
-    behind ``repro stats``' slowest-runs table.
-    """
-    if levels is None:
-        levels = system.arch.smt_levels
-    keyed = _catalog_specs(system, catalog, levels, seed, work)
-    all_runs: Dict[str, Dict[int, RunResult]] = {}
-    tracer = get_tracer()
-    with tracer.span(
-        "runner.run_catalog",
-        system=f"{system.arch.name} x{system.n_chips}",
-        runs=len(keyed),
-    ):
-        for name, level, spec in keyed:
-            with tracer.span("run", workload=name, level=level):
-                all_runs.setdefault(name, {})[level] = simulate_run(spec)
-    return CatalogRuns(system=system, runs=all_runs, seed=seed)
-
-
 def _simulate_worker(spec: RunSpec) -> RunResult:
     return simulate_run(spec)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Recovery knobs for the multiprocessing fan-out.
-
-    ``task_timeout_s`` bounds one attempt of one task; a worker that
-    hangs (or dies without reporting — a hard crash leaves its task
-    forever pending) is detected through it.  Failed attempts are
-    retried up to ``max_retries`` times with exponential backoff
-    (``backoff_s * backoff_mult**attempt``); a task that exhausts its
-    retries falls back to authoritative in-process execution, so a
-    flaky pool degrades the sweep's speed, never its result.
-    """
-
-    task_timeout_s: float = 120.0
-    max_retries: int = 2
-    backoff_s: float = 0.05
-    backoff_mult: float = 2.0
-
-    def __post_init__(self):
-        if self.task_timeout_s <= 0:
-            raise ValueError(f"task_timeout_s must be > 0, got {self.task_timeout_s}")
-        if self.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
-        if self.backoff_s < 0:
-            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
-        if self.backoff_mult < 1.0:
-            raise ValueError(f"backoff_mult must be >= 1, got {self.backoff_mult}")
-
-    def backoff_for(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return self.backoff_s * self.backoff_mult ** (attempt - 1)
 
 
 def _resilient_worker(index: int, spec: RunSpec, attempt: int, fault_hook) -> RunResult:
@@ -255,11 +261,13 @@ def _simulate_parallel(
     return results  # type: ignore[return-value]
 
 
-def run_catalog_batched(
-    system: SystemSpec,
-    catalog: Mapping[str, WorkloadSpec],
+def run_catalog(
+    system: Union[str, SystemSpec],
+    catalog: Optional[Mapping[str, WorkloadSpec]] = None,
     levels: Optional[Sequence[int]] = None,
     *,
+    strategy: str = "batched",
+    n_chips: Optional[int] = None,
     seed: int = 11,
     work: float = DEFAULT_WORK,
     cache: Optional[RunCache] = None,
@@ -268,45 +276,73 @@ def run_catalog_batched(
     retry_policy: Optional[RetryPolicy] = None,
     fault_hook: Optional[Callable[[int, RunSpec, int], None]] = None,
 ) -> CatalogRuns:
-    """Run a catalog through the batched sweep engine.
+    """Run every workload at every requested SMT level — one entry point.
 
-    Produces the same :class:`CatalogRuns` as :func:`run_catalog` (to
-    floating-point round-off), but solves every (workload, level) run's
-    chip fixed points in vectorized lockstep via
-    :func:`repro.sim.engine.simulate_many`.
+    ``system`` is a :class:`SystemSpec` or a named alias (``"p7"``,
+    ``"p7x2"``, ``"nehalem"``, or any registered architecture name,
+    with ``n_chips`` overriding the alias's chip count).  ``catalog``
+    defaults to the paper's benchmark set for the system's architecture
+    (Table I for POWER7, the Fig. 10/12 set for Nehalem), ``levels`` to
+    the architecture's SMT levels.
+
+    ``strategy`` selects how the runs execute; all three produce the
+    same :class:`CatalogRuns` (to floating-point round-off):
+
+    * ``"batched"`` (default) — every chip fixed point solved in
+      vectorized lockstep via :func:`repro.sim.engine.simulate_many`;
+    * ``"serial"`` — the scalar reference loop, one
+      :func:`simulate_run` per spec with a nested ``run`` span each
+      (the source of ``repro stats``' slowest-runs table);
+    * ``"parallel"`` — the resilient multiprocessing fan-out over
+      ``jobs`` workers (default: the CPU count), governed by
+      ``retry_policy`` (:class:`repro.faults.RetryPolicy`) with
+      ``fault_hook`` as the test seam
+      (:class:`repro.faults.WorkerFaultPlan`).
 
     ``use_cache``/``cache`` control the persistent run cache: hits skip
-    simulation entirely, misses are simulated and stored.  The default
-    honours the ``REPRO_RUNCACHE`` environment switch.  ``jobs > 1``
-    bypasses batching and fans the runs out over worker processes
-    instead — the fallback for engines with no vectorized path;
-    ``retry_policy`` / ``fault_hook`` feed the resilient fan-out
-    (:class:`RetryPolicy`, :class:`repro.faults.WorkerFaultPlan`).
+    simulation entirely, misses are simulated and stored.  For the
+    batched and parallel strategies the default honours the
+    ``REPRO_RUNCACHE`` environment switch; the serial strategy is the
+    uncached reference path unless a ``cache`` is passed explicitly.
 
     A run that fails to simulate does not abort the sweep: the batch
     is salvaged run-by-run, the failure lands in
     :attr:`CatalogRuns.failures` and the ``runner.failed_runs`` obs
     counter, and projections skip the incomplete workload.
 
-    Telemetry: one ``runner.run_catalog_batched`` span covers the sweep
-    (attrs: system, run count, cache hits/misses), with nested
-    ``cache_lookup`` and ``simulate`` phases; the run cache itself
-    accumulates ``runcache.hits`` / ``runcache.misses``.
+    Telemetry: one ``runner.run_catalog`` span covers the sweep
+    (attrs: system, run count, strategy, cache hits/misses), with
+    nested ``cache_lookup`` and ``simulate`` phases; the run cache
+    itself accumulates ``runcache.hits`` / ``runcache.misses``.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use one of {STRATEGIES}")
+    if jobs is not None and strategy != "parallel":
+        raise ValueError(f"jobs= only applies to strategy='parallel', not {strategy!r}")
+    system = resolve_system(system, n_chips)
+    if catalog is None:
+        catalog, default_levels = _default_catalog(system)
+        if levels is None:
+            levels = default_levels
     if levels is None:
         levels = system.arch.smt_levels
     keyed = _catalog_specs(system, catalog, levels, seed, work)
     specs = [spec for _, _, spec in keyed]
     if use_cache is None:
-        use_cache = cache is not None or cache_enabled_by_default()
+        use_cache = cache is not None or (
+            strategy != "serial" and cache_enabled_by_default()
+        )
     if use_cache and cache is None:
         cache = RunCache()
+    if strategy == "parallel" and jobs is None:
+        jobs = os.cpu_count() or 2
 
     tracer = get_tracer()
     with tracer.span(
-        "runner.run_catalog_batched",
+        "runner.run_catalog",
         system=f"{system.arch.name} x{system.n_chips}",
         runs=len(specs),
+        strategy=strategy,
         cached=bool(use_cache and cache is not None),
     ) as sweep:
         results: List[Optional[RunResult]] = [None] * len(specs)
@@ -325,25 +361,39 @@ def run_catalog_batched(
         if missing:
             with tracer.span("simulate", runs=len(missing), jobs=jobs or 1):
                 todo = [specs[i] for i in missing]
-                fresh: Optional[List[Optional[RunResult]]]
-                try:
-                    if jobs is not None and jobs > 1:
-                        fresh = list(_simulate_parallel(
-                            todo, jobs, policy=retry_policy, fault_hook=fault_hook,
-                        ))
-                    else:
-                        fresh = list(simulate_many(todo))
-                except Exception:
-                    # One bad spec must not abort the whole sweep:
-                    # salvage run-by-run and report the casualties.
+                fresh: List[Optional[RunResult]]
+                if strategy == "serial":
                     fresh = []
-                    for idx, spec in zip(missing, todo):
-                        try:
-                            fresh.append(simulate_run(spec))
-                        except Exception as exc:
-                            fresh.append(None)
-                            failed[idx] = f"{type(exc).__name__}: {exc}"
-                            tracer.add("runner.failed_runs")
+                    for idx, (spec, (name, level, _)) in enumerate(
+                        zip(todo, (keyed[i] for i in missing))
+                    ):
+                        with tracer.span("run", workload=name, level=level):
+                            try:
+                                fresh.append(simulate_run(spec))
+                            except Exception as exc:
+                                fresh.append(None)
+                                failed[missing[idx]] = f"{type(exc).__name__}: {exc}"
+                                tracer.add("runner.failed_runs")
+                else:
+                    try:
+                        if strategy == "parallel":
+                            fresh = list(_simulate_parallel(
+                                todo, jobs, policy=retry_policy,
+                                fault_hook=fault_hook,
+                            ))
+                        else:
+                            fresh = list(simulate_many(todo))
+                    except Exception:
+                        # One bad spec must not abort the whole sweep:
+                        # salvage run-by-run and report the casualties.
+                        fresh = []
+                        for idx, spec in zip(missing, todo):
+                            try:
+                                fresh.append(simulate_run(spec))
+                            except Exception as exc:
+                                fresh.append(None)
+                                failed[idx] = f"{type(exc).__name__}: {exc}"
+                                tracer.add("runner.failed_runs")
                 for i, result in zip(missing, fresh):
                     results[i] = result
                     if result is not None and use_cache and cache is not None:
@@ -359,6 +409,36 @@ def run_catalog_batched(
             continue
         all_runs.setdefault(name, {})[level] = result
     return CatalogRuns(system=system, runs=all_runs, seed=seed, failures=failures)
+
+
+def run_catalog_batched(
+    system: SystemSpec,
+    catalog: Mapping[str, WorkloadSpec],
+    levels: Optional[Sequence[int]] = None,
+    *,
+    seed: int = 11,
+    work: float = DEFAULT_WORK,
+    cache: Optional[RunCache] = None,
+    use_cache: Optional[bool] = None,
+    jobs: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_hook: Optional[Callable[[int, RunSpec, int], None]] = None,
+) -> CatalogRuns:
+    """Deprecated shim: use :func:`run_catalog` (``strategy="batched"``,
+    or ``strategy="parallel"`` with ``jobs=``)."""
+    warnings.warn(
+        "run_catalog_batched is deprecated; call run_catalog(..., "
+        "strategy='batched') (or strategy='parallel' with jobs=) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    strategy = "parallel" if jobs is not None and jobs > 1 else "batched"
+    return run_catalog(
+        system, catalog, levels,
+        strategy=strategy, seed=seed, work=work, cache=cache,
+        use_cache=use_cache, jobs=jobs if strategy == "parallel" else None,
+        retry_policy=retry_policy, fault_hook=fault_hook,
+    )
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.experiments.runner import ScatterResult, scatter_from_runs
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.util.tables import format_table
 
 CHIP_COUNTS: Tuple[int, ...] = (1, 2, 4)
@@ -58,7 +59,7 @@ class ScalingResult:
 def run(seed: int = DEFAULT_SEED) -> ScalingResult:
     per_chips: Dict[int, ScatterResult] = {}
     for chips in CHIP_COUNTS:
-        runs = p7_runs(n_chips=chips, seed=seed)
+        runs = run_catalog("p7", n_chips=chips, seed=seed)
         per_chips[chips] = scatter_from_runs(
             runs,
             title=f"SMT4/SMT1 vs SMTsm@SMT4, {chips} chip(s)",

@@ -1,19 +1,20 @@
-"""The paper's three experimental systems, plus cached catalog runs."""
+"""The paper's three experimental systems.
+
+Catalog sweeps go through the unified
+:func:`repro.experiments.runner.run_catalog` entry point —
+``run_catalog("p7", seed=...)`` / ``run_catalog("nehalem", ...)``
+replace the old ``p7_runs``/``nehalem_runs`` helpers, which survive
+here as :class:`DeprecationWarning` shims.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.arch import nehalem, power7
-from repro.experiments.runner import CatalogRuns, run_catalog, run_catalog_batched
+from repro.experiments.runner import CatalogRuns, run_catalog
 from repro.simos.system import SystemSpec
-from repro.workloads.catalog import (
-    NEHALEM_SET,
-    NEHALEM_SMT1_SET,
-    all_workloads,
-    nehalem_catalog,
-    power7_catalog,
-)
 
 DEFAULT_SEED = 11
 
@@ -30,16 +31,22 @@ def nehalem_system() -> SystemSpec:
 
 def p7_runs(n_chips: int = 1, *, seed: int = DEFAULT_SEED,
             levels: Optional[Sequence[int]] = None) -> CatalogRuns:
-    """The POWER7 benchmark set at SMT1/2/4 (batched sweep engine)."""
-    return run_catalog_batched(
-        p7_system(n_chips), power7_catalog(), levels or (1, 2, 4), seed=seed
+    """Deprecated shim: use ``run_catalog("p7", n_chips=..., seed=...)``."""
+    warnings.warn(
+        "p7_runs is deprecated; call run_catalog('p7', n_chips=..., seed=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return run_catalog("p7", levels=levels, n_chips=n_chips, seed=seed)
 
 
 def nehalem_runs(*, seed: int = DEFAULT_SEED) -> CatalogRuns:
-    """The Nehalem benchmark set (Fig. 10 + Fig. 12 entries) at SMT1/2."""
-    specs = all_workloads()
-    names = sorted(set(NEHALEM_SET) | set(NEHALEM_SMT1_SET))
-    return run_catalog_batched(
-        nehalem_system(), {n: specs[n] for n in names}, (1, 2), seed=seed
+    """Deprecated shim: use ``run_catalog("nehalem", seed=...)``."""
+    warnings.warn(
+        "nehalem_runs is deprecated; call run_catalog('nehalem', seed=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return run_catalog("nehalem", seed=seed)

@@ -20,7 +20,8 @@ from typing import Dict, List, Tuple
 from repro.core.predictor import Observation, SmtPredictor
 from repro.experiments import fig06_smt4v1_at4
 from repro.experiments.runner import CatalogRuns
-from repro.experiments.systems import DEFAULT_SEED, p7_runs
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import DEFAULT_SEED
 from repro.util.tables import format_table
 
 
@@ -63,7 +64,7 @@ def _observations(runs: CatalogRuns) -> List[Observation]:
 
 def run(seed: int = DEFAULT_SEED, eval_seed: int = 101,
         runs: CatalogRuns = None) -> TransferResult:
-    train_obs = _observations(runs if runs is not None else p7_runs(seed=seed))
+    train_obs = _observations(runs if runs is not None else run_catalog("p7", seed=seed))
 
     # Leave-one-out over the training campaign.
     loo_misses: List[str] = []
@@ -75,7 +76,7 @@ def run(seed: int = DEFAULT_SEED, eval_seed: int = 101,
 
     # Fit once on the training campaign, evaluate a fresh campaign.
     predictor = SmtPredictor.fit(train_obs, high_level=4, low_level=1)
-    eval_obs = _observations(p7_runs(seed=eval_seed))
+    eval_obs = _observations(run_catalog("p7", seed=eval_seed))
     transfer_correct = sum(
         1 for o in eval_obs
         if predictor.predicts_higher(o.metric) == o.prefers_higher

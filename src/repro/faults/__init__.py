@@ -12,11 +12,16 @@ Two halves:
   recovery path (retry, backoff, serial fallback) is testable on
   demand.
 
+:class:`RetryPolicy` is the shared bounded-retry policy those recovery
+paths (the resilient sweep runner, the ``repro.serve`` worker dispatch)
+are configured with.
+
 See ``docs/robustness.md`` for the fault model and tuning guidance.
 """
 
 from repro.faults.app import PROTECTED_EVENTS, FaultyApp
 from repro.faults.model import FaultConfig, noise_profile
+from repro.faults.retry import RetryPolicy
 from repro.faults.workers import InjectedWorkerCrash, WorkerFaultPlan
 
 __all__ = [
@@ -26,4 +31,5 @@ __all__ = [
     "PROTECTED_EVENTS",
     "InjectedWorkerCrash",
     "WorkerFaultPlan",
+    "RetryPolicy",
 ]

@@ -1,0 +1,48 @@
+"""Generic bounded-retry policy shared by the recovery paths.
+
+:class:`RetryPolicy` started life inside the resilient parallel sweep
+runner (``repro.experiments.runner``); the prediction service
+(``repro.serve``) reuses the same knobs for its worker dispatch, so the
+policy now lives with the rest of the fault machinery.  The runner
+re-exports it for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs for a bounded-retry dispatch loop.
+
+    ``task_timeout_s`` bounds one attempt of one task; a worker that
+    hangs (or dies without reporting — a hard crash leaves its task
+    forever pending) is detected through it.  Failed attempts are
+    retried up to ``max_retries`` times with exponential backoff
+    (``backoff_s * backoff_mult**attempt``); what happens when a task
+    exhausts its retries is the caller's decision — the sweep runner
+    falls back to authoritative in-process execution, the prediction
+    service fails the affected requests with a retryable error.
+    """
+
+    task_timeout_s: float = 120.0
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_mult: float = 2.0
+
+    def __post_init__(self):
+        if self.task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be > 0, got {self.task_timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_mult < 1.0:
+            raise ValueError(f"backoff_mult must be >= 1, got {self.backoff_mult}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_mult ** (attempt - 1)

@@ -77,18 +77,32 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TelemetrySummary:
             path = str(event.get("path", event.get("name", "?")))
             stats = summary.span_stats.get(path)
             if stats is None:
-                stats = summary.span_stats[path] = SpanStats(
-                    path=path, depth=int(event.get("depth", path.count("/")))
-                )
-            duration = float(event.get("duration_s", 0.0))
+                try:
+                    depth = int(event.get("depth", path.count("/")))
+                except (TypeError, ValueError):
+                    depth = path.count("/")
+                stats = summary.span_stats[path] = SpanStats(path=path, depth=depth)
+            try:
+                duration = float(event.get("duration_s", 0.0))
+            except (TypeError, ValueError):
+                duration = 0.0
             stats.count += 1
             stats.total_s += duration
             stats.max_s = max(stats.max_s, duration)
             summary.spans.append(event)
-        elif kind == "counter":
-            summary.counters[str(event["name"])] = float(event["value"])
-        elif kind == "gauge":
-            summary.gauges[str(event["name"])] = float(event["value"])
+        elif kind in ("counter", "gauge"):
+            # A crashed/killed writer can truncate a record mid-line and
+            # leave valid JSON missing fields; drop it rather than raise.
+            name = event.get("name")
+            value = event.get("value")
+            if name is None or value is None:
+                continue
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            target = summary.counters if kind == "counter" else summary.gauges
+            target[str(name)] = value
     return summary
 
 

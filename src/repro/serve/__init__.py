@@ -1,0 +1,48 @@
+"""repro.serve — the batched SMTsm prediction service.
+
+A stdlib-only asyncio TCP service that answers ``predict`` / ``sweep``
+/ ``score`` requests over an NDJSON protocol, coalescing concurrent
+requests into dynamic micro-batches that amortize one
+``simulate_many`` dispatch across many clients.  See ``docs/serving.md``
+for the protocol, batching model and operational knobs.
+
+Server side: :class:`ServeConfig`, :class:`PredictionServer`,
+:class:`BackgroundServer` (thread helper for tests and benchmarks).
+Client side: :class:`ServeClient` and its typed error hierarchy.
+Handlers speak only through :mod:`repro.api`.
+"""
+
+from repro.serve.batching import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve.client import (
+    CancelledError,
+    DeadlineExceededError,
+    InternalError,
+    InvalidRequestError,
+    OverloadedError,
+    ServeClient,
+    ServeError,
+    ShuttingDownError,
+)
+from repro.serve.protocol import OPS, ProtocolError, Request, RETRYABLE_CODES
+from repro.serve.server import BackgroundServer, PredictionServer, ServeConfig
+
+__all__ = [
+    "BackgroundServer",
+    "BatcherClosed",
+    "CancelledError",
+    "DeadlineExceededError",
+    "InternalError",
+    "InvalidRequestError",
+    "MicroBatcher",
+    "OPS",
+    "OverloadedError",
+    "PredictionServer",
+    "ProtocolError",
+    "QueueFull",
+    "Request",
+    "RETRYABLE_CODES",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ShuttingDownError",
+]

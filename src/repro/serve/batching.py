@@ -1,0 +1,253 @@
+"""Dynamic micro-batching: coalesce concurrent requests, dispatch once.
+
+The same shape ML inference servers use: requests enter a bounded
+admission queue; a single collector loop takes the first waiting
+request, lingers up to ``max_linger_s`` for company, closes the batch
+at ``max_batch``, groups it by batch key (requests that may legally be
+answered by one handler call), and dispatches each group to a worker
+executor.  One batch is in flight at a time — that is what turns a
+full queue into honest backpressure instead of unbounded buffering.
+
+Failure handling follows :class:`repro.faults.RetryPolicy`: a group
+whose dispatch raises (or exceeds ``task_timeout_s``) is retried with
+exponential backoff; exhausted retries fail that group's requests with
+the dispatch error, never the whole service.
+
+Telemetry (``repro.obs``): ``serve.queue_depth`` gauge,
+``serve.batches`` / ``serve.batched_requests`` counters (their ratio is
+the mean batch size), a ``serve.batch_size_le_N`` histogram,
+``serve.dispatch_retries`` / ``serve.dispatch_failures``, and one
+``serve.batch`` span per dispatched group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.faults.retry import RetryPolicy
+from repro.obs import get_tracer
+
+#: Histogram bucket upper bounds for the batch-size distribution.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32)
+
+
+class QueueFull(Exception):
+    """Admission queue at capacity — reject with 429 semantics."""
+
+
+class BatcherClosed(Exception):
+    """The batcher is draining/closed and accepts no new work."""
+
+
+@dataclass
+class PendingItem:
+    """One admitted request waiting for (or undergoing) dispatch."""
+
+    key: Hashable                    # batch-compatibility key
+    payload: Any                     # handler input (request params)
+    future: "asyncio.Future[Any]"    # resolves to the handler output
+    deadline_t: Optional[float]      # loop-clock deadline, None = no deadline
+    enqueued_t: float = 0.0
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_t is not None and now >= self.deadline_t
+
+    def abandoned(self) -> bool:
+        return self.future.done()     # cancelled or already failed
+
+
+class MicroBatcher:
+    """Coalesces :class:`PendingItem` submissions into dispatched batches.
+
+    ``dispatch(key, payloads)`` is a synchronous callable returning one
+    result per payload (or raising); it runs on ``executor`` via the
+    event loop.  Must be constructed and used on a running loop.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[Hashable, Sequence[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 16,
+        max_linger_s: float = 0.002,
+        queue_size: int = 256,
+        retry_policy: Optional[RetryPolicy] = None,
+        executor=None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_linger_s < 0:
+            raise ValueError(f"max_linger_s must be >= 0, got {max_linger_s}")
+        self._dispatch = dispatch
+        self.max_batch = max_batch
+        self.max_linger_s = max_linger_s
+        self._queue: "asyncio.Queue[PendingItem]" = asyncio.Queue(maxsize=queue_size)
+        self.retry_policy = retry_policy or RetryPolicy(
+            task_timeout_s=300.0, max_retries=1, backoff_s=0.01
+        )
+        self._executor = executor
+        self._closed = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._task: Optional[asyncio.Task] = None
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, key: Hashable, payload: Any,
+               deadline_t: Optional[float] = None) -> "asyncio.Future[Any]":
+        """Admit one request; raises :class:`QueueFull`/:class:`BatcherClosed`."""
+        if self._closed:
+            raise BatcherClosed("batcher is draining")
+        loop = asyncio.get_running_loop()
+        item = PendingItem(
+            key=key, payload=payload, future=loop.create_future(),
+            deadline_t=deadline_t, enqueued_t=loop.time(),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            raise QueueFull(
+                f"admission queue at capacity ({self._queue.maxsize})"
+            ) from None
+        self._idle.clear()
+        get_tracer().gauge("serve.queue_depth", self._queue.qsize())
+        return item.future
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- the collector loop --------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish everything already admitted, stop."""
+        self._closed = True
+        await self._idle.wait()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _collect(self) -> List[PendingItem]:
+        """One batch: first waiter + whoever arrives within the linger."""
+        first = await self._queue.get()
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        linger_until = loop.time() + self.max_linger_s
+        while len(batch) < self.max_batch:
+            timeout = linger_until - loop.time()
+            if timeout <= 0:
+                # Linger over; keep draining only what is already queued.
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+                continue
+            try:
+                batch.append(await asyncio.wait_for(self._queue.get(), timeout))
+            except asyncio.TimeoutError:
+                break
+        get_tracer().gauge("serve.queue_depth", self._queue.qsize())
+        return batch
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect()
+            try:
+                await self._process(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+            finally:
+                if self._queue.empty():
+                    self._idle.set()
+
+    async def _process(self, batch: List[PendingItem]) -> None:
+        tracer = get_tracer()
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[PendingItem] = []
+        for item in batch:
+            if item.abandoned():
+                continue
+            if item.expired(now):
+                item.future.set_exception(asyncio.TimeoutError("deadline exceeded"))
+                tracer.add("serve.deadline_expirations")
+                continue
+            live.append(item)
+        if not live:
+            return
+        groups: Dict[Hashable, List[PendingItem]] = {}
+        for item in live:
+            groups.setdefault(item.key, []).append(item)
+        for key, items in groups.items():
+            await self._dispatch_group(key, items)
+
+    async def _dispatch_group(self, key: Hashable,
+                              items: List[PendingItem]) -> None:
+        tracer = get_tracer()
+        size = len(items)
+        tracer.add("serve.batches")
+        tracer.add("serve.batched_requests", size)
+        for bucket in BATCH_SIZE_BUCKETS:
+            if size <= bucket:
+                tracer.add(f"serve.batch_size_le_{bucket}")
+                break
+        else:
+            tracer.add("serve.batch_size_le_inf")
+
+        loop = asyncio.get_running_loop()
+        payloads = [item.payload for item in items]
+        policy = self.retry_policy
+        attempt = 0
+        with tracer.span("serve.batch", size=size):
+            while True:
+                try:
+                    results = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self._executor, self._dispatch, key, payloads
+                        ),
+                        timeout=policy.task_timeout_s,
+                    )
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > policy.max_retries or not _retryable(exc):
+                        tracer.add("serve.dispatch_failures")
+                        for item in items:
+                            if not item.future.done():
+                                item.future.set_exception(exc)
+                        return
+                    tracer.add("serve.dispatch_retries")
+                    delay = policy.backoff_for(attempt)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+        if len(results) != size:  # pragma: no cover - handler contract
+            exc = RuntimeError(
+                f"dispatch returned {len(results)} results for {size} requests"
+            )
+            for item in items:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(items, results):
+            if not item.future.done():
+                item.future.set_result(result)
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Client errors are final; timeouts and transient faults retry."""
+    return not isinstance(exc, (ValueError, KeyError, TypeError))

@@ -1,0 +1,210 @@
+"""A pure-python blocking client for the prediction service.
+
+Speaks the NDJSON protocol over a plain TCP socket — no third-party
+HTTP stack, usable from tests, benchmarks and user scripts alike::
+
+    with ServeClient(host, port) as client:
+        best = client.predict("EP")            # -> dict (Prediction.payload)
+        summary = client.sweep(workloads=["EP", "CG"])
+        score = client.score_counters(events, smt_level=2, ...)
+
+Error responses are raised as typed exceptions (:class:`OverloadedError`,
+:class:`DeadlineExceededError`, ...), each carrying the server's
+``retry_after_ms`` hint when present.  Responses are matched to requests
+by id, so one connection may be shared by interleaved requests (the
+client buffers out-of-order arrivals), though the class itself is not
+thread-safe — use one client per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.serve.protocol import (
+    ERR_CANCELLED,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_INVALID,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+)
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "InvalidRequestError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "ShuttingDownError",
+    "CancelledError",
+    "InternalError",
+]
+
+
+class ServeError(Exception):
+    """Base for error responses; carries the wire code and retry hint."""
+
+    code = "error"
+
+    def __init__(self, message: str, retry_after_ms: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class InvalidRequestError(ServeError):
+    code = ERR_INVALID
+
+
+class OverloadedError(ServeError):
+    code = ERR_OVERLOADED
+
+
+class DeadlineExceededError(ServeError):
+    code = ERR_DEADLINE
+
+
+class ShuttingDownError(ServeError):
+    code = ERR_SHUTTING_DOWN
+
+
+class CancelledError(ServeError):
+    code = ERR_CANCELLED
+
+
+class InternalError(ServeError):
+    code = ERR_INTERNAL
+
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        InvalidRequestError,
+        OverloadedError,
+        DeadlineExceededError,
+        ShuttingDownError,
+        CancelledError,
+        InternalError,
+    )
+}
+
+
+class ServeClient:
+    """One blocking connection to a :class:`repro.serve.PredictionServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._unclaimed: Dict[str, Dict[str, Any]] = {}
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, op: str, params: Mapping[str, Any],
+              deadline_ms: Optional[float]) -> str:
+        self._next_id += 1
+        request_id = f"r{self._next_id}"
+        line = {"id": request_id, "op": op, "params": dict(params)}
+        if deadline_ms is not None:
+            line["deadline_ms"] = deadline_ms
+        payload = (json.dumps(line, separators=(",", ":")) + "\n").encode("utf-8")
+        self._sock.sendall(payload)
+        return request_id
+
+    def _recv(self, request_id: str) -> Dict[str, Any]:
+        if request_id in self._unclaimed:
+            return self._unclaimed.pop(request_id)
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(raw)
+            if response.get("id") == request_id:
+                return response
+            # A response for an interleaved request; park it.
+            self._unclaimed[response.get("id")] = response
+
+    def request(self, op: str, params: Optional[Mapping[str, Any]] = None, *,
+                deadline_ms: Optional[float] = None) -> Any:
+        """Send one request and block for its result (or typed error)."""
+        request_id = self._send(op, params or {}, deadline_ms)
+        response = self._recv(request_id)
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        cls = _ERROR_TYPES.get(error.get("code"), ServeError)
+        raise cls(
+            error.get("message", "unknown server error"),
+            retry_after_ms=error.get("retry_after_ms"),
+        )
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def predict(self, workload: str, *, arch: str = "p7",
+                n_chips: Optional[int] = None, level: Optional[int] = None,
+                seed: Optional[int] = None,
+                deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Best SMT level for ``workload`` on ``arch`` (Prediction payload)."""
+        params: Dict[str, Any] = {"workload": workload, "arch": arch}
+        if n_chips is not None:
+            params["n_chips"] = n_chips
+        if level is not None:
+            params["level"] = level
+        if seed is not None:
+            params["seed"] = seed
+        return self.request("predict", params, deadline_ms=deadline_ms)
+
+    def sweep(self, *, arch: str = "p7", n_chips: Optional[int] = None,
+              workloads: Optional[Sequence[str]] = None,
+              levels: Optional[Sequence[int]] = None,
+              strategy: str = "batched",
+              deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Run a catalog slice; returns the sweep summary dict."""
+        params: Dict[str, Any] = {"arch": arch, "strategy": strategy}
+        if n_chips is not None:
+            params["n_chips"] = n_chips
+        if workloads is not None:
+            params["workloads"] = list(workloads)
+        if levels is not None:
+            params["levels"] = list(levels)
+        return self.request("sweep", params, deadline_ms=deadline_ms)
+
+    def score_counters(self, events: Mapping[str, float], *, smt_level: int,
+                       wall_time_s: float, avg_thread_cpu_s: float,
+                       n_software_threads: int, arch: str = "p7",
+                       n_chips: Optional[int] = None,
+                       deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """SMTsm from raw counter readings taken on a live system."""
+        params: Dict[str, Any] = {
+            "arch": arch,
+            "events": dict(events),
+            "smt_level": smt_level,
+            "wall_time_s": wall_time_s,
+            "avg_thread_cpu_s": avg_thread_cpu_s,
+            "n_software_threads": n_software_threads,
+        }
+        if n_chips is not None:
+            params["n_chips"] = n_chips
+        return self.request("score", params, deadline_ms=deadline_ms)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,133 @@
+"""Wire protocol of the prediction service: NDJSON over a byte stream.
+
+One JSON object per line in both directions.  Requests::
+
+    {"id": "c1-0", "op": "predict", "params": {"workload": "EP",
+     "arch": "p7", "level": null}, "deadline_ms": 5000}
+
+Operations: ``predict`` (best SMT level for a workload), ``sweep`` (a
+catalog slice), ``score`` (SMTsm from raw counter readings), ``ping``.
+Responses echo the request id::
+
+    {"id": "c1-0", "ok": true, "result": {...}, "batch_size": 4}
+    {"id": "c1-0", "ok": false,
+     "error": {"code": "overloaded", "message": "...", "retry_after_ms": 50}}
+
+Error codes (``docs/serving.md`` documents the semantics):
+
+* ``invalid_request`` — unparseable line or unknown/malformed fields;
+* ``overloaded``      — admission queue full; honour ``retry_after_ms``
+  (the 429 of this protocol);
+* ``deadline_exceeded`` — the request's deadline elapsed before a
+  result could be produced;
+* ``shutting_down``   — server is draining; retry against another
+  instance (carries ``retry_after_ms`` too);
+* ``cancelled``       — the request was abandoned (connection closed);
+* ``internal``        — the handler failed after exhausting retries.
+
+This module is deliberately dependency-free (stdlib only): it is shared
+verbatim by the asyncio server and the blocking client.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+#: Operations the service accepts.
+OPS = ("predict", "sweep", "score", "ping")
+
+#: Error codes (see module docstring).
+ERR_INVALID = "invalid_request"
+ERR_OVERLOADED = "overloaded"
+ERR_DEADLINE = "deadline_exceeded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_CANCELLED = "cancelled"
+ERR_INTERNAL = "internal"
+
+#: Codes a client may retry after backing off.
+RETRYABLE_CODES = (ERR_OVERLOADED, ERR_SHUTTING_DOWN, ERR_INTERNAL)
+
+
+class ProtocolError(Exception):
+    """A malformed request; maps to an ``invalid_request`` response."""
+
+    def __init__(self, message: str, request_id: Optional[str] = None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request."""
+
+    id: str
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    deadline_ms: Optional[float] = None
+
+
+def parse_request(raw: Union[bytes, str, Dict[str, Any]]) -> Request:
+    """Parse and validate one request line (or an already-decoded dict)."""
+    if isinstance(raw, (bytes, str)):
+        try:
+            obj = json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    else:
+        obj = raw
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    request_id = obj.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request must carry a non-empty string 'id'")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {OPS}", request_id=request_id
+        )
+    params = obj.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object", request_id=request_id)
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "'deadline_ms' must be a number", request_id=request_id
+            ) from None
+        if deadline_ms < 0:
+            raise ProtocolError(
+                "'deadline_ms' must be >= 0", request_id=request_id
+            )
+    return Request(id=request_id, op=op, params=params, deadline_ms=deadline_ms)
+
+
+def response_ok(request_id: str, result: Any, **meta: Any) -> Dict[str, Any]:
+    """A success response (``meta`` lands as extra top-level fields)."""
+    response = {"id": request_id, "ok": True, "result": result}
+    response.update(meta)
+    return response
+
+
+def response_error(
+    request_id: Optional[str],
+    code: str,
+    message: str,
+    *,
+    retry_after_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """An error response; ``retry_after_ms`` only for retryable codes."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def encode(response: Dict[str, Any]) -> bytes:
+    """One response as a wire line (newline-terminated UTF-8)."""
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")

@@ -1,0 +1,388 @@
+"""The asyncio prediction server: admission, batching, lifecycle.
+
+Composition (one process, one event loop)::
+
+    TCP conn ──parse──▶ admission ──▶ MicroBatcher ──▶ executor ──▶ handlers
+       ▲                  │ full?                          │            │
+       └──── NDJSON ◀── overloaded(retry-after)            └── repro.api only
+
+* **Admission** is the micro-batcher's bounded queue; a full queue is
+  answered immediately with an ``overloaded`` error carrying
+  ``retry_after_ms`` — the client's cue to back off (429 semantics).
+* **Deadlines**: each request may carry ``deadline_ms``; expired
+  requests are failed with ``deadline_exceeded`` instead of being
+  served late, whether they expire waiting or executing.
+* **Cancellation**: a dropped connection cancels that connection's
+  pending futures, so abandoned work never occupies a batch slot.
+* **Graceful drain** (:meth:`PredictionServer.stop`): stop accepting
+  connections, answer new requests with ``shutting_down``, let every
+  admitted request finish and flush, then close.
+
+:class:`BackgroundServer` runs the whole thing on a daemon thread for
+tests, benchmarks and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from repro.faults.retry import RetryPolicy
+from repro.obs import get_tracer
+from repro.serve import handlers
+from repro.serve.batching import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERR_CANCELLED,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_INVALID,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    parse_request,
+    response_error,
+    response_ok,
+)
+
+__all__ = ["ServeConfig", "PredictionServer", "BackgroundServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the service can be tuned with (see docs/serving.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral (tests, smoke)
+    max_batch: int = 16                 # micro-batch ceiling
+    max_linger_ms: float = 2.0          # how long a batch waits for company
+    queue_size: int = 256               # admission queue bound
+    workers: int = 1                    # executor threads running handlers
+    default_deadline_ms: Optional[float] = 30_000.0
+    retry_after_ms: float = 50.0        # hint attached to overloaded/shutdown
+    drain_timeout_s: float = 30.0       # bound on graceful drain
+    retry_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            task_timeout_s=300.0, max_retries=1, backoff_s=0.01
+        )
+    )
+    #: Session knobs applied to every request (seed, work, use_cache,
+    #: threshold, threshold_method) — see :class:`repro.api.Session`.
+    session: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger_ms < 0:
+            raise ValueError(f"max_linger_ms must be >= 0, got {self.max_linger_ms}")
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class PredictionServer:
+    """One serving instance; create, :meth:`start`, eventually :meth:`stop`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._connections: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        config = self.config
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-serve"
+        )
+        self._batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=config.max_batch,
+            max_linger_s=config.max_linger_ms / 1000.0,
+            queue_size=config.queue_size,
+            retry_policy=config.retry_policy,
+            executor=self._executor,
+        )
+        self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        get_tracer().add("serve.starts")
+        return host, port
+
+    async def stop(self) -> None:
+        """Graceful drain: finish admitted work, flush, close, stop."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._batcher.drain(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - pathological handler
+            get_tracer().add("serve.drain_timeouts")
+        # Give delivery tasks a chance to flush their responses.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._server = None
+        self._stopped.set()
+        get_tracer().add("serve.stops")
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- dispatch (runs on the executor) -------------------------------
+
+    def _dispatch(self, key, payloads: Sequence[Any]):
+        """Route one coalesced group to its handler (executor thread)."""
+        op = key[0]
+        defaults = self.config.session
+        tracer = get_tracer()
+        with tracer.span("serve.dispatch", op=op, size=len(payloads)):
+            if op == "predict":
+                return handlers.handle_predict_batch(payloads, defaults)
+            if op == "sweep":
+                return [handlers.handle_sweep(p, defaults) for p in payloads]
+            if op == "score":
+                return [handlers.handle_score(p, defaults) for p in payloads]
+            if op == "ping":
+                return [handlers.handle_ping(p, defaults) for p in payloads]
+            raise handlers.HandlerError(f"unroutable op {op!r}")
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        out_q: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop(writer, out_q)
+        )
+        pending: set = set()
+        delivery_tasks: set = set()
+        tracer = get_tracer()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                tracer.add("serve.requests")
+                try:
+                    request = parse_request(line)
+                except ProtocolError as exc:
+                    tracer.add("serve.errors.invalid_request")
+                    await out_q.put(response_error(
+                        exc.request_id, ERR_INVALID, str(exc)
+                    ))
+                    continue
+                if self._draining:
+                    tracer.add("serve.errors.shutting_down")
+                    await out_q.put(response_error(
+                        request.id, ERR_SHUTTING_DOWN, "server is draining",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ))
+                    continue
+                deadline_t = self._deadline_t(request)
+                try:
+                    future = self._batcher.submit(
+                        handlers.batch_key(request.op, request.params),
+                        request.params,
+                        deadline_t,
+                    )
+                except QueueFull:
+                    tracer.add("serve.rejections")
+                    await out_q.put(response_error(
+                        request.id, ERR_OVERLOADED,
+                        "admission queue full; back off and retry",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ))
+                    continue
+                except BatcherClosed:
+                    tracer.add("serve.errors.shutting_down")
+                    await out_q.put(response_error(
+                        request.id, ERR_SHUTTING_DOWN, "server is draining",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ))
+                    continue
+                pending.add(future)
+                deliver = asyncio.get_running_loop().create_task(
+                    self._deliver(request, future, deadline_t, out_q)
+                )
+                delivery_tasks.add(deliver)
+                deliver.add_done_callback(delivery_tasks.discard)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            # Abandon whatever this connection still has in flight.
+            for future in pending:
+                if not future.done():
+                    future.cancel()
+                    tracer.add("serve.cancellations")
+            if delivery_tasks:
+                await asyncio.gather(*delivery_tasks, return_exceptions=True)
+            await out_q.put(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            self._connections.discard(task)
+
+    def _deadline_t(self, request: Request) -> Optional[float]:
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return asyncio.get_running_loop().time() + deadline_ms / 1000.0
+
+    async def _deliver(self, request: Request, future: "asyncio.Future",
+                       deadline_t: Optional[float],
+                       out_q: "asyncio.Queue") -> None:
+        tracer = get_tracer()
+        try:
+            result = await future
+        except asyncio.CancelledError:
+            tracer.add("serve.errors.cancelled")
+            await out_q.put(response_error(
+                request.id, ERR_CANCELLED, "request abandoned"
+            ))
+            return
+        except asyncio.TimeoutError:
+            tracer.add("serve.errors.deadline_exceeded")
+            await out_q.put(response_error(
+                request.id, ERR_DEADLINE, "deadline elapsed before dispatch"
+            ))
+            return
+        except handlers.HandlerError as exc:
+            tracer.add("serve.errors.invalid_request")
+            await out_q.put(response_error(request.id, ERR_INVALID, str(exc)))
+            return
+        except Exception as exc:
+            tracer.add("serve.errors.internal")
+            await out_q.put(response_error(
+                request.id, ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                retry_after_ms=self.config.retry_after_ms,
+            ))
+            return
+        # The batcher already failed anything that expired *waiting*;
+        # this catches requests that expired mid-execution.
+        if (deadline_t is not None
+                and asyncio.get_running_loop().time() >= deadline_t):
+            tracer.add("serve.errors.deadline_exceeded")
+            await out_q.put(response_error(
+                request.id, ERR_DEADLINE, "deadline elapsed during execution"
+            ))
+            return
+        tracer.add("serve.responses")
+        await out_q.put(response_ok(request.id, result))
+
+    async def _writer_loop(self, writer: asyncio.StreamWriter,
+                           out_q: "asyncio.Queue") -> None:
+        try:
+            while True:
+                response = await out_q.get()
+                if response is None:
+                    break
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class BackgroundServer:
+    """A :class:`PredictionServer` on a daemon thread (tests/bench/CLI smoke).
+
+    Usage::
+
+        with BackgroundServer(ServeConfig(...)) as bg:
+            client = ServeClient(bg.host, bg.port)
+            ...
+
+    ``stop()`` performs the same graceful drain as the foreground path.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):  # pragma: no cover
+            raise RuntimeError("background server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("background server failed to start") \
+                from self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        server = PredictionServer(self.config)
+        try:
+            self.host, self.port = await server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_requested.wait()
+        await server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_requested is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_requested.set)
+            except RuntimeError:
+                pass                 # loop already closed: nothing to stop
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+            self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -11,16 +11,22 @@ from repro.workloads.spec import WorkloadSpec
 from repro.workloads.specomp import specomp_workloads
 
 
+#: Lazily built spec index shared by every ``all_workloads()`` call.
+#: Safe to share: specs are frozen; callers get a fresh outer dict.
+_CATALOG: Dict[str, WorkloadSpec] = {}
+
+
 def all_workloads() -> Dict[str, WorkloadSpec]:
-    """Every modelled benchmark, by name."""
-    specs: Dict[str, WorkloadSpec] = {}
-    for source in (nas_workloads, parsec_workloads, specomp_workloads,
-                   commercial_workloads):
-        for name, spec in source().items():
-            if name in specs:
-                raise RuntimeError(f"duplicate workload name {name!r}")
-            specs[name] = spec
-    return specs
+    """Every modelled benchmark, by name (a fresh dict of shared specs)."""
+    if not _CATALOG:
+        for source in (nas_workloads, parsec_workloads, specomp_workloads,
+                       commercial_workloads):
+            for name, spec in source().items():
+                if name in _CATALOG:
+                    _CATALOG.clear()
+                    raise RuntimeError(f"duplicate workload name {name!r}")
+                _CATALOG[name] = spec
+    return dict(_CATALOG)
 
 
 def get_workload(name: str) -> WorkloadSpec:

@@ -7,19 +7,19 @@ fast without weakening the assertions.
 
 import pytest
 
-from repro.experiments.systems import nehalem_runs, p7_runs
+from repro.experiments.runner import run_catalog
 
 
 @pytest.fixture(scope="session")
 def p7_catalog_runs():
-    return p7_runs(seed=11)
+    return run_catalog("p7", seed=11)
 
 
 @pytest.fixture(scope="session")
 def p7x2_catalog_runs():
-    return p7_runs(n_chips=2, seed=11)
+    return run_catalog("p7", n_chips=2, seed=11)
 
 
 @pytest.fixture(scope="session")
 def nehalem_catalog_runs():
-    return nehalem_runs(seed=11)
+    return run_catalog("nehalem", seed=11)

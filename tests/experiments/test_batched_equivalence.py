@@ -1,11 +1,11 @@
-"""`run_catalog_batched` must reproduce `run_catalog` and honour the cache."""
+"""The batched strategy must reproduce the serial reference and honour the cache."""
 
 import dataclasses
 
 import numpy as np
 import pytest
 
-from repro.experiments.runner import run_catalog, run_catalog_batched
+from repro.experiments.runner import run_catalog
 from repro.experiments.systems import nehalem_system, p7_system
 from repro.sim.runcache import RunCache
 from repro.workloads.catalog import all_workloads
@@ -59,12 +59,12 @@ def assert_catalogs_match(scalar_runs, batched_runs):
 
 @pytest.fixture(scope="module")
 def scalar_runs():
-    return run_catalog(p7_system(), subset(), (1, 2, 4), seed=5)
+    return run_catalog(p7_system(), subset(), (1, 2, 4), strategy="serial", seed=5)
 
 
 class TestBatchedCatalog:
     def test_matches_scalar_engine(self, scalar_runs):
-        batched = run_catalog_batched(
+        batched = run_catalog(
             p7_system(), subset(), (1, 2, 4), seed=5, use_cache=False
         )
         assert_catalogs_match(scalar_runs, batched)
@@ -72,19 +72,19 @@ class TestBatchedCatalog:
     def test_nehalem_matches(self):
         names = ("EP", "Equake", "SSCA2")
         sub = {n: all_workloads()[n] for n in names}
-        scalar = run_catalog(nehalem_system(), sub, (1, 2), seed=5)
-        batched = run_catalog_batched(
+        scalar = run_catalog(nehalem_system(), sub, (1, 2), strategy="serial", seed=5)
+        batched = run_catalog(
             nehalem_system(), sub, (1, 2), seed=5, use_cache=False
         )
         assert_catalogs_match(scalar, batched)
 
     def test_cache_round_trip(self, scalar_runs, tmp_path):
         cache = RunCache(tmp_path / "rc")
-        cold = run_catalog_batched(
+        cold = run_catalog(
             p7_system(), subset(), (1, 2, 4), seed=5, cache=cache
         )
         assert len(cache) == len(SUBSET_NAMES) * 3
-        warm = run_catalog_batched(
+        warm = run_catalog(
             p7_system(), subset(), (1, 2, 4), seed=5, cache=cache
         )
         assert_catalogs_match(cold, warm)
@@ -94,9 +94,9 @@ class TestBatchedCatalog:
         # Warm only one level, then ask for all three: the cached level
         # must blend seamlessly with freshly simulated ones.
         cache = RunCache(tmp_path / "rc")
-        run_catalog_batched(p7_system(), subset(), (2,), seed=5, cache=cache)
+        run_catalog(p7_system(), subset(), (2,), seed=5, cache=cache)
         assert len(cache) == len(SUBSET_NAMES)
-        full = run_catalog_batched(
+        full = run_catalog(
             p7_system(), subset(), (1, 2, 4), seed=5, cache=cache
         )
         assert len(cache) == len(SUBSET_NAMES) * 3
@@ -104,7 +104,7 @@ class TestBatchedCatalog:
 
     def test_use_cache_false_writes_nothing(self, tmp_path):
         cache = RunCache(tmp_path / "rc")
-        run_catalog_batched(
+        run_catalog(
             p7_system(), {"EP": all_workloads()["EP"]}, (1,),
             seed=5, cache=cache, use_cache=False,
         )
@@ -113,12 +113,13 @@ class TestBatchedCatalog:
     def test_seed_changes_bypass_cache_entries(self, tmp_path):
         cache = RunCache(tmp_path / "rc")
         sub = {"EP": all_workloads()["EP"]}
-        run_catalog_batched(p7_system(), sub, (1,), seed=5, cache=cache)
-        run_catalog_batched(p7_system(), sub, (1,), seed=6, cache=cache)
+        run_catalog(p7_system(), sub, (1,), seed=5, cache=cache)
+        run_catalog(p7_system(), sub, (1,), seed=6, cache=cache)
         assert len(cache) == 2
 
     def test_jobs_path_matches(self, scalar_runs):
-        batched = run_catalog_batched(
-            p7_system(), subset(), (1, 2, 4), seed=5, use_cache=False, jobs=2
+        batched = run_catalog(
+            p7_system(), subset(), (1, 2, 4), strategy="parallel",
+            seed=5, use_cache=False, jobs=2,
         )
         assert_catalogs_match(scalar_runs, batched)

@@ -1,0 +1,68 @@
+"""The pre-unification runner names still work — and warn.
+
+``run_catalog(strategy=...)`` replaced ``run_catalog_batched`` and the
+``p7_runs``/``nehalem_runs`` helpers; the old names survive one cycle
+as ``DeprecationWarning`` shims.  This is the only place in the repo
+allowed to call them.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_catalog, run_catalog_batched
+from repro.experiments.systems import nehalem_runs, p7_runs, p7_system
+
+NAMES = ("EP", "SSCA2")
+
+
+def _slice(names=NAMES):
+    from repro.workloads import all_workloads
+
+    specs = all_workloads()
+    return {name: specs[name] for name in names}
+
+
+class TestRunCatalogBatchedShim:
+    def test_warns_and_matches_new_entry_point(self):
+        with pytest.warns(DeprecationWarning, match="run_catalog_batched"):
+            old = run_catalog_batched(p7_system(), _slice(), (1, 4), seed=11)
+        new = run_catalog("p7", _slice(), (1, 4), seed=11)
+        assert old.runs.keys() == new.runs.keys()
+        for name in NAMES:
+            for level in (1, 4):
+                assert old.runs[name][level].wall_time_s == pytest.approx(
+                    new.runs[name][level].wall_time_s, rel=1e-12
+                )
+
+
+class TestSystemsShims:
+    def test_p7_runs_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="p7_runs"):
+            old = p7_runs(levels=(1, 4), seed=11)
+        new = run_catalog("p7", levels=(1, 4), seed=11)
+        assert old.runs.keys() == new.runs.keys()
+        assert old.runs["EP"][4].wall_time_s == pytest.approx(
+            new.runs["EP"][4].wall_time_s, rel=1e-12
+        )
+
+    def test_nehalem_runs_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="nehalem_runs"):
+            old = nehalem_runs(seed=11)
+        new = run_catalog("nehalem", seed=11)
+        assert old.runs.keys() == new.runs.keys()
+
+
+class TestNoOtherCallers:
+    def test_repo_has_no_remaining_shim_callers(self):
+        """Nothing outside this test file calls the deprecated names."""
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        offenders = []
+        for root in ("src", "scripts"):
+            for path in (repo / root).rglob("*.py"):
+                text = path.read_text()
+                for name in ("run_catalog_batched(", "p7_runs(", "nehalem_runs("):
+                    for i, line in enumerate(text.splitlines(), 1):
+                        if name in line and "def " + name.rstrip("(") not in line:
+                            offenders.append(f"{path.relative_to(repo)}:{i}")
+        assert not offenders, f"deprecated runner names still called: {offenders}"

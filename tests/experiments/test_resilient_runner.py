@@ -11,7 +11,7 @@ import pytest
 from repro.experiments.runner import (
     RetryPolicy,
     _simulate_parallel,
-    run_catalog_batched,
+    run_catalog,
 )
 from repro.experiments.systems import p7_system
 from repro.faults import WorkerFaultPlan
@@ -120,12 +120,12 @@ class TestCatalogIntegration:
         system = p7_system()
         workloads = all_workloads()
         subset = {n: workloads[n] for n in ("EP", "Equake", "SSCA2")}
-        baseline = run_catalog_batched(system, subset, (1, 4), seed=5,
-                                       use_cache=False)
+        baseline = run_catalog(system, subset, (1, 4), seed=5,
+                               use_cache=False)
         plan = WorkerFaultPlan(crash_indices=(0, 4))
-        faulted = run_catalog_batched(
-            system, subset, (1, 4), seed=5, use_cache=False, jobs=2,
-            retry_policy=FAST, fault_hook=plan,
+        faulted = run_catalog(
+            system, subset, (1, 4), strategy="parallel", seed=5,
+            use_cache=False, jobs=2, retry_policy=FAST, fault_hook=plan,
         )
         assert faulted.failures == {}
         assert set(faulted.names()) == set(baseline.names())

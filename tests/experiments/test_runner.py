@@ -5,7 +5,6 @@ import pytest
 import repro.experiments.runner as runner_mod
 from repro.experiments.runner import (
     run_catalog,
-    run_catalog_batched,
     scatter_from_runs,
 )
 from repro.experiments.systems import p7_system
@@ -106,8 +105,8 @@ def broken_equake(monkeypatch):
 
 class TestPartialFailures:
     def make_runs(self, subset):
-        return run_catalog_batched(p7_system(), subset, (1, 4), seed=5,
-                                   use_cache=False)
+        return run_catalog(p7_system(), subset, (1, 4), seed=5,
+                           use_cache=False)
 
     def test_failed_runs_reported_not_raised(self, broken_equake):
         runs = self.make_runs(broken_equake)

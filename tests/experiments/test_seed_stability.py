@@ -8,14 +8,14 @@ are allowed to flip; the aggregate must stay in band.
 import pytest
 
 from repro.experiments import fig06_smt4v1_at4
-from repro.experiments.systems import p7_runs
+from repro.experiments.runner import run_catalog
 
 SEEDS = (11, 23, 47, 101, 777)
 
 
 @pytest.fixture(scope="module")
 def sweeps():
-    return {seed: fig06_smt4v1_at4.run(runs=p7_runs(seed=seed)) for seed in SEEDS}
+    return {seed: fig06_smt4v1_at4.run(runs=run_catalog("p7", seed=seed)) for seed in SEEDS}
 
 
 class TestSeedStability:

@@ -8,7 +8,7 @@ happened), the warm pass one ``runcache.hits`` per run and nothing else.
 
 import pytest
 
-from repro.experiments.runner import run_catalog_batched
+from repro.experiments.runner import run_catalog
 from repro.experiments.systems import p7_system
 from repro.obs import configure, get_tracer
 from repro.sim import engine
@@ -37,7 +37,7 @@ def sweep(tmp_path):
 
     def run():
         engine._SERIAL_RATE_CACHE.clear()
-        return run_catalog_batched(system, catalog, LEVELS, cache=cache)
+        return run_catalog(system, catalog, LEVELS, cache=cache)
 
     return run
 
@@ -63,13 +63,13 @@ class TestColdPass:
         by_name = {}
         for record in tracer.spans():
             by_name.setdefault(record.name, []).append(record)
-        (top,) = by_name["runner.run_catalog_batched"]
+        (top,) = by_name["runner.run_catalog"]
         assert top.attrs["runs"] == N_RUNS
         assert top.attrs["cache_hits"] == 0
         assert top.attrs["cache_misses"] == N_RUNS
         (simulate,) = by_name["simulate"]
         assert simulate.attrs["runs"] == N_RUNS
-        assert simulate.path.startswith("runner.run_catalog_batched/")
+        assert simulate.path.startswith("runner.run_catalog/")
         assert by_name["engine.simulate_many"]
 
 
@@ -86,7 +86,7 @@ class TestWarmPass:
         assert "chip.batch_jobs" not in counters
         assert "core_batch.solves" not in counters
         (top,) = [r for r in tracer.spans()
-                  if r.name == "runner.run_catalog_batched"]
+                  if r.name == "runner.run_catalog"]
         assert top.attrs["cache_hits"] == N_RUNS
         assert top.attrs["cache_misses"] == 0
         # And the cached results agree with the simulated ones.

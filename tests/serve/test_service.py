@@ -1,0 +1,238 @@
+"""End-to-end tests of the prediction service.
+
+The server runs in-process (:class:`BackgroundServer` on a daemon
+thread); clients are real blocking TCP clients.  The suite covers the
+acceptance criteria of the serving layer: concurrent responses match
+direct :mod:`repro.api` answers, concurrent requests are actually
+coalesced (mean batch size > 1, proven via telemetry counters),
+a full admission queue rejects with backpressure, expired deadlines
+fail instead of serving late, and shutdown drains admitted work.
+"""
+
+import threading
+
+import pytest
+
+import repro.api as api
+from repro.obs import configure
+from repro.serve import (
+    BackgroundServer,
+    DeadlineExceededError,
+    OverloadedError,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+)
+
+WORKLOADS = ("EP", "CG", "SSCA2", "Swim", "Dedup", "Equake", "Stream", "LU")
+
+
+@pytest.fixture
+def tracer():
+    tracer = configure(enabled=True)
+    tracer.reset()
+    yield tracer
+    configure(enabled=False)
+    tracer.reset()
+
+
+@pytest.fixture(scope="module")
+def server():
+    # A generous linger so concurrent clients reliably coalesce.
+    config = ServeConfig(max_linger_ms=100.0, max_batch=32,
+                         session={"seed": 11})
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c
+
+
+class TestBasics:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_predict_matches_direct_api(self, client):
+        served = client.predict("EP")
+        direct = api.predict("EP", "p7").payload()
+        assert served["workload"] == direct["workload"]
+        assert served["recommended_level"] == direct["recommended_level"]
+        assert served["smtsm"] == pytest.approx(direct["smtsm"], rel=1e-9)
+        assert served["threshold"] == pytest.approx(direct["threshold"], rel=1e-9)
+
+    def test_sweep(self, client):
+        summary = client.sweep(workloads=["EP", "CG"], levels=[1, 4])
+        assert set(summary["workloads"]) == {"EP", "CG"}
+        assert summary["levels"] == [1, 4]
+
+    def test_score_counters(self, client):
+        events = {"CYCLES": 1e9, "INSTRUCTIONS": 6e8, "DISP_HELD_RES": 2e8,
+                  "LD_CMPL": 2.2e8, "ST_CMPL": 1.1e8, "BR_CMPL": 9e7,
+                  "FX_CMPL": 1.5e8, "VS_CMPL": 3e7}
+        served = client.score_counters(
+            events, smt_level=2, wall_time_s=1.0,
+            avg_thread_cpu_s=0.9, n_software_threads=8)
+        direct = api.score_counters(
+            events, "p7", smt_level=2, wall_time_s=1.0,
+            avg_thread_cpu_s=0.9, n_software_threads=8)
+        assert served["smtsm"] == pytest.approx(direct.value, rel=1e-12)
+
+    def test_invalid_workload_is_client_error(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client.predict("doom")
+        assert exc_info.value.code == "invalid_request"
+
+    def test_unknown_op_is_rejected(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client.request("explode", {})
+        assert exc_info.value.code == "invalid_request"
+
+
+class TestCoalescing:
+    def test_concurrent_clients_coalesce_and_match_direct(self, server, tracer):
+        """N concurrent clients; answers correct; requests batched."""
+        results = {}
+        errors = []
+        barrier = threading.Barrier(len(WORKLOADS))
+
+        def worker(name):
+            try:
+                with ServeClient(server.host, server.port) as c:
+                    barrier.wait(timeout=10)
+                    results[name] = c.predict(name)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((name, exc))
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in WORKLOADS]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert set(results) == set(WORKLOADS)
+
+        for name in WORKLOADS:
+            direct = api.predict(name, "p7").payload()
+            assert results[name]["recommended_level"] == \
+                direct["recommended_level"], name
+            assert results[name]["smtsm"] == \
+                pytest.approx(direct["smtsm"], rel=1e-9), name
+
+        counters = tracer.counters()
+        batches = counters.get("serve.batches", 0)
+        batched_requests = counters.get("serve.batched_requests", 0)
+        assert batches >= 1
+        mean_batch_size = batched_requests / batches
+        assert mean_batch_size > 1.0, (
+            f"requests were not coalesced: {batched_requests} requests "
+            f"in {batches} batches"
+        )
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self, tracer):
+        # queue_size=1 and a slow in-flight sweep: while the worker is
+        # busy, the queue holds one request and the rest must bounce.
+        config = ServeConfig(
+            queue_size=1, max_linger_ms=0.0,
+            session={"seed": 11, "use_cache": False},
+        )
+        with BackgroundServer(config) as bg:
+            with ServeClient(bg.host, bg.port) as slow, \
+                    ServeClient(bg.host, bg.port) as fast:
+                # Occupy the single dispatch slot with a serial sweep.
+                slow_id = slow._send(
+                    "sweep",
+                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
+                     "strategy": "serial"},
+                    None,
+                )
+                # Pipeline predictions without reading responses; with
+                # the dispatcher busy, at most one fits in the queue.
+                ids = [fast._send("predict", {"workload": "EP"}, None)
+                       for _ in range(8)]
+                responses = [fast._recv(i) for i in ids]
+                rejected = [r for r in responses if not r.get("ok")]
+                assert rejected, "no request was rejected under overload"
+                for r in rejected:
+                    assert r["error"]["code"] == "overloaded"
+                    assert r["error"]["retry_after_ms"] > 0
+                # The occupying sweep still completes correctly.
+                sweep_response = slow._recv(slow_id)
+                assert sweep_response["ok"]
+        assert tracer.counters().get("serve.rejections", 0) >= 1
+
+    def test_client_raises_typed_overloaded_error(self):
+        config = ServeConfig(
+            queue_size=1, max_linger_ms=0.0,
+            session={"seed": 11, "use_cache": False},
+        )
+        with BackgroundServer(config) as bg:
+            with ServeClient(bg.host, bg.port) as slow, \
+                    ServeClient(bg.host, bg.port) as fast:
+                slow._send(
+                    "sweep",
+                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
+                     "strategy": "serial"},
+                    None,
+                )
+                with pytest.raises(OverloadedError) as exc_info:
+                    for _ in range(8):
+                        fast.predict("EP")
+                assert exc_info.value.retry_after_ms > 0
+
+
+class TestDeadlines:
+    def test_expired_deadline_fails_instead_of_serving_late(self):
+        config = ServeConfig(
+            max_linger_ms=0.0, session={"seed": 11, "use_cache": False},
+        )
+        with BackgroundServer(config) as bg:
+            with ServeClient(bg.host, bg.port) as slow, \
+                    ServeClient(bg.host, bg.port) as fast:
+                slow._send(
+                    "sweep",
+                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
+                     "strategy": "serial"},
+                    None,
+                )
+                # Queued behind the sweep with a 1ms deadline: must fail.
+                with pytest.raises(DeadlineExceededError):
+                    fast.predict("EP", deadline_ms=1.0)
+
+
+class TestGracefulDrain:
+    def test_admitted_work_finishes_during_drain(self):
+        config = ServeConfig(max_linger_ms=0.0,
+                             session={"seed": 11, "use_cache": False})
+        bg = BackgroundServer(config).start()
+        outcome = {}
+
+        def request_sweep():
+            with ServeClient(bg.host, bg.port) as c:
+                outcome["summary"] = c.sweep(
+                    workloads=["EP", "CG"], levels=[1, 4], strategy="serial"
+                )
+
+        worker = threading.Thread(target=request_sweep)
+        try:
+            worker.start()
+            import time
+            time.sleep(0.2)          # let the sweep be admitted
+            bg.stop()                # graceful drain blocks until done
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            assert set(outcome["summary"]["workloads"]) == {"EP", "CG"}
+        finally:
+            bg.stop()
+
+    def test_listener_closed_after_stop(self):
+        bg = BackgroundServer(ServeConfig()).start()
+        host, port = bg.host, bg.port
+        bg.stop()
+        with pytest.raises(OSError):
+            ServeClient(host, port, timeout_s=2.0)

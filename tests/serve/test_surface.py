@@ -1,0 +1,52 @@
+"""Boundary tests: the service speaks to the model only via repro.api.
+
+The handlers module is the single bridge between the serving layer and
+the reproduction; an import creeping past the facade would silently
+couple the service to internals the facade is meant to insulate it
+from.  This test parses the module and pins the rule.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+import repro.serve.handlers as handlers
+
+#: Non-repro modules the handlers may use freely.
+_STDLIB_OK = {"__future__", "typing"}
+
+
+def _imported_modules(path: Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            yield node.module or ""
+
+
+class TestHandlerImportSurface:
+    def test_handlers_import_only_repro_api(self):
+        source = Path(handlers.__file__)
+        for module in _imported_modules(source):
+            root = module.split(".")[0]
+            if root == "repro":
+                assert module == "repro.api", (
+                    f"handlers.py imports {module!r}; the service may only "
+                    f"touch the model through the repro.api facade"
+                )
+            else:
+                assert root in _STDLIB_OK or root in sys.stdlib_module_names, (
+                    f"handlers.py imports non-stdlib module {module!r}"
+                )
+
+    def test_protocol_module_is_dependency_free(self):
+        import repro.serve.protocol as protocol
+
+        source = Path(protocol.__file__)
+        for module in _imported_modules(source):
+            root = module.split(".")[0]
+            assert root in _STDLIB_OK or root in sys.stdlib_module_names, (
+                f"protocol.py must stay stdlib-only, imports {module!r}"
+            )

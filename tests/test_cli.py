@@ -91,9 +91,36 @@ class TestTelemetry:
         assert main(["stats", str(tmp_path)]) == 0
         assert f"telemetry: {trace}" in capsys.readouterr().out
 
-    def test_stats_without_trace_errors(self, capsys, tmp_path):
-        assert main(["stats", str(tmp_path / "empty")]) == 1
-        assert "no telemetry" in capsys.readouterr().err
+    def test_stats_without_trace_exits_clean(self, capsys, tmp_path):
+        # No telemetry recorded yet is a normal state: exit 0, clear message.
+        assert main(["stats", str(tmp_path / "empty")]) == 0
+        assert "no telemetry" in capsys.readouterr().out
+
+    def test_stats_missing_default_dir_exits_clean(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "absent"))
+        assert main(["stats"]) == 0
+        assert "no telemetry" in capsys.readouterr().out
+
+    def test_stats_empty_file_exits_clean(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        assert main(["stats", str(trace)]) == 0
+        assert "no telemetry events" in capsys.readouterr().out
+
+    def test_stats_truncated_records_exit_clean(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            '{"type": "meta", "schema": 1}\n'
+            '{"type": "counter", "name": "runner.runs", "value": 3}\n'
+            '{"type": "counter", "name": "no.value"}\n'       # field lost
+            '{"type": "gauge", "name": "g", "value": "junk"}\n'
+            '{"type": "span", "name": "run", "path": "run", "duration_s": nul'
+        )
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "runner.runs" in out
+        assert "no.value" not in out
 
 
 class TestExperiment:

@@ -12,19 +12,19 @@ within a band does not churn the suite.
 
 import pytest
 
-from repro.experiments.systems import nehalem_runs, p7_runs
+from repro.experiments.runner import run_catalog
 from repro.core.metric import smtsm_from_run
 from repro.sim.results import speedup
 
 
 @pytest.fixture(scope="module")
 def p7(p7_catalog_runs=None):
-    return p7_runs(seed=11)
+    return run_catalog("p7", seed=11)
 
 
 @pytest.fixture(scope="module")
 def nh():
-    return nehalem_runs(seed=11)
+    return run_catalog("nehalem", seed=11)
 
 
 def s41(runs, name):
