@@ -25,7 +25,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
 #: Modules whose ``__all__`` constitutes the documented public surface.
-PUBLIC_MODULES = ("repro", "repro.api", "repro.serve", "repro.obs", "repro.faults")
+PUBLIC_MODULES = (
+    "repro",
+    "repro.api",
+    "repro.serve",
+    "repro.obs",
+    "repro.faults",
+    "repro.check",
+)
 
 
 def public_symbols(module_name: str) -> List[str]:

@@ -1,0 +1,382 @@
+"""Seeded protocol fuzzer for the prediction service.
+
+Hammers a live :class:`~repro.serve.server.BackgroundServer` with a
+deterministic stream of malformed NDJSON frames — binary garbage,
+truncated JSON, schema violations, oversized lines, pipelined bursts,
+mid-request disconnects — interleaved with valid requests, and holds
+the server to three promises:
+
+1. **every response is typed** — a JSON object with ``ok`` and either a
+   ``result`` or an ``error`` whose ``code`` is one of the documented
+   codes; never a stack trace, never a half-written line;
+2. **nothing leaks** — at quiescence (after graceful stop) the
+   ``serve.admitted`` and ``serve.settled`` telemetry counters agree,
+   so every admitted request was settled by exactly one delivery;
+3. **nothing crashes** — the event loop logged zero unhandled task
+   exceptions (captured straight off the ``asyncio`` logger), and the
+   server still answers a ping after the barrage.
+
+Everything is driven by one ``random.Random(seed)``: a failing case
+reproduces from ``(seed, cases)`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.report import PillarReport, Violation
+from repro.obs import configure, get_tracer
+from repro.serve.protocol import (
+    ERR_CANCELLED,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_INVALID,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+)
+from repro.serve.server import BackgroundServer, ServeConfig
+
+DEFAULT_CASES = 2000
+DEFAULT_SEED = 1207
+
+#: The documented error vocabulary; anything else is untyped.
+KNOWN_ERROR_CODES = frozenset({
+    ERR_INVALID, ERR_OVERLOADED, ERR_DEADLINE,
+    ERR_SHUTTING_DOWN, ERR_CANCELLED, ERR_INTERNAL,
+})
+
+#: A complete, valid POWER7 counter reading for ``score`` requests
+#: (simulation-free on the server, so the fuzzer can send them freely).
+_SCORE_EVENTS = {
+    "CYCLES": 1.0e9, "INSTRUCTIONS": 8.0e8, "DISP_HELD_RES": 2.0e8,
+    "LD_CMPL": 2.0e8, "ST_CMPL": 1.0e8, "BR_CMPL": 8.0e7,
+    "FX_CMPL": 3.0e8, "VS_CMPL": 1.2e8,
+}
+
+_PREDICT_WORKLOADS = ("EP", "SSCA2")
+
+
+# -- frame generators ----------------------------------------------------
+#
+# Each generator takes (rng, frame_id) and returns the wire bytes for
+# one frame.  "terminal" categories end the connection (the server
+# cannot resync after them, or the frame deliberately has no newline).
+
+def _valid_ping(rng: random.Random, fid: str) -> bytes:
+    return (json.dumps({"id": fid, "op": "ping"}) + "\n").encode()
+
+
+def _valid_score(rng: random.Random, fid: str) -> bytes:
+    return (json.dumps({
+        "id": fid, "op": "score",
+        "params": {
+            "arch": "p7", "events": _SCORE_EVENTS, "smt_level": 4,
+            "wall_time_s": 2.0, "avg_thread_cpu_s": 1.6,
+            "n_software_threads": 8,
+        },
+    }) + "\n").encode()
+
+
+def _valid_predict(rng: random.Random, fid: str) -> bytes:
+    return (json.dumps({
+        "id": fid, "op": "predict", "deadline_ms": 60_000,
+        "params": {"workload": rng.choice(_PREDICT_WORKLOADS), "arch": "p7"},
+    }) + "\n").encode()
+
+
+def _garbage(rng: random.Random, fid: str) -> bytes:
+    n = rng.randint(1, 80)
+    data = bytes(rng.randrange(256) for _ in range(n))
+    return data.replace(b"\n", b"?") + b"\n"
+
+
+def _truncated_json(rng: random.Random, fid: str) -> bytes:
+    whole = json.dumps({"id": fid, "op": "ping", "params": {"x": [1, 2, 3]}})
+    cut = rng.randint(1, len(whole) - 1)
+    return (whole[:cut] + "\n").encode()
+
+
+def _bad_schema(rng: random.Random, fid: str) -> bytes:
+    variants: List[Any] = [
+        {"op": "ping"},                                  # missing id
+        {"id": 123, "op": "ping"},                       # id wrong type
+        {"id": "", "op": "ping"},                        # empty id
+        {"id": fid, "op": "launch_missiles"},            # unknown op
+        {"id": fid},                                     # missing op
+        {"id": fid, "op": "ping", "params": [1, 2]},     # params wrong type
+        {"id": fid, "op": "ping", "params": "nope"},
+        {"id": fid, "op": "ping", "deadline_ms": "soon"},
+        {"id": fid, "op": "ping", "deadline_ms": -5},
+        {"id": fid, "op": "predict", "params": {}},      # missing workload
+        {"id": fid, "op": "predict",
+         "params": {"workload": "no_such_workload"}},
+        {"id": fid, "op": "predict", "params": {"workload": "EP",
+                                                "arch": "vax11"}},
+        {"id": fid, "op": "score", "params": {"events": "not-a-dict"}},
+        {"id": fid, "op": "score", "params": {"events": {}}},
+        {"id": fid, "op": "sweep", "params": {"strategy": "teleport"}},
+        {"id": fid, "op": "sweep", "params": {"workloads": "EP"}},
+        42, "hello", [1, 2, 3], None, True,              # non-object frames
+    ]
+    return (json.dumps(rng.choice(variants)) + "\n").encode()
+
+
+def _whitespace(rng: random.Random, fid: str) -> bytes:
+    return rng.choice((b"\n", b"   \n", b"\t\n"))
+
+
+def _oversized(rng: random.Random, fid: str) -> bytes:
+    # asyncio's StreamReader line limit is 64 KiB; blow well past it.
+    pad = "a" * 140_000
+    return (json.dumps({"id": fid, "op": "ping", "pad": pad}) + "\n").encode()
+
+
+def _partial_frame(rng: random.Random, fid: str) -> bytes:
+    # No trailing newline: the half-close flushes it as a final,
+    # incomplete line — the wire image of a mid-request disconnect.
+    return json.dumps({"id": fid, "op": "ping"}).encode()[:-rng.randint(2, 10)]
+
+
+#: (name, generator, terminal, weight)
+_CATEGORIES: Tuple[Tuple[str, Callable, bool, int], ...] = (
+    ("ping", _valid_ping, False, 20),
+    ("score", _valid_score, False, 15),
+    ("predict", _valid_predict, False, 1),
+    ("garbage", _garbage, False, 15),
+    ("truncated_json", _truncated_json, False, 10),
+    ("bad_schema", _bad_schema, False, 22),
+    ("whitespace", _whitespace, False, 5),
+    ("oversized_line", _oversized, True, 5),
+    ("partial_frame", _partial_frame, True, 7),
+)
+
+
+# -- response validation -------------------------------------------------
+
+def _response_problems(lines: List[bytes]) -> List[str]:
+    """Why each response line violates the typed-response contract."""
+    problems: List[str] = []
+    for line in lines:
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            problems.append(f"unparseable response line: {line[:120]!r}")
+            continue
+        if not isinstance(obj, dict) or not isinstance(obj.get("ok"), bool):
+            problems.append(f"response is not a typed envelope: {obj!r}")
+        elif obj["ok"]:
+            if "result" not in obj:
+                problems.append(f"ok response without result: {obj!r}")
+        else:
+            error = obj.get("error")
+            if (not isinstance(error, dict)
+                    or error.get("code") not in KNOWN_ERROR_CODES
+                    or not isinstance(error.get("message"), str)):
+                problems.append(f"untyped error response: {obj!r}")
+    return problems
+
+
+class _AsyncioErrorCapture(logging.Handler):
+    """Collects ERROR records off the ``asyncio`` logger — the channel
+    the event loop uses for unhandled task exceptions."""
+
+    def __init__(self):
+        super().__init__(level=logging.ERROR)
+        self.records: List[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.records.append(self.format(record))
+        except Exception:  # pragma: no cover - formatting must not throw
+            self.records.append(record.getMessage())
+
+
+# -- one connection ------------------------------------------------------
+
+def _run_connection(
+    host: str, port: int, frames: List[bytes], *,
+    abort: bool, timeout_s: float,
+) -> Tuple[List[bytes], bool]:
+    """Send ``frames``, half-close, read to EOF.
+
+    Returns ``(response_lines, clean_eof)``.  ``abort=True`` skips the
+    read and slams the connection shut — the abandoned-work path.
+    """
+    responses: List[bytes] = []
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.settimeout(timeout_s)
+        try:
+            for data in frames:
+                sock.sendall(data)
+        except (ConnectionError, OSError):
+            pass                 # server already dropped us; read what's left
+        if abort:
+            return responses, True
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        buf = b""
+        clean_eof = False
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                break
+            except (ConnectionError, OSError):
+                clean_eof = True     # reset counts as closed, not hung
+                break
+            if not chunk:
+                clean_eof = True
+                break
+            buf += chunk
+    responses = [line for line in buf.split(b"\n") if line.strip()]
+    return responses, clean_eof
+
+
+# -- the pillar ----------------------------------------------------------
+
+def run_fuzz_checks(
+    *,
+    cases: int = DEFAULT_CASES,
+    seed: int = DEFAULT_SEED,
+    config: Optional[ServeConfig] = None,
+    timeout_s: float = 60.0,
+    max_reported: int = 20,
+) -> PillarReport:
+    """Fuzz a live server with ``cases`` frames; see the module docstring
+    for the three promises this enforces."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        # The leak check reads serve.* counters, so telemetry must be on
+        # (in-process only: no sink is installed).
+        tracer = configure(enabled=True)
+    if config is None:
+        config = ServeConfig(
+            queue_size=64,
+            session={"threshold": 0.07, "use_cache": False},
+        )
+    rng = random.Random(seed)
+    capture = _AsyncioErrorCapture()
+    asyncio_logger = logging.getLogger("asyncio")
+    before = tracer.counters()
+    violations: List[Violation] = []
+    category_counts: Dict[str, int] = {}
+    sent = 0
+    connections = 0
+    responses_seen = 0
+    response_problem_count = 0
+    ping_ok = False
+    ping_error: Optional[str] = None
+
+    asyncio_logger.addHandler(capture)
+    try:
+        with BackgroundServer(config) as bg, \
+                tracer.span("check.fuzz", cases=cases, seed=seed):
+            host, port = bg.host, bg.port
+            while sent < cases:
+                connections += 1
+                abort = rng.random() < 0.10
+                n_frames = min(rng.randint(1, 6), cases - sent)
+                frames: List[bytes] = []
+                labels: List[str] = []
+                for i in range(n_frames):
+                    name, build, terminal, _w = rng.choices(
+                        _CATEGORIES, weights=[c[3] for c in _CATEGORIES]
+                    )[0]
+                    frames.append(build(rng, f"f{sent + i}"))
+                    labels.append(name)
+                    category_counts[name] = category_counts.get(name, 0) + 1
+                    if terminal:
+                        break            # the server drops the connection
+                sent += len(frames)
+                responses, clean_eof = _run_connection(
+                    host, port, frames, abort=abort, timeout_s=timeout_s,
+                )
+                if abort:
+                    continue
+                responses_seen += len(responses)
+                subject = f"conn{connections} [{' '.join(labels)}] seed={seed}"
+                problems = _response_problems(responses)
+                response_problem_count += len(problems)
+                if problems and len(violations) < max_reported:
+                    violations.append(Violation(
+                        pillar="fuzz", check="typed_responses",
+                        subject=subject,
+                        message=f"{len(problems)} untyped response(s)",
+                        details={"problems": problems[:5]},
+                    ))
+                if not clean_eof and len(violations) < max_reported:
+                    violations.append(Violation(
+                        pillar="fuzz", check="connection_hang",
+                        subject=subject,
+                        message=(f"connection did not reach EOF within "
+                                 f"{timeout_s:.0f}s of half-close"),
+                    ))
+
+            # Liveness: after the barrage the server must still answer.
+            from repro.serve.client import ServeClient
+
+            try:
+                with ServeClient(host, port, timeout_s=timeout_s) as client:
+                    ping_ok = client.ping()
+                if not ping_ok:
+                    ping_error = "ping returned false"
+            except Exception as exc:
+                ping_error = f"{type(exc).__name__}: {exc}"
+        # BackgroundServer has fully drained here; counters are settled.
+    finally:
+        asyncio_logger.removeHandler(capture)
+
+    after = tracer.counters()
+
+    def delta(name: str) -> float:
+        return after.get(name, 0.0) - before.get(name, 0.0)
+
+    admitted, settled = delta("serve.admitted"), delta("serve.settled")
+    if not ping_ok:
+        violations.append(Violation(
+            pillar="fuzz", check="liveness", subject=f"ping seed={seed}",
+            message=f"server stopped answering after the fuzz run: {ping_error}",
+        ))
+    if admitted != settled:
+        violations.append(Violation(
+            pillar="fuzz", check="no_leaked_requests",
+            subject=f"serve telemetry seed={seed}",
+            message=(f"{admitted:.0f} request(s) admitted but "
+                     f"{settled:.0f} settled — "
+                     f"{abs(admitted - settled):.0f} leaked"),
+            details={"admitted": admitted, "settled": settled},
+        ))
+    if capture.records:
+        violations.append(Violation(
+            pillar="fuzz", check="no_unhandled_exceptions",
+            subject=f"asyncio event loop seed={seed}",
+            message=(f"{len(capture.records)} unhandled exception(s) "
+                     "logged by the event loop"),
+            details={"records": capture.records[:10]},
+        ))
+
+    tracer.add("check.fuzz_cases", sent)
+    tracer.add("check.fuzz_violations", len(violations))
+    return PillarReport(
+        pillar="fuzz",
+        # frame validations + the three global promises
+        checks_run=sent + 3,
+        subjects=sent,
+        violations=tuple(violations),
+        stats={
+            "cases": sent, "connections": connections, "seed": seed,
+            "responses_seen": responses_seen,
+            "response_problems": response_problem_count,
+            "categories": dict(sorted(category_counts.items())),
+            "admitted": admitted, "settled": settled,
+            "unhandled_exceptions": len(capture.records),
+        },
+    )

@@ -1,0 +1,317 @@
+"""Tolerance-aware golden snapshots of the paper's headline figures.
+
+Each golden file under ``tests/goldens/`` pins the summary statistics
+of one figure (fig06–fig17) at the default seed: scatter points,
+fitted thresholds, success rates, mix ladders, threshold curves.  The
+files are *content-addressed*: they embed a fingerprint of the model
+constants and architecture descriptions that produced them, so drift
+reports can tell "the simulator's answer changed" apart from "the
+golden was produced by a different model version" (the latter calls
+for ``repro check --update-goldens``, the former for a bug hunt).
+
+Float comparisons use :data:`REL_TOL`/:data:`ABS_TOL` — loose enough
+for cross-platform libm/BLAS drift, tight enough that any semantic
+change in the solvers trips the diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.check.report import PillarReport, Violation
+from repro.obs import get_tracer
+
+#: Cross-platform float drift allowance for golden comparisons.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+#: Environment override for the golden directory.
+ENV_GOLDENS_DIR = "REPRO_GOLDENS_DIR"
+
+DEFAULT_SEED = 11
+
+
+def goldens_dir() -> Path:
+    """``tests/goldens/`` at the repository root (or the env override)."""
+    override = os.environ.get(ENV_GOLDENS_DIR)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+def model_fingerprint() -> str:
+    """Short hash of the model constants + per-figure architectures."""
+    from repro.arch import get_architecture
+    from repro.sim.runcache import _arch_fp_json, _constants_fp_json
+
+    digest = hashlib.sha256()
+    digest.update(_constants_fp_json().encode())
+    for arch_name in ("power7", "nehalem"):
+        digest.update(b"\x00")
+        digest.update(_arch_fp_json(get_architecture(arch_name)).encode())
+    return digest.hexdigest()[:16]
+
+
+# -- figure summaries ----------------------------------------------------
+
+def _scatter_summary(result) -> Dict[str, Any]:
+    fitted = result.success()
+    return {
+        "system": result.system_name,
+        "measure_level": result.measure_level,
+        "high_level": result.high_level,
+        "low_level": result.low_level,
+        "points": {
+            p.name: {"metric": p.metric, "speedup": p.speedup}
+            for p in result.points
+        },
+        "skipped": sorted(result.skipped),
+        "fitted_threshold": fitted.threshold,
+        "n_correct": fitted.n_correct,
+        "n_total": fitted.n_total,
+        "misses": sorted(fitted.misses),
+    }
+
+
+def _mix_ladder_summary(result) -> Dict[str, Any]:
+    return {
+        "speedups": dict(result.speedups),
+        "deviations": dict(result.deviations),
+        "ideal": {klass.name: frac for klass, frac in result.ideal.items()},
+        "mixes": {
+            name: {klass.name: frac for klass, frac in mix.items()}
+            for name, mix in result.mixes.items()
+        },
+    }
+
+
+def _gini_summary(result) -> Dict[str, Any]:
+    return {
+        "best_range": list(result.best_range),
+        "min_impurity": result.min_impurity,
+        "curve_points": len(result.curve),
+    }
+
+
+def _ppi_summary(result) -> Dict[str, Any]:
+    return {
+        "best_threshold": result.best_threshold,
+        "best_improvement_pct": result.best_improvement_pct,
+        "plateau": list(result.plateau),
+        "curve_points": len(result.curve),
+    }
+
+
+#: figure name -> (catalog key, module name, summarizer).  Figures
+#: sharing a catalog key reuse one ``run_catalog`` sweep.
+_FIGURES: Dict[str, Tuple[str, str, Callable[[Any], Dict[str, Any]]]] = {
+    "fig06": ("p7", "fig06_smt4v1_at4", _scatter_summary),
+    "fig07": ("p7", "fig07_instruction_mix", _mix_ladder_summary),
+    "fig08": ("p7", "fig08_smt4v2_at4", _scatter_summary),
+    "fig09": ("p7", "fig09_smt2v1_at2", _scatter_summary),
+    "fig10": ("nehalem", "fig10_nehalem", _scatter_summary),
+    "fig11": ("p7", "fig11_at_smt1_p7", _scatter_summary),
+    "fig12": ("nehalem", "fig12_at_smt1_nehalem", _scatter_summary),
+    "fig13": ("p7x2", "fig13_two_chip_41", _scatter_summary),
+    "fig14": ("p7x2", "fig14_two_chip_42", _scatter_summary),
+    "fig15": ("p7x2", "fig15_two_chip_21", _scatter_summary),
+    "fig16": ("p7", "fig16_gini", _gini_summary),
+    "fig17": ("p7", "fig17_ppi", _ppi_summary),
+}
+
+
+def figure_names() -> Tuple[str, ...]:
+    return tuple(_FIGURES)
+
+
+def compute_summaries(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Dict[str, Any]]:
+    """Produce every requested figure's summary (catalogs shared)."""
+    import importlib
+
+    from repro.experiments.runner import run_catalog
+
+    selected = list(figures) if figures is not None else list(_FIGURES)
+    unknown = [f for f in selected if f not in _FIGURES]
+    if unknown:
+        raise ValueError(
+            f"unknown figures {unknown}; known: {sorted(_FIGURES)}"
+        )
+    catalogs: Dict[str, Any] = {}
+    summaries: Dict[str, Dict[str, Any]] = {}
+    with get_tracer().span("check.golden_summaries", figures=len(selected)):
+        for name in selected:
+            catalog_key, module_name, summarize = _FIGURES[name]
+            if catalog_key not in catalogs:
+                catalogs[catalog_key] = run_catalog(catalog_key, seed=seed)
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}"
+            )
+            summaries[name] = summarize(
+                module.run(seed=seed, runs=catalogs[catalog_key])
+            )
+    return summaries
+
+
+# -- persistence ---------------------------------------------------------
+
+def golden_path(figure: str, directory: Optional[Path] = None) -> Path:
+    return (directory or goldens_dir()) / f"{figure}.json"
+
+
+def write_golden(figure: str, summary: Mapping[str, Any], *,
+                 seed: int = DEFAULT_SEED,
+                 directory: Optional[Path] = None) -> Path:
+    path = golden_path(figure, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure": figure,
+        "seed": seed,
+        "fingerprint": model_fingerprint(),
+        "summary": summary,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def update_goldens(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+    directory: Optional[Path] = None,
+) -> List[Path]:
+    """Recompute and rewrite golden files; returns the paths written."""
+    summaries = compute_summaries(figures, seed=seed)
+    return [
+        write_golden(figure, summary, seed=seed, directory=directory)
+        for figure, summary in summaries.items()
+    ]
+
+
+def load_golden(figure: str,
+                directory: Optional[Path] = None) -> Optional[Dict[str, Any]]:
+    path = golden_path(figure, directory)
+    try:
+        return json.loads(path.read_text())
+    except OSError:
+        return None
+
+
+# -- comparison ----------------------------------------------------------
+
+def diff_values(golden: Any, got: Any, *, rel_tol: float = REL_TOL,
+                abs_tol: float = ABS_TOL, path: str = "") -> List[str]:
+    """Human-readable paths where ``got`` drifts from ``golden``."""
+    label = path or "<root>"
+    if isinstance(golden, bool) or isinstance(got, bool):
+        # bool is an int subclass; compare exactly and before numbers.
+        # A bool on one side only is a type change (True == 1.0 in
+        # Python, but not in a JSON snapshot), so flag that too.
+        if golden != got or isinstance(golden, bool) != isinstance(got, bool):
+            return [f"{label}: golden {golden!r} != got {got!r}"]
+        return []
+    if isinstance(golden, (int, float)) and isinstance(got, (int, float)):
+        scale = max(abs(golden), abs(got))
+        err = abs(golden - got)
+        if err > abs_tol and (scale == 0 or err / scale > rel_tol):
+            return [
+                f"{label}: golden {golden!r} vs got {got!r} "
+                f"(rel {err / scale if scale else float('inf'):.3e})"
+            ]
+        return []
+    if isinstance(golden, Mapping) and isinstance(got, Mapping):
+        problems: List[str] = []
+        for key in sorted(set(golden) - set(got)):
+            problems.append(f"{label}.{key}: missing from result")
+        for key in sorted(set(got) - set(golden)):
+            problems.append(f"{label}.{key}: not in golden")
+        for key in sorted(set(golden) & set(got)):
+            problems.extend(diff_values(
+                golden[key], got[key], rel_tol=rel_tol, abs_tol=abs_tol,
+                path=f"{path}.{key}" if path else str(key),
+            ))
+        return problems
+    if isinstance(golden, (list, tuple)) and isinstance(got, (list, tuple)):
+        if len(golden) != len(got):
+            return [f"{label}: length {len(golden)} != {len(got)}"]
+        problems = []
+        for i, (a, b) in enumerate(zip(golden, got)):
+            problems.extend(diff_values(
+                a, b, rel_tol=rel_tol, abs_tol=abs_tol, path=f"{label}[{i}]"
+            ))
+        return problems
+    if golden != got:
+        return [f"{label}: golden {golden!r} != got {got!r}"]
+    return []
+
+
+def run_golden_checks(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+    directory: Optional[Path] = None,
+    rel_tol: float = REL_TOL,
+    abs_tol: float = ABS_TOL,
+) -> PillarReport:
+    """Compare freshly computed figure summaries to the stored goldens."""
+    selected = list(figures) if figures is not None else list(_FIGURES)
+    summaries = compute_summaries(selected, seed=seed)
+    fingerprint = model_fingerprint()
+    violations: List[Violation] = []
+    checks_run = 0
+    for figure in selected:
+        checks_run += 1
+        golden = load_golden(figure, directory)
+        if golden is None:
+            violations.append(Violation(
+                pillar="goldens", check="golden_present", subject=figure,
+                message=(f"no golden stored at {golden_path(figure, directory)}"
+                         "; run `repro check --update-goldens`"),
+            ))
+            continue
+        stale = golden.get("fingerprint") != fingerprint
+        problems = diff_values(golden.get("summary"), summaries[figure],
+                               rel_tol=rel_tol, abs_tol=abs_tol)
+        if problems:
+            hint = (
+                "model fingerprint changed since the golden was written — "
+                "if the change is intentional, refresh with "
+                "`repro check --update-goldens`"
+                if stale else
+                "model fingerprint matches the golden: this is a semantic "
+                "drift in the simulator, not a stale snapshot"
+            )
+            violations.append(Violation(
+                pillar="goldens", check="golden_match", subject=figure,
+                message=(f"{len(problems)} field(s) drifted from the golden; "
+                         f"{hint}"),
+                details={"diffs": problems[:20],
+                         "n_diffs": len(problems),
+                         "golden_fingerprint": golden.get("fingerprint"),
+                         "current_fingerprint": fingerprint},
+            ))
+        elif stale:
+            violations.append(Violation(
+                pillar="goldens", check="golden_fingerprint", subject=figure,
+                message=("summary still matches but the golden was produced "
+                         "by a different model fingerprint; refresh with "
+                         "`repro check --update-goldens`"),
+                details={"golden_fingerprint": golden.get("fingerprint"),
+                         "current_fingerprint": fingerprint},
+            ))
+    get_tracer().add("check.golden_violations", len(violations))
+    return PillarReport(
+        pillar="goldens",
+        checks_run=checks_run,
+        subjects=len(selected),
+        violations=tuple(violations),
+        stats={"fingerprint": fingerprint, "figures": selected,
+               "rel_tol": rel_tol},
+    )

@@ -1,0 +1,424 @@
+"""Simulator physics invariants — the machine-checkable model laws.
+
+Every law the analytic model is supposed to obey, written as an
+executable assertion over the artifacts a sweep produces.  Two scopes:
+
+* ``run`` invariants hold for any :class:`~repro.sim.results.RunResult`
+  (time accounting, counter consistency, metric sanity).  Counters are
+  jittered independently at ``noise_rel`` (default 1%), so cross-counter
+  laws get a statistical slack of ``NOISE_SIGMA * noise_rel`` while
+  exact identities (wall = serial + parallel, which jitter scales by a
+  common factor) are held to ``EXACT_TOL``.
+* ``chip`` invariants hold for a fresh noise-free
+  :class:`~repro.sim.chip.ChipSolution` (port utilization, structural
+  throttles, cache-miss hierarchy) — quantities a ``RunResult`` does
+  not retain, so the pillar re-solves a sample of scenarios.
+
+The registry is open: tests (and future subsystems) register extra
+invariants with the :func:`invariant` decorator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.check.report import PillarReport, Violation
+from repro.core.metric import smtsm, smtsm_from_run
+from repro.experiments.runner import CatalogRuns
+from repro.obs import get_tracer
+from repro.sim.chip import ChipSolution, solve_chip
+from repro.sim.engine import MAX_SPIN
+from repro.sim.fast_core import effective_smt_mode
+from repro.sim.memory import MAX_LATENCY_MULT
+from repro.sim.results import RunResult
+from repro.simos.scheduler import place_threads
+
+#: Tolerance for identities that hold to floating-point round-off.
+EXACT_TOL = 1e-9
+#: Cross-counter laws compare *independently* jittered counters; an
+#: 8-sigma band keeps the false-positive rate negligible over a full
+#: catalog while still catching any systematic violation.
+NOISE_SIGMA = 8.0
+
+#: One reported problem: (message, details).
+Problem = Tuple[str, Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class InvariantContext:
+    """Shared facts an invariant may need beyond its subject."""
+
+    noise_rel: float = 0.01
+
+    @property
+    def noise_slack(self) -> float:
+        return max(EXACT_TOL, NOISE_SIGMA * self.noise_rel)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    name: str
+    scope: str                     # "run" | "chip"
+    description: str
+    fn: Callable[..., Iterable[Problem]]
+
+
+#: name -> Invariant, in registration order.
+REGISTRY: Dict[str, Invariant] = {}
+
+
+def invariant(name: str, scope: str, description: str):
+    """Register a model law.  The wrapped function receives
+    ``(subject, ctx)`` and yields ``(message, details)`` problems."""
+    if scope not in ("run", "chip"):
+        raise ValueError(f"unknown invariant scope {scope!r}")
+
+    def register(fn):
+        if name in REGISTRY:
+            raise ValueError(f"duplicate invariant name {name!r}")
+        REGISTRY[name] = Invariant(name=name, scope=scope,
+                                   description=description, fn=fn)
+        return fn
+
+    return register
+
+
+def invariants_for(scope: str) -> List[Invariant]:
+    return [inv for inv in REGISTRY.values() if inv.scope == scope]
+
+
+# -- run-scope laws ------------------------------------------------------
+
+@invariant("times_additive", "run",
+           "wall time decomposes exactly into serial + parallel phases")
+def _times_additive(result: RunResult, ctx: InvariantContext):
+    times = result.times
+    residual = abs(times.wall_time_s
+                   - (times.serial_time_s + times.parallel_time_s))
+    if residual > EXACT_TOL * times.wall_time_s:
+        yield (
+            "wall != serial + parallel beyond round-off",
+            {"wall_s": times.wall_time_s, "serial_s": times.serial_time_s,
+             "parallel_s": times.parallel_time_s,
+             "rel_residual": residual / times.wall_time_s},
+        )
+
+
+@invariant("cpu_budget", "run",
+           "total CPU time fits in wall x threads; wall >= avg thread time")
+def _cpu_budget(result: RunResult, ctx: InvariantContext):
+    times = result.times
+    budget = times.wall_time_s * times.n_threads
+    if times.total_cpu_s > budget * (1 + EXACT_TOL):
+        yield (
+            "total CPU time exceeds the wall x threads budget",
+            {"total_cpu_s": times.total_cpu_s, "budget_s": budget},
+        )
+    if times.wall_time_s < times.avg_thread_cpu_s * (1 - EXACT_TOL):
+        yield (
+            "wall time below average per-thread CPU time",
+            {"wall_s": times.wall_time_s,
+             "avg_thread_cpu_s": times.avg_thread_cpu_s},
+        )
+
+
+@invariant("fractions_in_range", "run",
+           "spin/blocked/dispatch-held/memory quantities stay in their domains")
+def _fractions_in_range(result: RunResult, ctx: InvariantContext):
+    bounds = {
+        "spin_fraction": (result.spin_fraction, 0.0, MAX_SPIN),
+        "blocked_fraction": (result.blocked_fraction, 0.0, 1.0),
+        "dispatch_held_fraction": (result.dispatch_held_fraction, 0.0, 1.0),
+        "mem_utilization": (result.mem_utilization, 0.0, 1.0),
+        "mem_latency_mult": (result.mem_latency_mult, 1.0, MAX_LATENCY_MULT),
+    }
+    for name, (value, lo, hi) in bounds.items():
+        if not (lo - EXACT_TOL <= value <= hi + EXACT_TOL):
+            yield (
+                f"{name} out of [{lo}, {hi}]",
+                {name: value, "lo": lo, "hi": hi},
+            )
+
+
+@invariant("counters_nonnegative", "run",
+           "no hardware counter goes negative")
+def _counters_nonnegative(result: RunResult, ctx: InvariantContext):
+    for event, count in result.events.items():
+        if count < 0:
+            yield (f"counter {event} is negative", {event: count})
+
+
+@invariant("miss_hierarchy", "run",
+           "cache misses shrink down the hierarchy (L1 >= L2 >= L3)")
+def _miss_hierarchy(result: RunResult, ctx: InvariantContext):
+    slack = 1 + ctx.noise_slack
+    l1 = result.events.get("L1_DMISS")
+    l2 = result.events.get("L2_MISS")
+    l3 = result.events.get("L3_MISS")
+    if None in (l1, l2, l3):
+        return
+    if l2 > l1 * slack or l3 > l2 * slack:
+        yield (
+            "miss counts grow down the cache hierarchy",
+            {"L1_DMISS": l1, "L2_MISS": l2, "L3_MISS": l3,
+             "noise_slack": ctx.noise_slack},
+        )
+
+
+@invariant("class_counts_sum", "run",
+           "per-class completion counters sum to INSTRUCTIONS (mod noise)")
+def _class_counts_sum(result: RunResult, ctx: InvariantContext):
+    from repro.counters.events import CLASS_COUNT_EVENTS
+
+    instructions = result.events.get("INSTRUCTIONS")
+    if not instructions:
+        return
+    total = sum(result.events.get(event, 0.0) for event in CLASS_COUNT_EVENTS)
+    rel = abs(total - instructions) / instructions
+    if rel > ctx.noise_slack:
+        yield (
+            "class-count sum drifts from INSTRUCTIONS beyond noise",
+            {"class_sum": total, "instructions": instructions,
+             "rel_error": rel, "noise_slack": ctx.noise_slack},
+        )
+
+
+@invariant("dispatch_held_counter", "run",
+           "DISP_HELD_RES cannot exceed CYCLES (mod noise)")
+def _dispatch_held_counter(result: RunResult, ctx: InvariantContext):
+    cycles = result.events.get("CYCLES")
+    held = result.events.get("DISP_HELD_RES")
+    if not cycles or held is None:
+        return
+    if held > cycles * (1 + ctx.noise_slack):
+        yield (
+            "dispatch-held cycles exceed total cycles",
+            {"DISP_HELD_RES": held, "CYCLES": cycles,
+             "noise_slack": ctx.noise_slack},
+        )
+
+
+@invariant("throughput_conservation", "run",
+           "useful throughput never exceeds the executed instruction rate")
+def _throughput_conservation(result: RunResult, ctx: InvariantContext):
+    executed_rate = result.aggregate_ipc * result.arch.cycles_per_second()
+    if result.performance > executed_rate * (1 + ctx.noise_slack):
+        yield (
+            "useful instructions/s exceed the executed instruction rate",
+            {"performance": result.performance,
+             "executed_rate": executed_rate,
+             "noise_slack": ctx.noise_slack},
+        )
+
+
+@invariant("smtsm_well_formed", "run",
+           "the SMTsm evaluates with factors in their domains")
+def _smtsm_well_formed(result: RunResult, ctx: InvariantContext):
+    metric = smtsm_from_run(result)
+    if not (0.0 <= metric.dispatch_held <= 1.0 + EXACT_TOL):
+        yield ("SMTsm dispatch-held factor out of [0, 1]",
+               {"dispatch_held": metric.dispatch_held})
+    if metric.scalability_ratio < 1.0 - EXACT_TOL:
+        yield ("SMTsm scalability ratio below 1 (CPU time beyond wall)",
+               {"scalability_ratio": metric.scalability_ratio})
+    product = (metric.mix_deviation * metric.dispatch_held
+               * metric.scalability_ratio)
+    if abs(metric.value - product) > EXACT_TOL * max(product, 1.0):
+        yield ("SMTsm value is not the product of its factors",
+               {"value": metric.value, "factor_product": product})
+
+
+@invariant("smtsm_monotone_in_dispheld", "run",
+           "at fixed mix and times, SMTsm grows with the dispatch-held counter")
+def _smtsm_monotone(result: RunResult, ctx: InvariantContext):
+    sample = result.counter_sample()
+    held = sample.events.get("DISP_HELD_RES", 0.0)
+    if held <= 0:
+        return
+    values = [
+        smtsm(sample.with_events({"DISP_HELD_RES": held * factor})).value
+        for factor in (0.25, 0.5, 1.0)
+    ]
+    for lo, hi in zip(values, values[1:]):
+        if lo > hi * (1 + EXACT_TOL):
+            yield (
+                "SMTsm decreased when the dispatch-held counter grew",
+                {"values_at_0.25_0.5_1.0": tuple(values)},
+            )
+            return
+
+
+# -- chip-scope laws -----------------------------------------------------
+
+@invariant("port_utilization_bounded", "chip",
+           "every issue port runs at <= 100% of its capacity")
+def _port_utilization(solution: ChipSolution, ctx: InvariantContext):
+    for i, out in enumerate(solution.core_outputs):
+        util = np.asarray(out.port_utilization)
+        if (util < -EXACT_TOL).any() or (util > 1 + EXACT_TOL).any():
+            yield (
+                f"core {i} port utilization out of [0, 1]",
+                {"min": float(util.min()), "max": float(util.max())},
+            )
+
+
+@invariant("port_scale_bounded", "chip",
+           "the structural throttle lambda lies in (0, 1]")
+def _port_scale(solution: ChipSolution, ctx: InvariantContext):
+    for i, out in enumerate(solution.core_outputs):
+        if not (0.0 < out.port_scale <= 1.0 + EXACT_TOL):
+            yield (f"core {i} port_scale out of (0, 1]",
+                   {"port_scale": out.port_scale})
+
+
+@invariant("dispatch_width_respected", "chip",
+           "core IPC never exceeds the SMT mode's dispatch width")
+def _dispatch_width(solution: ChipSolution, ctx: InvariantContext,
+                    arch=None):
+    if arch is None:
+        return
+    for i, (occ, out) in enumerate(
+            zip(solution.core_occupancy, solution.core_outputs)):
+        mode = effective_smt_mode(arch, occ)
+        width = arch.partition.core_dispatch_width(mode)
+        if out.core_ipc > width * (1 + EXACT_TOL):
+            yield (
+                f"core {i} IPC exceeds SMT{mode} dispatch width",
+                {"core_ipc": out.core_ipc, "dispatch_width": width},
+            )
+
+
+@invariant("stall_fractions_bounded", "chip",
+           "stall fractions are in [0, 1] and long stalls are a subset")
+def _stall_fractions(solution: ChipSolution, ctx: InvariantContext):
+    for i, out in enumerate(solution.core_outputs):
+        stall = np.asarray(out.stall_fraction)
+        long_stall = np.asarray(out.long_stall_fraction)
+        if (stall < -EXACT_TOL).any() or (stall > 1 + EXACT_TOL).any():
+            yield (f"core {i} stall fraction out of [0, 1]",
+                   {"max": float(stall.max())})
+        if (long_stall > stall + EXACT_TOL).any():
+            yield (
+                f"core {i} long-stall fraction exceeds total stall fraction",
+                {"long_max": float(long_stall.max()),
+                 "stall_max": float(stall.max())},
+            )
+        if not (0.0 <= out.dispatch_held_fraction <= 1.0 + EXACT_TOL):
+            yield (f"core {i} dispatch-held fraction out of [0, 1]",
+                   {"dispatch_held_fraction": out.dispatch_held_fraction})
+
+
+@invariant("hit_rates_in_unit_interval", "chip",
+           "effective miss rates are nonnegative and monotone: every "
+           "level's hit rate lands in [0, 1]")
+def _hit_rates(solution: ChipSolution, ctx: InvariantContext):
+    for i, out in enumerate(solution.core_outputs):
+        for t, rates in enumerate(out.miss_rates):
+            ordered = (rates.l1_mpki >= rates.l2_mpki - EXACT_TOL
+                       and rates.l2_mpki >= rates.l3_mpki - EXACT_TOL
+                       and rates.l3_mpki >= -EXACT_TOL)
+            if not ordered:
+                yield (
+                    f"core {i} thread {t} effective miss rates not monotone",
+                    {"l1_mpki": rates.l1_mpki, "l2_mpki": rates.l2_mpki,
+                     "l3_mpki": rates.l3_mpki},
+                )
+
+
+@invariant("memory_state_bounded", "chip",
+           "memory latency multiplier and utilization stay in their domains")
+def _memory_state(solution: ChipSolution, ctx: InvariantContext):
+    if not (1.0 - EXACT_TOL <= solution.mem_latency_mult
+            <= MAX_LATENCY_MULT + EXACT_TOL):
+        yield ("memory latency multiplier out of [1, max]",
+               {"mem_latency_mult": solution.mem_latency_mult,
+                "max": MAX_LATENCY_MULT})
+    if not (0.0 <= solution.mem_utilization <= 1.0 + EXACT_TOL):
+        yield ("memory utilization out of [0, 1]",
+               {"mem_utilization": solution.mem_utilization})
+    if solution.traffic_gbps < -EXACT_TOL:
+        yield ("negative DRAM traffic", {"traffic_gbps": solution.traffic_gbps})
+
+
+# -- pillar runner -------------------------------------------------------
+
+def check_catalog_invariants(
+    catalog_runs: CatalogRuns,
+    *,
+    noise_rel: float = 0.01,
+    chip_samples: int = 4,
+) -> PillarReport:
+    """Evaluate every registered invariant over a catalog's runs.
+
+    Run-scope laws see every :class:`RunResult` in the catalog.
+    Chip-scope laws need solver internals a ``RunResult`` does not
+    retain (per-port utilization, throttle, effective miss rates), so
+    ``chip_samples`` scenarios are re-solved noise-free via
+    :func:`repro.sim.chip.solve_chip` — sampled evenly across the
+    catalog's workloads at every SMT level.
+    """
+    from repro.workloads.catalog import all_workloads
+
+    ctx = InvariantContext(noise_rel=noise_rel)
+    violations: List[Violation] = []
+    checks_run = 0
+    subjects = 0
+    tracer = get_tracer()
+
+    run_invs = invariants_for("run")
+    with tracer.span("check.invariants", runs=sum(
+            len(by_level) for by_level in catalog_runs.runs.values())):
+        for name, by_level in catalog_runs.runs.items():
+            for level, result in sorted(by_level.items()):
+                subject = (f"{name}@SMT{level}"
+                           f" [{result.arch.name} x{result.n_chips}]")
+                subjects += 1
+                for inv in run_invs:
+                    checks_run += 1
+                    for message, details in inv.fn(result, ctx):
+                        violations.append(Violation(
+                            pillar="invariants", check=inv.name,
+                            subject=subject, message=message, details=details,
+                        ))
+
+        # Chip-scope: re-solve a noise-free sample.
+        system = catalog_runs.system
+        specs = all_workloads()
+        names = [n for n in catalog_runs.names() if n in specs]
+        step = max(1, len(names) // max(chip_samples, 1))
+        sampled = names[::step][:chip_samples]
+        chip_invs = invariants_for("chip")
+        for name in sampled:
+            stream = specs[name].stream
+            for level in catalog_runs.levels():
+                placement = place_threads(
+                    system, level, system.contexts_at(level)
+                )
+                solution = solve_chip(placement, stream)
+                subject = (f"chip:{name}@SMT{level}"
+                           f" [{system.arch.name} x{system.n_chips}]")
+                subjects += 1
+                for inv in chip_invs:
+                    checks_run += 1
+                    if inv.name == "dispatch_width_respected":
+                        problems = inv.fn(solution, ctx, arch=system.arch)
+                    else:
+                        problems = inv.fn(solution, ctx)
+                    for message, details in problems:
+                        violations.append(Violation(
+                            pillar="invariants", check=inv.name,
+                            subject=subject, message=message, details=details,
+                        ))
+
+    tracer.add("check.invariant_checks", checks_run)
+    tracer.add("check.invariant_violations", len(violations))
+    return PillarReport(
+        pillar="invariants",
+        checks_run=checks_run,
+        subjects=subjects,
+        violations=tuple(violations),
+        stats={"registered": len(REGISTRY), "chip_samples": len(sampled)},
+    )

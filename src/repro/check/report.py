@@ -1,0 +1,125 @@
+"""Typed results of a conformance run: violations, pillar reports, exit codes.
+
+Every pillar of :mod:`repro.check` (invariants, differential, goldens,
+fuzz) reduces to the same shape: it examined some number of subjects,
+evaluated some number of checks, and produced zero or more
+:class:`Violation` records.  A :class:`CheckReport` aggregates the
+pillar reports, renders them for humans (``render``) or machines
+(``payload``), and owns the CLI exit-code contract: zero iff every
+pillar ran clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.util.tables import format_table
+
+#: The four pillars, in report order.
+PILLARS = ("invariants", "differential", "goldens", "fuzz")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken guarantee.
+
+    ``pillar`` names the family (one of :data:`PILLARS`), ``check`` the
+    specific rule inside it, ``subject`` the scenario it was evaluated
+    on (e.g. ``"EP@SMT4 seed=11 [p7 x1]"``), and ``details`` carries
+    machine-readable evidence — observed values, tolerances, minimized
+    reproducing scenarios.
+    """
+
+    pillar: str
+    check: str
+    subject: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "pillar": self.pillar,
+            "check": self.check,
+            "subject": self.subject,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        return f"[{self.pillar}/{self.check}] {self.subject}: {self.message}"
+
+
+@dataclass(frozen=True)
+class PillarReport:
+    """Outcome of one pillar."""
+
+    pillar: str
+    checks_run: int                     # rule evaluations performed
+    subjects: int                       # scenarios/runs/frames examined
+    violations: Sequence[Violation] = ()
+    skipped: Optional[str] = None       # reason, when the pillar did not run
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "pillar": self.pillar,
+            "ok": self.ok,
+            "checks_run": self.checks_run,
+            "subjects": self.subjects,
+            "skipped": self.skipped,
+            "stats": dict(self.stats),
+            "violations": [v.payload() for v in self.violations],
+        }
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Everything one ``repro check`` invocation found."""
+
+    pillars: Sequence[PillarReport]
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.pillars)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for p in self.pillars for v in p.violations]
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "pillars": [p.payload() for p in self.pillars],
+            "n_violations": len(self.violations),
+        }
+
+    def render(self) -> str:
+        rows = []
+        for p in self.pillars:
+            status = "SKIP" if p.skipped else ("ok" if p.ok else "FAIL")
+            note = p.skipped or f"{len(p.violations)} violation(s)"
+            rows.append([p.pillar, status, p.checks_run, p.subjects, note])
+        lines = [
+            format_table(
+                ["pillar", "status", "checks", "subjects", "notes"], rows,
+                title="repro check",
+            )
+        ]
+        for v in self.violations:
+            lines.append("")
+            lines.append(v.render())
+            for key, value in v.details.items():
+                lines.append(f"    {key}: {value}")
+        lines.append("")
+        lines.append("RESULT: " + ("PASS" if self.ok else
+                                   f"FAIL ({len(self.violations)} violation(s))"))
+        return "\n".join(lines)

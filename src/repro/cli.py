@@ -231,6 +231,44 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the conformance checker (see docs/testing.md)."""
+    from repro.check import CheckOptions, run_check
+    from repro.check.goldens import update_goldens
+    from repro.check.report import PILLARS
+
+    if args.update_goldens:
+        for path in update_goldens(args.figures, seed=args.seed):
+            print(f"wrote {path}")
+        return 0
+
+    selected = [p for p in PILLARS if getattr(args, p)]
+    if args.all or not selected:
+        selected = list(PILLARS)
+    options = CheckOptions(
+        arch=args.arch,
+        seed=args.seed,
+        figures=args.figures,
+        include_parallel=not args.no_parallel,
+        fuzz_cases=args.fuzz_cases,
+        fuzz_seed=args.fuzz_seed,
+    )
+    report = run_check(selected, options)
+    if args.json is True:
+        import json
+
+        print(json.dumps(report.payload(), indent=2))
+    else:
+        if args.json is not None:
+            import json
+
+            Path(args.json).write_text(
+                json.dumps(report.payload(), indent=2) + "\n"
+            )
+        print(report.render())
+    return report.exit_code
+
+
 def _experiment_registry() -> Dict[str, Callable[[], str]]:
     from repro import experiments as ex
 
@@ -364,6 +402,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the full sweep as JSON")
     p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser(
+        "check",
+        help="verify simulator physics, strategy equivalence, golden "
+        "snapshots and serve-protocol robustness",
+    )
+    p.add_argument("--all", action="store_true",
+                   help="run every pillar (the default when none is selected)")
+    p.add_argument("--invariants", action="store_true",
+                   help="simulator physics invariants over a catalog sweep")
+    p.add_argument("--differential", action="store_true",
+                   help="serial vs batched/parallel/cache/predict_many")
+    p.add_argument("--goldens", action="store_true",
+                   help="compare figure summaries to tests/goldens/")
+    p.add_argument("--fuzz", action="store_true",
+                   help="fuzz the prediction service's NDJSON protocol")
+    p.add_argument("--arch", default="p7", help="p7 | p7x2 | nehalem")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--figures", nargs="+", default=None, metavar="FIG",
+                   help="golden subset, e.g. fig06 fig16 (default: all)")
+    p.add_argument("--no-parallel", action="store_true",
+                   help="skip the fork-pool path in the differential pillar")
+    p.add_argument("--fuzz-cases", type=int, default=500, metavar="N",
+                   help="malformed/valid frames to fire at the server")
+    p.add_argument("--fuzz-seed", type=int, default=1207)
+    p.add_argument(
+        "--update-goldens", action="store_true",
+        help="recompute and rewrite the golden snapshots, then exit",
+    )
+    p.add_argument(
+        "--json", nargs="?", const=True, default=None, metavar="PATH",
+        help="emit the machine-readable report (to stdout, or to PATH)",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("experiment", help="regenerate a paper experiment")
     p.add_argument("name", help="fig01..fig17, table1, optimizer, "

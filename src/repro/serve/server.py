@@ -184,7 +184,20 @@ class PredictionServer:
         tracer = get_tracer()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The line exceeded the stream's buffer limit.  The
+                    # rest of it is still in flight, so there is no way
+                    # to resync on the next newline: answer once, then
+                    # drop the connection.
+                    tracer.add("serve.errors.invalid_request")
+                    tracer.add("serve.oversized_lines")
+                    await out_q.put(response_error(
+                        None, ERR_INVALID,
+                        "request line exceeds the size limit",
+                    ))
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -228,6 +241,11 @@ class PredictionServer:
                     ))
                     continue
                 pending.add(future)
+                # Settlement accounting: every admitted request must be
+                # settled by exactly one _deliver (the fuzz pillar
+                # asserts serve.admitted == serve.settled at quiescence
+                # — a difference is a leaked pending request).
+                tracer.add("serve.admitted")
                 deliver = asyncio.get_running_loop().create_task(
                     self._deliver(request, future, deadline_t, out_q)
                 )
@@ -261,6 +279,16 @@ class PredictionServer:
     async def _deliver(self, request: Request, future: "asyncio.Future",
                        deadline_t: Optional[float],
                        out_q: "asyncio.Queue") -> None:
+        try:
+            await self._deliver_inner(request, future, deadline_t, out_q)
+        finally:
+            # Pairs with serve.admitted: every admitted request settles
+            # exactly once, whatever the outcome.
+            get_tracer().add("serve.settled")
+
+    async def _deliver_inner(self, request: Request, future: "asyncio.Future",
+                             deadline_t: Optional[float],
+                             out_q: "asyncio.Queue") -> None:
         tracer = get_tracer()
         try:
             result = await future

@@ -180,8 +180,17 @@ def run_cache_key(spec) -> str:
     return digest.hexdigest()
 
 
+#: Version of the stored-payload *format* (distinct from
+#: :data:`MODEL_VERSION`, which fingerprints solver behaviour and is
+#: part of the key).  Bump whenever ``_result_payload`` changes shape so
+#: that entries written by an older layout are rejected instead of
+#: silently deserializing into wrong fields.
+PAYLOAD_SCHEMA = 2
+
+
 def _result_payload(result: RunResult) -> Dict[str, Any]:
     return {
+        "schema": PAYLOAD_SCHEMA,
         "smt_level": result.smt_level,
         "n_threads": result.n_threads,
         "n_chips": result.n_chips,
@@ -239,7 +248,10 @@ class RunCache:
         outcomes; a present-but-malformed entry additionally counts as
         ``runcache.corrupt`` and is *deleted* — it behaves as a miss
         once, instead of being re-parsed (and re-missed) on every
-        sweep until someone clears the cache by hand.
+        sweep until someone clears the cache by hand.  An entry whose
+        stored ``schema`` differs from :data:`PAYLOAD_SCHEMA` (written
+        by an older/newer layout) is likewise deleted and counted as
+        ``runcache.schema_mismatch``.
         """
         tracer = get_tracer()
         path = self._path(run_cache_key(spec))
@@ -249,7 +261,19 @@ class RunCache:
             tracer.add("runcache.misses")
             return None
         try:
-            result = _result_from_payload(json.loads(text), spec.system.arch)
+            payload = json.loads(text)
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != PAYLOAD_SCHEMA):
+                # A different (or pre-versioning) payload layout: the
+                # fields may parse but mean something else.  Refuse it.
+                tracer.add("runcache.misses")
+                tracer.add("runcache.schema_mismatch")
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing eviction
+                    pass
+                return None
+            result = _result_from_payload(payload, spec.system.arch)
         except (ValueError, KeyError, TypeError):
             tracer.add("runcache.misses")
             tracer.add("runcache.corrupt")

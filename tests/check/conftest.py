@@ -1,0 +1,37 @@
+"""Shared fixtures for the conformance-subsystem tests."""
+
+import pytest
+
+from repro.experiments.runner import run_catalog
+from repro.obs import configure
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    # run_check/run_fuzz_checks enable the process-wide tracer; leave
+    # the default disabled state behind for unrelated tests.
+    yield
+    tracer = configure(enabled=False)
+    tracer.reset()
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    """A three-workload p7 sweep shared by the invariants tests."""
+    from repro.workloads import all_workloads
+
+    specs = all_workloads()
+    names = ("EP", "SSCA2", "SPECjbb_contention")
+    return run_catalog(
+        "p7", {n: specs[n] for n in names}, (1, 2, 4), seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def golden_dir(tmp_path_factory):
+    """A temp goldens directory pre-populated for fig16 + fig17."""
+    from repro.check.goldens import update_goldens
+
+    directory = tmp_path_factory.mktemp("goldens")
+    update_goldens(["fig16", "fig17"], directory=directory)
+    return directory

@@ -1,0 +1,74 @@
+"""The fuzz pillar: the protocol fuzzer against a live server.
+
+The tier-1 smoke keeps the case count small; the 5000-case acceptance
+configuration is marked ``fuzz`` and runs in the dedicated CI job
+(``pytest -m fuzz``).
+"""
+
+import pytest
+
+from repro.check.fuzz import KNOWN_ERROR_CODES, run_fuzz_checks
+from repro.serve import ServeConfig
+
+MALFORMED = ("garbage", "truncated_json", "bad_schema", "oversized_line",
+             "partial_frame")
+
+
+def assert_clean(report):
+    assert report.ok, [v.render() for v in report.violations]
+    stats = report.stats
+    # Settlement accounting: every admitted request settled (no leaks).
+    assert stats["admitted"] == stats["settled"]
+    assert stats["unhandled_exceptions"] == 0
+    assert stats["responses_seen"] > 0
+    assert stats["response_problems"] == 0
+
+
+def malformed_count(stats):
+    return sum(stats["categories"].get(name, 0) for name in MALFORMED)
+
+
+class TestSmoke:
+    def test_small_seeded_run_is_clean(self):
+        report = run_fuzz_checks(cases=150, seed=5)
+        assert report.pillar == "fuzz"
+        assert report.stats["cases"] >= 150
+        assert_clean(report)
+        # The generator mixed malformed frames in (the point of the
+        # exercise), and the server kept answering anyway.
+        assert malformed_count(report.stats) > 0
+
+    def test_reproducible_by_seed(self):
+        a = run_fuzz_checks(cases=60, seed=77)
+        b = run_fuzz_checks(cases=60, seed=77)
+        assert a.stats["cases"] == b.stats["cases"]
+        assert a.stats["categories"] == b.stats["categories"]
+
+    def test_custom_config_is_honored(self):
+        config = ServeConfig(
+            queue_size=8, max_linger_ms=1.0,
+            session={"threshold": 0.07, "use_cache": False},
+        )
+        report = run_fuzz_checks(cases=80, seed=3, config=config)
+        assert_clean(report)
+
+    def test_error_code_vocabulary_is_closed(self):
+        # The typed-response validator only accepts the documented
+        # codes; a typo'd code in the server would fail the pillar.
+        assert "invalid_request" in KNOWN_ERROR_CODES
+        assert "overloaded" in KNOWN_ERROR_CODES
+        assert len(KNOWN_ERROR_CODES) == 6
+
+
+@pytest.mark.fuzz
+class TestAcceptance:
+    def test_5000_cases_zero_crashes_zero_leaks(self):
+        # The acceptance bar: >=5000 seeded malformed-frame cases
+        # against a live server, zero unhandled exceptions, zero leaked
+        # pending requests (verified via serve telemetry counters).
+        report = run_fuzz_checks(cases=5000, seed=1207)
+        assert_clean(report)
+        stats = report.stats
+        assert stats["cases"] >= 5000
+        assert stats["connections"] > 100
+        assert malformed_count(stats) > 1000

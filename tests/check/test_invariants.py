@@ -1,0 +1,116 @@
+"""The invariants pillar: registry mechanics and violation detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.check.invariants import (
+    EXACT_TOL,
+    NOISE_SIGMA,
+    REGISTRY,
+    InvariantContext,
+    check_catalog_invariants,
+    invariant,
+    invariants_for,
+)
+from repro.experiments.runner import CatalogRuns
+
+
+class TestRegistry:
+    def test_both_scopes_are_populated(self):
+        assert len(invariants_for("run")) >= 8
+        assert len(invariants_for("chip")) >= 4
+        assert len(REGISTRY) == (
+            len(invariants_for("run")) + len(invariants_for("chip"))
+        )
+
+    def test_every_invariant_has_a_description(self):
+        for inv in REGISTRY.values():
+            assert inv.description, inv.name
+
+    def test_duplicate_name_is_rejected(self):
+        existing = next(iter(REGISTRY))
+        with pytest.raises(ValueError, match="duplicate"):
+            @invariant(existing, "run", "clashes with an existing law")
+            def _clash(result, ctx):
+                return ()
+
+    def test_unknown_scope_is_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            @invariant("never_registered", "socket", "bad scope")
+            def _bad(result, ctx):
+                return ()
+        assert "never_registered" not in REGISTRY
+
+    def test_open_registration_and_evaluation(self):
+        @invariant("test_tmp_law", "run", "temporary law for this test")
+        def _tmp(result, ctx):
+            yield ("always fires", {"marker": 1.0})
+
+        try:
+            assert REGISTRY["test_tmp_law"].scope == "run"
+            problems = list(REGISTRY["test_tmp_law"].fn(None, None))
+            assert problems == [("always fires", {"marker": 1.0})]
+        finally:
+            del REGISTRY["test_tmp_law"]
+
+
+class TestContext:
+    def test_noise_slack_is_sigma_scaled(self):
+        ctx = InvariantContext(noise_rel=0.01)
+        assert ctx.noise_slack == pytest.approx(NOISE_SIGMA * 0.01)
+
+    def test_zero_noise_floors_at_exact_tol(self):
+        assert InvariantContext(noise_rel=0.0).noise_slack == EXACT_TOL
+
+
+class TestCatalogInvariants:
+    def test_shipped_catalog_is_clean(self, small_catalog):
+        report = check_catalog_invariants(small_catalog, chip_samples=2)
+        assert report.ok, [v.render() for v in report.violations]
+        assert report.pillar == "invariants"
+        # 9 runs x every run law, plus 2 sampled workloads x 3 levels
+        # of chip laws.
+        assert report.subjects == 9 + 2 * 3
+        assert report.checks_run == (
+            9 * len(invariants_for("run")) + 6 * len(invariants_for("chip"))
+        )
+        assert report.stats["registered"] == len(REGISTRY)
+
+    def test_broken_time_accounting_is_detected(self, small_catalog):
+        name = small_catalog.names()[0]
+        level = small_catalog.levels()[0]
+        good = small_catalog.runs[name][level]
+        bad = dataclasses.replace(
+            good,
+            times=dataclasses.replace(
+                good.times, serial_time_s=good.times.serial_time_s
+                + 0.5 * good.times.wall_time_s,
+            ),
+        )
+        runs = {n: dict(by) for n, by in small_catalog.runs.items()}
+        runs[name][level] = bad
+        tampered = CatalogRuns(system=small_catalog.system, runs=runs,
+                               seed=small_catalog.seed)
+        report = check_catalog_invariants(tampered, chip_samples=1)
+        assert not report.ok
+        broken = [v for v in report.violations
+                  if v.check == "times_additive"]
+        assert broken, [v.render() for v in report.violations]
+        assert f"{name}@SMT{level}" in broken[0].subject
+
+    def test_negative_counter_is_detected(self, small_catalog):
+        name = small_catalog.names()[0]
+        level = small_catalog.levels()[0]
+        good = small_catalog.runs[name][level]
+        events = dict(good.events)
+        events["INSTRUCTIONS"] = -1.0
+        bad = dataclasses.replace(good, events=events)
+        runs = {n: dict(by) for n, by in small_catalog.runs.items()}
+        runs[name][level] = bad
+        tampered = CatalogRuns(system=small_catalog.system, runs=runs,
+                               seed=small_catalog.seed)
+        report = check_catalog_invariants(tampered, chip_samples=1)
+        assert not report.ok
+        assert any(v.check == "counters_nonnegative"
+                   for v in report.violations)

@@ -1,0 +1,85 @@
+"""Report plumbing: violations, pillar aggregation, exit codes."""
+
+from repro.check.report import PILLARS, CheckReport, PillarReport, Violation
+
+
+def make_violation(**overrides):
+    kwargs = dict(
+        pillar="invariants", check="times_additive",
+        subject="EP@SMT4 seed=11", message="wall != serial + parallel",
+        details={"rel_residual": 1e-3},
+    )
+    kwargs.update(overrides)
+    return Violation(**kwargs)
+
+
+class TestViolation:
+    def test_render_names_pillar_check_and_subject(self):
+        text = make_violation().render()
+        assert "[invariants/times_additive]" in text
+        assert "EP@SMT4 seed=11" in text
+        assert "wall != serial + parallel" in text
+
+    def test_payload_round_trips_details(self):
+        payload = make_violation().payload()
+        assert payload["pillar"] == "invariants"
+        assert payload["details"] == {"rel_residual": 1e-3}
+
+
+class TestPillarReport:
+    def test_ok_iff_no_violations(self):
+        clean = PillarReport(pillar="goldens", checks_run=12, subjects=12)
+        assert clean.ok
+        dirty = PillarReport(pillar="goldens", checks_run=12, subjects=12,
+                             violations=(make_violation(pillar="goldens"),))
+        assert not dirty.ok
+
+    def test_payload_carries_stats_and_skip_reason(self):
+        report = PillarReport(pillar="fuzz", checks_run=0, subjects=0,
+                              skipped="no server", stats={"cases": 0})
+        payload = report.payload()
+        assert payload["skipped"] == "no server"
+        assert payload["stats"] == {"cases": 0}
+
+
+class TestCheckReport:
+    def test_clean_report_exits_zero_and_renders_pass(self):
+        report = CheckReport(pillars=tuple(
+            PillarReport(pillar=p, checks_run=1, subjects=1) for p in PILLARS
+        ))
+        assert report.ok
+        assert report.exit_code == 0
+        rendered = report.render()
+        assert "RESULT: PASS" in rendered
+        for pillar in PILLARS:
+            assert pillar in rendered
+
+    def test_any_violation_fails_the_whole_report(self):
+        report = CheckReport(pillars=(
+            PillarReport(pillar="invariants", checks_run=5, subjects=5),
+            PillarReport(pillar="differential", checks_run=3, subjects=3,
+                         violations=(make_violation(pillar="differential"),)),
+        ))
+        assert not report.ok
+        assert report.exit_code == 1
+        assert len(report.violations) == 1
+        rendered = report.render()
+        assert "FAIL (1 violation(s))" in rendered
+        # Violation details are printed under the table.
+        assert "rel_residual" in rendered
+
+    def test_skipped_pillar_renders_skip_not_fail(self):
+        report = CheckReport(pillars=(
+            PillarReport(pillar="fuzz", checks_run=0, subjects=0,
+                         skipped="platform cannot bind sockets"),
+        ))
+        assert report.ok
+        assert "SKIP" in report.render()
+
+    def test_payload_counts_violations(self):
+        report = CheckReport(pillars=(
+            PillarReport(pillar="goldens", checks_run=2, subjects=2,
+                         violations=(make_violation(), make_violation())),
+        ))
+        assert report.payload()["n_violations"] == 2
+        assert report.payload()["ok"] is False

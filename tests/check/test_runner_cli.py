@@ -1,0 +1,110 @@
+"""Orchestration (run_check) and the ``repro check`` CLI subcommand."""
+
+import json
+
+import pytest
+
+import repro.check.runner as runner_module
+from repro.check import CheckOptions, run_check
+from repro.check.report import PILLARS
+from repro.cli import main
+
+
+class TestRunCheck:
+    def test_unknown_pillar_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown pillar"):
+            run_check(["invariants", "sockets"])
+
+    def test_selected_pillar_only(self, golden_dir):
+        options = CheckOptions(figures=["fig16"],
+                               goldens_directory=golden_dir)
+        report = run_check(["goldens"], options)
+        assert [p.pillar for p in report.pillars] == ["goldens"]
+        assert report.ok
+        assert report.exit_code == 0
+
+    def test_pillars_execute_in_canonical_order(self, golden_dir, monkeypatch):
+        # Stub out the expensive pillars: ordering is what's under test.
+        from repro.check.report import PillarReport
+
+        def stub(pillar):
+            return lambda options: PillarReport(
+                pillar=pillar, checks_run=1, subjects=1
+            )
+
+        monkeypatch.setitem(runner_module._RUNNERS, "invariants",
+                            stub("invariants"))
+        monkeypatch.setitem(runner_module._RUNNERS, "differential",
+                            stub("differential"))
+        monkeypatch.setitem(runner_module._RUNNERS, "fuzz", stub("fuzz"))
+        options = CheckOptions(figures=["fig16"],
+                               goldens_directory=golden_dir)
+        report = run_check(["fuzz", "invariants", "goldens", "differential"],
+                           options)
+        assert [p.pillar for p in report.pillars] == list(PILLARS)
+
+    def test_crashing_pillar_is_contained(self, monkeypatch):
+        def boom(figures, seed, directory):
+            raise RuntimeError("golden storage on fire")
+
+        monkeypatch.setattr(runner_module.goldens, "run_golden_checks", boom)
+        report = run_check(["goldens"])
+        assert not report.ok
+        assert report.exit_code == 1
+        (violation,) = report.violations
+        assert violation.check == "pillar_crashed"
+        assert "RuntimeError" in violation.message
+        assert "golden storage on fire" in violation.message
+
+
+class TestCli:
+    @pytest.fixture
+    def goldens_env(self, golden_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_GOLDENS_DIR", str(golden_dir))
+        return golden_dir
+
+    def test_single_pillar_pass_exits_zero(self, goldens_env, capsys):
+        code = main(["check", "--goldens", "--figures", "fig16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in out
+        assert "goldens" in out
+
+    def test_violation_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_GOLDENS_DIR", str(tmp_path / "empty"))
+        code = main(["check", "--goldens", "--figures", "fig16"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RESULT: FAIL" in out
+        assert "golden_present" in out
+
+    def test_json_flag_prints_machine_report(self, goldens_env, capsys):
+        code = main(["check", "--goldens", "--figures", "fig16", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["pillars"][0]["pillar"] == "goldens"
+
+    def test_json_path_writes_file_and_prints_table(
+        self, goldens_env, tmp_path, capsys
+    ):
+        target = tmp_path / "report.json"
+        code = main(["check", "--goldens", "--figures", "fig16",
+                     "--json", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in out
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+
+    def test_update_goldens_writes_into_directory(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_GOLDENS_DIR", str(tmp_path / "fresh"))
+        code = main(["check", "--update-goldens", "--figures", "fig16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        assert (tmp_path / "fresh" / "fig16.json").exists()
+        # And the freshly written golden immediately passes.
+        assert main(["check", "--goldens", "--figures", "fig16"]) == 0

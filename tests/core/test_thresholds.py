@@ -101,3 +101,113 @@ class TestPpi:
     def test_plateau_unreachable_raises(self):
         with pytest.raises(ValueError, match="no threshold"):
             ppi_plateau([0.1, 0.2], [1.5, 1.4], 50.0)
+
+
+class TestSingleClass:
+    """Training sets where every point carries the same label."""
+
+    ALL_WIN_METRICS = [0.1, 0.2, 0.3]
+    ALL_WIN_SPEEDUPS = [1.5, 1.2, 1.1]
+    ALL_LOSS_SPEEDUPS = [0.8, 0.5, 0.9]
+
+    def test_all_wins_zero_impurity_everywhere(self):
+        # With one class any split is pure, so every separator ties.
+        for sep in (0.0, 0.15, 0.25, 1e9):
+            assert gini_impurity(
+                self.ALL_WIN_METRICS, self.ALL_WIN_SPEEDUPS, sep
+            ) == pytest.approx(0.0)
+
+    def test_all_wins_range_spans_all_candidates(self):
+        lo, hi, imp = optimal_threshold_range(
+            self.ALL_WIN_METRICS, self.ALL_WIN_SPEEDUPS
+        )
+        assert imp == pytest.approx(0.0)
+        # Every candidate achieves the minimum: the "range" degenerates
+        # to the full candidate span, below min and above max.
+        assert lo < min(self.ALL_WIN_METRICS)
+        assert hi > max(self.ALL_WIN_METRICS)
+
+    def test_all_losses_zero_impurity(self):
+        _, _, imp = optimal_threshold_range(
+            self.ALL_WIN_METRICS, self.ALL_LOSS_SPEEDUPS
+        )
+        assert imp == pytest.approx(0.0)
+
+    def test_all_wins_ppi_keeps_everyone_high(self):
+        # Switching any winner down only hurts: the best threshold sits
+        # above every metric and the expected improvement is zero.
+        threshold, improvement = best_ppi_threshold(
+            self.ALL_WIN_METRICS, self.ALL_WIN_SPEEDUPS
+        )
+        assert threshold > max(self.ALL_WIN_METRICS)
+        assert improvement == pytest.approx(0.0)
+
+    def test_all_losses_ppi_switches_everyone_down(self):
+        threshold, improvement = best_ppi_threshold(
+            self.ALL_WIN_METRICS, self.ALL_LOSS_SPEEDUPS
+        )
+        assert threshold < min(self.ALL_WIN_METRICS)
+        expected = np.mean(
+            [(1 / s - 1) * 100 for s in self.ALL_LOSS_SPEEDUPS]
+        )
+        assert improvement == pytest.approx(expected, rel=1e-9)
+
+
+class TestTiedMetrics:
+    """Every observation reports the same metric value."""
+
+    METRICS = [0.1, 0.1, 0.1, 0.1]
+    SPEEDUPS = [1.5, 0.8, 1.2, 0.6]  # mixed labels, inseparable
+
+    def test_any_separator_gives_base_rate_impurity(self):
+        # No separator can split tied values: both sides of any cut hold
+        # either everything or nothing, so impurity is the base rate.
+        p1 = 0.5  # two wins, two losses
+        base = 1 - p1 ** 2 - (1 - p1) ** 2
+        for sep in (0.05, 0.1, 0.2):
+            assert gini_impurity(
+                self.METRICS, self.SPEEDUPS, sep
+            ) == pytest.approx(base)
+
+    def test_range_brackets_the_tied_value(self):
+        lo, hi, imp = optimal_threshold_range(self.METRICS, self.SPEEDUPS)
+        assert imp == pytest.approx(0.5)
+        assert lo < 0.1 < hi
+        # Only the two epsilon end candidates exist, so the range is
+        # razor thin — the degenerate case §V-A's width criterion flags.
+        assert hi - lo == pytest.approx(2e-6, rel=1e-3)
+
+    def test_gini_curve_handles_tied_values(self):
+        curve = gini_curve(self.METRICS, self.SPEEDUPS, n_points=25)
+        assert len(curve) == 25
+        assert all(0.0 <= p.impurity <= 0.5 for p in curve)
+
+    def test_ppi_all_or_nothing(self):
+        # Tied metrics make PPI a step function: switch everyone or
+        # no one.  Here the losses outweigh the wins, so switching all
+        # four down is the best move.
+        threshold, improvement = best_ppi_threshold(self.METRICS, self.SPEEDUPS)
+        assert threshold < 0.1
+        expected = np.mean([(1 / s - 1) * 100 for s in self.SPEEDUPS])
+        assert improvement == pytest.approx(expected, rel=1e-9)
+
+
+class TestEmptyAndDegenerateInputs:
+    """Empty candidate sets are rejected up front, not half-computed."""
+
+    @pytest.mark.parametrize("metrics,speedups", [([], []), ([0.1], [1.2])])
+    def test_too_few_observations_rejected(self, metrics, speedups):
+        with pytest.raises(ValueError, match="at least two"):
+            gini_impurity(metrics, speedups, 0.5)
+        with pytest.raises(ValueError, match="at least two"):
+            optimal_threshold_range(metrics, speedups)
+        with pytest.raises(ValueError, match="at least two"):
+            best_ppi_threshold(metrics, speedups)
+        with pytest.raises(ValueError, match="at least two"):
+            ppi_curve(metrics, speedups)
+        with pytest.raises(ValueError, match="at least two"):
+            gini_curve(metrics, speedups)
+
+    def test_nonpositive_speedup_rejected(self):
+        with pytest.raises(ValueError, match="speedups"):
+            gini_impurity([0.1, 0.2], [1.0, 0.0], 0.5)

@@ -1,10 +1,15 @@
-"""The pre-unification runner names still work — and warn.
+"""The pre-unification runner names still work — and warn exactly once.
 
 ``run_catalog(strategy=...)`` replaced ``run_catalog_batched`` and the
 ``p7_runs``/``nehalem_runs`` helpers; the old names survive one cycle
-as ``DeprecationWarning`` shims.  This is the only place in the repo
-allowed to call them.
+as ``DeprecationWarning`` shims.  Each call must emit exactly one
+warning (not zero, not a cascade from the delegate) and must forward a
+result identical to the new entry point.  This is the only place in
+the repo allowed to call them.
 """
+
+import dataclasses
+import warnings
 
 import pytest
 
@@ -21,34 +26,106 @@ def _slice(names=NAMES):
     return {name: specs[name] for name in names}
 
 
+def call_counting_warnings(func):
+    """Run ``func`` recording every warning; return (result, warnings)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = func()
+    return result, list(caught)
+
+
+def assert_warns_exactly_once(caught, match):
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}: "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    assert match in str(deprecations[0].message)
+
+
+def assert_results_identical(a, b):
+    assert repr(a.arch) == repr(b.arch)
+    assert a.smt_level == b.smt_level
+    assert a.n_threads == b.n_threads
+    assert a.n_chips == b.n_chips
+    assert a.useful_instructions == b.useful_instructions
+    assert dataclasses.asdict(a.times) == dataclasses.asdict(b.times)
+    assert dict(a.events) == dict(b.events)
+    assert a.spin_fraction == b.spin_fraction
+    assert a.blocked_fraction == b.blocked_fraction
+    assert a.mem_latency_mult == b.mem_latency_mult
+    assert a.mem_utilization == b.mem_utilization
+    assert a.per_thread_ipc == b.per_thread_ipc
+    assert a.dispatch_held_fraction == b.dispatch_held_fraction
+
+
+def assert_catalogs_identical(old, new):
+    assert old.runs.keys() == new.runs.keys()
+    assert old.seed == new.seed
+    assert old.failures == new.failures
+    for name, per_level in new.runs.items():
+        assert old.runs[name].keys() == per_level.keys()
+        for level, result in per_level.items():
+            assert_results_identical(old.runs[name][level], result)
+
+
 class TestRunCatalogBatchedShim:
-    def test_warns_and_matches_new_entry_point(self):
-        with pytest.warns(DeprecationWarning, match="run_catalog_batched"):
-            old = run_catalog_batched(p7_system(), _slice(), (1, 4), seed=11)
+    def test_warns_exactly_once_and_forwards_identically(self):
+        old, caught = call_counting_warnings(
+            lambda: run_catalog_batched(p7_system(), _slice(), (1, 4), seed=11)
+        )
+        assert_warns_exactly_once(caught, "run_catalog_batched")
         new = run_catalog("p7", _slice(), (1, 4), seed=11)
-        assert old.runs.keys() == new.runs.keys()
-        for name in NAMES:
-            for level in (1, 4):
-                assert old.runs[name][level].wall_time_s == pytest.approx(
-                    new.runs[name][level].wall_time_s, rel=1e-12
-                )
+        assert_catalogs_identical(old, new)
+
+    def test_new_entry_point_does_not_warn(self):
+        _, caught = call_counting_warnings(
+            lambda: run_catalog("p7", _slice(), (1,), seed=11)
+        )
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_jobs_selects_parallel_strategy_with_one_warning(self):
+        old, caught = call_counting_warnings(
+            lambda: run_catalog_batched(
+                p7_system(), _slice(("EP",)), (1, 2), seed=11, jobs=2
+            )
+        )
+        assert_warns_exactly_once(caught, "run_catalog_batched")
+        new = run_catalog(
+            "p7", _slice(("EP",)), (1, 2), strategy="parallel", seed=11, jobs=2
+        )
+        assert_catalogs_identical(old, new)
 
 
 class TestSystemsShims:
-    def test_p7_runs_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="p7_runs"):
-            old = p7_runs(levels=(1, 4), seed=11)
-        new = run_catalog("p7", levels=(1, 4), seed=11)
-        assert old.runs.keys() == new.runs.keys()
-        assert old.runs["EP"][4].wall_time_s == pytest.approx(
-            new.runs["EP"][4].wall_time_s, rel=1e-12
+    def test_p7_runs_warns_exactly_once_and_delegates(self):
+        old, caught = call_counting_warnings(
+            lambda: p7_runs(levels=(1, 4), seed=11)
         )
+        assert_warns_exactly_once(caught, "p7_runs")
+        new = run_catalog("p7", levels=(1, 4), seed=11)
+        assert_catalogs_identical(old, new)
 
-    def test_nehalem_runs_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="nehalem_runs"):
-            old = nehalem_runs(seed=11)
+    def test_nehalem_runs_warns_exactly_once_and_delegates(self):
+        old, caught = call_counting_warnings(lambda: nehalem_runs(seed=11))
+        assert_warns_exactly_once(caught, "nehalem_runs")
         new = run_catalog("nehalem", seed=11)
-        assert old.runs.keys() == new.runs.keys()
+        assert_catalogs_identical(old, new)
+
+    def test_each_call_warns_again(self):
+        # The shims use plain DeprecationWarning per call (no once-ever
+        # dedup): two calls, two warnings, so no caller can miss it.
+        def twice():
+            p7_runs(levels=(1,), seed=11)
+            return p7_runs(levels=(1,), seed=11)
+
+        _, caught = call_counting_warnings(twice)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
 
 
 class TestNoOtherCallers:

@@ -1,0 +1,63 @@
+"""Shared serving-test fixtures.
+
+Every server a test starts goes through :func:`make_server`, which
+enforces the one rule that keeps parallel CI runs from colliding: test
+servers bind port 0 (an ephemeral port chosen by the kernel) and the
+*bound* address is plumbed back through the fixture — never a
+hard-coded port.
+"""
+
+import pytest
+
+from repro.obs import configure
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+
+@pytest.fixture
+def tracer():
+    tracer = configure(enabled=True)
+    tracer.reset()
+    yield tracer
+    configure(enabled=False)
+    tracer.reset()
+
+
+@pytest.fixture
+def make_server():
+    """Factory: start a :class:`BackgroundServer` on an ephemeral port.
+
+    Returns the started server (its ``host``/``port`` are the bound
+    address).  Every server is stopped at teardown even if the test
+    already stopped it (stop is idempotent).
+    """
+    started = []
+
+    def factory(config: ServeConfig = None) -> BackgroundServer:
+        config = config or ServeConfig()
+        assert config.port == 0, (
+            "test servers must bind port 0 (ephemeral) so parallel CI "
+            f"runs cannot collide; got a fixed port {config.port}"
+        )
+        bg = BackgroundServer(config).start()
+        assert bg.port not in (None, 0)
+        started.append(bg)
+        return bg
+
+    yield factory
+    for bg in started:
+        bg.stop()
+
+
+@pytest.fixture(scope="module")
+def server():
+    # A generous linger so concurrent clients reliably coalesce.
+    config = ServeConfig(max_linger_ms=100.0, max_batch=32,
+                         session={"seed": 11})
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c

@@ -10,11 +10,11 @@ fail instead of serving late, and shutdown drains admitted work.
 """
 
 import threading
+import time
 
 import pytest
 
 import repro.api as api
-from repro.obs import configure
 from repro.serve import (
     BackgroundServer,
     DeadlineExceededError,
@@ -26,29 +26,29 @@ from repro.serve import (
 
 WORKLOADS = ("EP", "CG", "SSCA2", "Swim", "Dedup", "Equake", "Stream", "LU")
 
-
-@pytest.fixture
-def tracer():
-    tracer = configure(enabled=True)
-    tracer.reset()
-    yield tracer
-    configure(enabled=False)
-    tracer.reset()
+# Fixtures (tracer, make_server, server, client) live in conftest.py:
+# every test server binds port 0 and plumbs the bound address through.
 
 
-@pytest.fixture(scope="module")
-def server():
-    # A generous linger so concurrent clients reliably coalesce.
-    config = ServeConfig(max_linger_ms=100.0, max_batch=32,
-                         session={"seed": 11})
-    with BackgroundServer(config) as bg:
-        yield bg
+def _occupy_dispatcher(client: ServeClient) -> str:
+    """Fill the single dispatch slot *and* the queue_size=1 queue.
 
-
-@pytest.fixture
-def client(server):
-    with ServeClient(server.host, server.port) as c:
-        yield c
+    Sweep A (the full default catalog, serial, cold cache — seconds of
+    work) is sent and given time to be collected (the collector pops it
+    immediately and blocks on the executor until it finishes); then
+    sweep B parks in the admission queue.  From that point every further
+    request must bounce with ``overloaded`` — deterministically, for as
+    long as A keeps the worker busy.  Returns A's request id.
+    """
+    slow_id = client._send(
+        "sweep", {"levels": [1, 2, 4], "strategy": "serial"}, None,
+    )
+    time.sleep(0.3)          # let the collector take A off the queue
+    client._send(
+        "sweep", {"workloads": ["EP"], "levels": [1], "strategy": "serial"},
+        None,
+    )
+    return slow_id
 
 
 class TestBasics:
@@ -134,82 +134,81 @@ class TestCoalescing:
 
 
 class TestBackpressure:
-    def test_full_queue_rejects_with_retry_after(self, tracer):
-        # queue_size=1 and a slow in-flight sweep: while the worker is
-        # busy, the queue holds one request and the rest must bounce.
+    def test_full_queue_rejects_with_retry_after(self, tracer, make_server):
+        # queue_size=1: with the worker busy on sweep A and sweep B
+        # parked in the queue, every prediction must bounce.
         config = ServeConfig(
             queue_size=1, max_linger_ms=0.0,
             session={"seed": 11, "use_cache": False},
         )
-        with BackgroundServer(config) as bg:
-            with ServeClient(bg.host, bg.port) as slow, \
-                    ServeClient(bg.host, bg.port) as fast:
-                # Occupy the single dispatch slot with a serial sweep.
-                slow_id = slow._send(
-                    "sweep",
-                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
-                     "strategy": "serial"},
-                    None,
-                )
-                # Pipeline predictions without reading responses; with
-                # the dispatcher busy, at most one fits in the queue.
-                ids = [fast._send("predict", {"workload": "EP"}, None)
-                       for _ in range(8)]
-                responses = [fast._recv(i) for i in ids]
-                rejected = [r for r in responses if not r.get("ok")]
-                assert rejected, "no request was rejected under overload"
-                for r in rejected:
-                    assert r["error"]["code"] == "overloaded"
-                    assert r["error"]["retry_after_ms"] > 0
-                # The occupying sweep still completes correctly.
-                sweep_response = slow._recv(slow_id)
-                assert sweep_response["ok"]
-        assert tracer.counters().get("serve.rejections", 0) >= 1
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            slow_id = _occupy_dispatcher(slow)
+            ids = [fast._send("predict", {"workload": "EP"}, None)
+                   for _ in range(8)]
+            responses = [fast._recv(i) for i in ids]
+            rejected = [r for r in responses if not r.get("ok")]
+            assert len(rejected) == len(responses), (
+                "every request should be rejected while the slot and "
+                "queue are both occupied"
+            )
+            for r in rejected:
+                assert r["error"]["code"] == "overloaded"
+                assert r["error"]["retry_after_ms"] > 0
+            # The occupying sweep still completes correctly.
+            sweep_response = slow._recv(slow_id)
+            assert sweep_response["ok"]
+        assert tracer.counters().get("serve.rejections", 0) >= 8
 
-    def test_client_raises_typed_overloaded_error(self):
+    def test_client_raises_typed_overloaded_error(self, make_server):
         config = ServeConfig(
             queue_size=1, max_linger_ms=0.0,
             session={"seed": 11, "use_cache": False},
         )
-        with BackgroundServer(config) as bg:
-            with ServeClient(bg.host, bg.port) as slow, \
-                    ServeClient(bg.host, bg.port) as fast:
-                slow._send(
-                    "sweep",
-                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
-                     "strategy": "serial"},
-                    None,
-                )
-                with pytest.raises(OverloadedError) as exc_info:
-                    for _ in range(8):
-                        fast.predict("EP")
-                assert exc_info.value.retry_after_ms > 0
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            _occupy_dispatcher(slow)
+            with pytest.raises(OverloadedError) as exc_info:
+                fast.predict("EP")
+            assert exc_info.value.retry_after_ms > 0
+
+    def test_parallel_servers_get_distinct_ephemeral_ports(self, make_server):
+        # The port-0 discipline is what lets parallel CI runs coexist:
+        # two servers started the same way never collide.
+        a = make_server(ServeConfig(session={"seed": 11}))
+        b = make_server(ServeConfig(session={"seed": 11}))
+        assert a.port != b.port
+        with ServeClient(a.host, a.port) as ca, \
+                ServeClient(b.host, b.port) as cb:
+            assert ca.ping() and cb.ping()
 
 
 class TestDeadlines:
-    def test_expired_deadline_fails_instead_of_serving_late(self):
+    def test_expired_deadline_fails_instead_of_serving_late(self, make_server):
         config = ServeConfig(
             max_linger_ms=0.0, session={"seed": 11, "use_cache": False},
         )
-        with BackgroundServer(config) as bg:
-            with ServeClient(bg.host, bg.port) as slow, \
-                    ServeClient(bg.host, bg.port) as fast:
-                slow._send(
-                    "sweep",
-                    {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
-                     "strategy": "serial"},
-                    None,
-                )
-                # Queued behind the sweep with a 1ms deadline: must fail.
-                with pytest.raises(DeadlineExceededError):
-                    fast.predict("EP", deadline_ms=1.0)
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            slow._send(
+                "sweep",
+                {"workloads": list(WORKLOADS), "levels": [1, 2, 4],
+                 "strategy": "serial"},
+                None,
+            )
+            # Queued behind the sweep with a 1ms deadline: must fail.
+            with pytest.raises(DeadlineExceededError):
+                fast.predict("EP", deadline_ms=1.0)
 
 
 class TestGracefulDrain:
-    def test_admitted_work_finishes_during_drain(self):
+    def test_admitted_work_finishes_during_drain(self, make_server):
         config = ServeConfig(max_linger_ms=0.0,
                              session={"seed": 11, "use_cache": False})
-        bg = BackgroundServer(config).start()
+        bg = make_server(config)
         outcome = {}
 
         def request_sweep():
@@ -219,19 +218,15 @@ class TestGracefulDrain:
                 )
 
         worker = threading.Thread(target=request_sweep)
-        try:
-            worker.start()
-            import time
-            time.sleep(0.2)          # let the sweep be admitted
-            bg.stop()                # graceful drain blocks until done
-            worker.join(timeout=30)
-            assert not worker.is_alive()
-            assert set(outcome["summary"]["workloads"]) == {"EP", "CG"}
-        finally:
-            bg.stop()
+        worker.start()
+        time.sleep(0.2)          # let the sweep be admitted
+        bg.stop()                # graceful drain blocks until done
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert set(outcome["summary"]["workloads"]) == {"EP", "CG"}
 
-    def test_listener_closed_after_stop(self):
-        bg = BackgroundServer(ServeConfig()).start()
+    def test_listener_closed_after_stop(self, make_server):
+        bg = make_server(ServeConfig())
         host, port = bg.host, bg.port
         bg.stop()
         with pytest.raises(OSError):

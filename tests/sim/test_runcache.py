@@ -176,6 +176,52 @@ class TestCacheStore:
         assert cache.get(spec) is None
         assert not path.exists()
 
+    def test_stale_schema_entry_is_rejected(self, tmp_path):
+        # An entry written under a different payload layout may parse
+        # cleanly yet mean something else; it must never deserialize.
+        from repro.obs import configure
+        from repro.sim.runcache import PAYLOAD_SCHEMA
+
+        cache = RunCache(tmp_path)
+        spec = make_spec()
+        result = simulate_run(spec)
+        cache.put(spec, result)
+        path = tmp_path / f"{run_cache_key(spec)}.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == PAYLOAD_SCHEMA
+        payload["schema"] = PAYLOAD_SCHEMA - 1
+        path.write_text(json.dumps(payload))
+        tracer = configure(enabled=True)
+        tracer.reset()
+        try:
+            assert cache.get(spec) is None
+            counters = tracer.counters()
+            assert counters.get("runcache.schema_mismatch") == 1
+            assert counters.get("runcache.misses") == 1
+            assert counters.get("runcache.corrupt") is None
+        finally:
+            configure(enabled=False)
+            tracer.reset()
+        # Deleted on first sight, so a fresh put repopulates cleanly.
+        assert not path.exists()
+        cache.put(spec, result)
+        cached = cache.get(spec)
+        assert cached is not None
+        assert_results_equal(cached, result)
+
+    def test_pre_versioning_entry_is_rejected(self, tmp_path):
+        # Entries from before the schema field existed carry no marker
+        # at all — those are exactly the "stale format" class.
+        cache = RunCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, simulate_run(spec))
+        path = tmp_path / f"{run_cache_key(spec)}.json"
+        payload = json.loads(path.read_text())
+        del payload["schema"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert not path.exists()
+
     def test_clear(self, tmp_path):
         cache = RunCache(tmp_path)
         spec = make_spec()
