@@ -1,11 +1,18 @@
-"""Benchmark the full catalog sweep: scalar vs batched vs warm cache.
+"""Benchmark the full catalog sweep across every execution strategy.
 
 Times the complete POWER7 (28 workloads x SMT1/2/4) plus Nehalem
-(22 workloads x SMT1/2) sweeps through three paths:
+(22 workloads x SMT1/2) sweeps through five paths:
 
-* ``scalar``  — the reference engine, one ``simulate_run`` per spec;
-* ``batched`` — ``run_catalog(strategy="batched")`` with the cache disabled (cold);
-* ``cached``  — the batched strategy against a freshly populated
+* ``scalar``    — the reference engine, one ``simulate_run`` per spec;
+* ``batched``   — ``run_catalog(strategy="batched")``, the legacy
+  vectorized engine, cache disabled (cold);
+* ``columnar``  — ``run_catalog(strategy="columnar")``: the whole sweep
+  lowered into one ``ScenarioTable`` per architecture, cache disabled;
+* ``surrogate`` — ``run_catalog(strategy="surrogate")``: the calibrated
+  fast path answers in-bound scenarios directly, the rest fall back to
+  the table solver (models are fit/loaded untimed first — calibration
+  is an offline step);
+* ``cached``    — the columnar strategy against a freshly populated
   run cache (warm rerun; no simulation at all).
 
 The warm phase is then re-run once with in-process telemetry enabled
@@ -14,8 +21,9 @@ inferred from timing: every run must be a ``runcache.hits`` increment
 and none a miss, or the warm speedup is mislabelled.
 
 Writes ``BENCH_sweep.json`` at the repo root with per-phase wall times,
-the two headline speedups (batched-vs-scalar, warm-vs-scalar), and the
-telemetry-verified warm-cache hit counts.
+per-scenario latencies (seconds / n_runs), the headline speedups
+(each strategy vs scalar), and the telemetry-verified warm-cache hit
+and surrogate hit counts.
 
     PYTHONPATH=src python scripts/bench_sweep.py [--repeats N]
 """
@@ -54,7 +62,8 @@ def sweeps():
 
 def reset_memo_state():
     # The serial-rate memo survives across calls; clear it so every
-    # timed phase starts from the same cold state.
+    # timed phase starts from the same cold state.  Surrogate models
+    # are deliberately NOT cleared: calibration is an offline step.
     engine._SERIAL_RATE_CACHE.clear()
 
 
@@ -68,14 +77,9 @@ def timed(fn, repeats):
     return min(times)
 
 
-def run_scalar():
+def run_strategy(strategy):
     for _, system, catalog, levels in sweeps():
-        run_catalog(system, catalog, levels, strategy="serial", seed=SEED)
-
-
-def run_batched():
-    for _, system, catalog, levels in sweeps():
-        run_catalog(system, catalog, levels, seed=SEED,
+        run_catalog(system, catalog, levels, strategy=strategy, seed=SEED,
                     use_cache=False)
 
 
@@ -98,12 +102,35 @@ def main(argv=None):
     detail = " + ".join(f"{name} {count}" for name, count in parts)
     print(f"sweep size: {n_runs} runs ({detail}), repeats={args.repeats}")
 
-    scalar_s = timed(run_scalar, args.repeats)
-    print(f"scalar engine:        {scalar_s * 1e3:9.1f} ms")
+    def report(label, seconds, baseline=None):
+        rel = "" if baseline is None else f" ({baseline / seconds:.2f}x vs scalar)"
+        print(f"{label:22}{seconds * 1e3:9.1f} ms "
+              f"({seconds / n_runs * 1e6:7.1f} us/run){rel}")
 
-    batched_s = timed(run_batched, args.repeats)
-    print(f"batched engine (cold):{batched_s * 1e3:9.1f} ms "
-          f"({scalar_s / batched_s:.2f}x vs scalar)")
+    scalar_s = timed(lambda: run_strategy("serial"), args.repeats)
+    report("scalar engine:", scalar_s)
+
+    batched_s = timed(lambda: run_strategy("batched"), args.repeats)
+    report("batched engine (cold):", batched_s, scalar_s)
+
+    columnar_s = timed(lambda: run_strategy("columnar"), args.repeats)
+    report("columnar table (cold):", columnar_s, scalar_s)
+
+    # Fit/load the surrogate models untimed, then time steady-state use.
+    run_strategy("surrogate")
+    tracer = configure(enabled=True)
+    tracer.reset()
+    reset_memo_state()
+    run_strategy("surrogate")
+    surrogate_counters = tracer.counters()
+    configure(enabled=False)
+    tracer.reset()
+    surrogate_s = timed(lambda: run_strategy("surrogate"), args.repeats)
+    sur_hits = int(surrogate_counters.get("surrogate.hits", 0))
+    sur_falls = int(surrogate_counters.get("surrogate.fallbacks", 0))
+    report("surrogate (steady):", surrogate_s, scalar_s)
+    print(f"{'':22}surrogate answered {sur_hits}/{sur_hits + sur_falls} "
+          f"runs directly")
 
     with tempfile.TemporaryDirectory() as tmp:
         cache = RunCache(Path(tmp))
@@ -111,7 +138,7 @@ def main(argv=None):
         start = time.perf_counter()
         run_with_cache(cache)
         populate_s = time.perf_counter() - start
-        print(f"batched + cache fill: {populate_s * 1e3:9.1f} ms "
+        print(f"{'columnar + cache fill:':22}{populate_s * 1e3:9.1f} ms "
               f"({len(cache)} entries)")
         warm_s = timed(lambda: run_with_cache(cache), args.repeats)
 
@@ -127,25 +154,35 @@ def main(argv=None):
 
     hits = int(warm_counters.get("runcache.hits", 0))
     misses = int(warm_counters.get("runcache.misses", 0))
-    print(f"warm cache rerun:     {warm_s * 1e3:9.1f} ms "
-          f"({scalar_s / warm_s:.2f}x vs scalar, "
-          f"{hits}/{hits + misses} cache hits)")
+    report("warm cache rerun:", warm_s, scalar_s)
+    print(f"{'':22}{hits}/{hits + misses} cache hits")
     if hits != n_runs or misses != 0:
         print(f"WARNING: warm pass expected {n_runs} hits / 0 misses, "
               f"telemetry saw {hits} hits / {misses} misses")
 
+    seconds = {
+        "scalar": scalar_s,
+        "batched_cold": batched_s,
+        "columnar_cold": columnar_s,
+        "surrogate": surrogate_s,
+        "batched_cache_fill": populate_s,
+        "warm_cache": warm_s,
+    }
     payload = {
         "n_runs": n_runs,
         "repeats": args.repeats,
-        "seconds": {
-            "scalar": scalar_s,
-            "batched_cold": batched_s,
-            "batched_cache_fill": populate_s,
-            "warm_cache": warm_s,
-        },
+        "seconds": seconds,
+        "per_run_seconds": {k: v / n_runs for k, v in seconds.items()},
         "speedup": {
             "batched_vs_scalar": scalar_s / batched_s,
+            "columnar_vs_scalar": scalar_s / columnar_s,
+            "surrogate_vs_scalar": scalar_s / surrogate_s,
             "warm_cache_vs_scalar": scalar_s / warm_s,
+        },
+        "surrogate_telemetry": {
+            "hits": sur_hits,
+            "fallbacks": sur_falls,
+            "hit_rate": sur_hits / max(sur_hits + sur_falls, 1),
         },
         "warm_cache_telemetry": {
             "hits": hits,

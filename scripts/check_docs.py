@@ -32,6 +32,8 @@ PUBLIC_MODULES = (
     "repro.obs",
     "repro.faults",
     "repro.check",
+    "repro.sim.table",
+    "repro.sim.surrogate",
 )
 
 

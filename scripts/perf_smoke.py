@@ -1,0 +1,59 @@
+"""CI perf smoke: the columnar engine must keep beating the scalar one.
+
+A deliberately small cold sweep (a catalog subset at every POWER7 SMT
+level) timed through the scalar reference and the columnar strategy.
+The full benchmark (``scripts/bench_sweep.py``) measures ~20x on the
+128-run sweep; this gate only defends against catastrophic regressions
+— losing the whole-table vectorization, an accidental per-row Python
+loop — so the bar is deliberately low and CI-noise-proof: the cold
+columnar sweep must stay at least ``MIN_SPEEDUP``x the scalar engine.
+
+    PYTHONPATH=src python scripts/perf_smoke.py
+"""
+
+import sys
+import time
+
+from repro.experiments.runner import run_catalog
+from repro.experiments.systems import p7_system
+from repro.sim import engine
+from repro.workloads.catalog import all_workloads
+
+MIN_SPEEDUP = 4.0
+SEED = 11
+LEVELS = (1, 2, 4)
+#: Sync-free, bandwidth-bound and lock-contended — all solver regimes.
+NAMES = ("EP", "IS", "SSCA2", "Equake", "Fluidanimate",
+         "SPECjbb_contention", "Daytrader", "Streamcluster")
+
+
+def timed(strategy, repeats=3):
+    specs = all_workloads()
+    catalog = {n: specs[n] for n in NAMES}
+    times = []
+    for _ in range(repeats):
+        engine._SERIAL_RATE_CACHE.clear()
+        start = time.perf_counter()
+        run_catalog(p7_system(), catalog, LEVELS, strategy=strategy,
+                    seed=SEED, use_cache=False)
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def main():
+    n_runs = len(NAMES) * len(LEVELS)
+    scalar_s = timed("serial")
+    columnar_s = timed("columnar")
+    speedup = scalar_s / columnar_s
+    print(f"{n_runs} cold runs: scalar {scalar_s * 1e3:.1f} ms, "
+          f"columnar {columnar_s * 1e3:.1f} ms -> {speedup:.2f}x")
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: cold columnar sweep is only {speedup:.2f}x the "
+              f"scalar engine (perf-smoke bar: {MIN_SPEEDUP}x)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

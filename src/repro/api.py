@@ -15,8 +15,11 @@ A :class:`Session` pins the shared context (system, seed, work budget,
 run cache, threshold) and amortizes it across calls: the fitted
 per-architecture predictor and the underlying run cache are reused, and
 :meth:`Session.predict_many` pushes any number of concurrent queries
-through one vectorized :func:`repro.sim.engine.simulate_many` batch —
-the entry point the service's micro-batcher dispatches to.
+through one columnar :class:`repro.sim.table.ScenarioTable` solve —
+the entry point the service's micro-batcher dispatches to.  Sessions
+built with ``surrogate=True`` route that batch through the calibrated
+:mod:`repro.sim.surrogate` fast path instead, falling back to the full
+solver for out-of-calibration rows.
 
 Everything here is re-exported at top level (``from repro import
 Session, predict, ...``); ``docs/api.md`` documents this surface and
@@ -37,7 +40,7 @@ from repro.experiments.runner import (
     run_catalog,
 )
 from repro.obs import get_tracer
-from repro.sim.engine import DEFAULT_WORK, RunSpec, simulate_many
+from repro.sim.engine import DEFAULT_WORK, RunSpec
 from repro.sim.results import RunResult, speedup
 from repro.sim.runcache import RunCache, cache_enabled_by_default
 from repro.simos.system import SystemSpec
@@ -141,6 +144,7 @@ class Session:
         use_cache: Optional[bool] = None,
         threshold: Optional[float] = None,
         threshold_method: str = "gini",
+        surrogate: bool = False,
     ):
         self.system = resolve_system(arch, n_chips)
         self.seed = seed
@@ -151,6 +155,7 @@ class Session:
         self._cache = RunCache() if self.use_cache else None
         self.threshold = threshold
         self.threshold_method = threshold_method
+        self.surrogate = bool(surrogate)
         self._predictors: Dict[Tuple[int, int, int], SmtPredictor] = {}
         self._fit_runs: Optional[CatalogRuns] = None
 
@@ -213,7 +218,15 @@ class Session:
         return fitted
 
     def _simulate(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Cache-aware batched simulation of arbitrary run specs."""
+        """Cache-aware batched simulation of arbitrary run specs.
+
+        The missing-spec batch is lowered into one columnar
+        :class:`~repro.sim.table.ScenarioTable` solve; in surrogate mode
+        the calibrated fast path answers in-bound rows directly and only
+        out-of-calibration rows fall back to the full solver.  Surrogate
+        answers are approximate, so they are never written back to the
+        exact run cache.
+        """
         results: List[Optional[RunResult]] = [None] * len(specs)
         missing: List[int] = []
         if self._cache is not None:
@@ -224,10 +237,17 @@ class Session:
         else:
             missing = list(range(len(specs)))
         if missing:
-            fresh = simulate_many([specs[i] for i in missing])
-            for i, result in zip(missing, fresh):
+            todo = [specs[i] for i in missing]
+            if self.surrogate:
+                from repro.sim.surrogate import simulate_many_surrogate
+                fresh, hits = simulate_many_surrogate(todo)
+            else:
+                from repro.sim.table import simulate_many_columnar
+                fresh = simulate_many_columnar(todo)
+                hits = [False] * len(todo)
+            for pos, (i, result) in enumerate(zip(missing, fresh)):
                 results[i] = result
-                if self._cache is not None:
+                if self._cache is not None and not hits[pos]:
                     self._cache.put(specs[i], result)
         return results  # type: ignore[return-value]
 
@@ -249,9 +269,9 @@ class Session:
         """Answer many prediction queries through one vectorized batch.
 
         This is the amortization point the serving layer's micro-batcher
-        dispatches to: all measurement runs are simulated in one
-        :func:`simulate_many` call (cache hits skipped), then scored and
-        thresholded individually.
+        dispatches to: all measurement runs are lowered into one columnar
+        :class:`~repro.sim.table.ScenarioTable` solve (cache hits
+        skipped), then scored and thresholded individually.
         """
         parsed: List[PredictQuery] = [
             q if isinstance(q, PredictQuery) else PredictQuery(**q)
@@ -386,17 +406,20 @@ def get_session(
     use_cache: Optional[bool] = None,
     threshold: Optional[float] = None,
     threshold_method: str = "gini",
+    surrogate: bool = False,
 ) -> Session:
     """A shared :class:`Session` for this configuration (created once)."""
     key = (
         arch if isinstance(arch, str) else (arch.arch.name, arch.n_chips),
         n_chips, seed, work, use_cache, threshold, threshold_method,
+        surrogate,
     )
     session = _SESSIONS.get(key)
     if session is None:
         session = _SESSIONS[key] = Session(
             arch, n_chips=n_chips, seed=seed, work=work, use_cache=use_cache,
             threshold=threshold, threshold_method=threshold_method,
+            surrogate=surrogate,
         )
     return session
 

@@ -43,17 +43,37 @@ def goldens_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "tests" / "goldens"
 
 
+#: Memo for :func:`model_fingerprint`, keyed by the serialized model
+#: constants.  The reference architectures are deterministic pure
+#: constructors, so within one process their fingerprints can only
+#: change together with the constants serialization — which is itself
+#: cached and therefore a cheap exact key.
+_FINGERPRINT_CACHE: Dict[str, str] = {}
+
+
 def model_fingerprint() -> str:
-    """Short hash of the model constants + per-figure architectures."""
+    """Short hash of the model constants + per-figure architectures.
+
+    Memoized: golden and runcache checks call this on every comparison,
+    and rebuilding + re-serializing both reference architectures per
+    call dominated their runtime.
+    """
     from repro.arch import get_architecture
     from repro.sim.runcache import _arch_fp_json, _constants_fp_json
 
+    constants_json = _constants_fp_json()
+    hit = _FINGERPRINT_CACHE.get(constants_json)
+    if hit is not None:
+        return hit
     digest = hashlib.sha256()
-    digest.update(_constants_fp_json().encode())
+    digest.update(constants_json.encode())
     for arch_name in ("power7", "nehalem"):
         digest.update(b"\x00")
         digest.update(_arch_fp_json(get_architecture(arch_name)).encode())
-    return digest.hexdigest()[:16]
+    fp = digest.hexdigest()[:16]
+    _FINGERPRINT_CACHE.clear()
+    _FINGERPRINT_CACHE[constants_json] = fp
+    return fp
 
 
 # -- figure summaries ----------------------------------------------------

@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.core.metric import smtsm_from_run
-from repro.sim.engine import RunSpec, simulate_many, simulate_run
+from repro.sim.engine import RunSpec
 from repro.simos import SystemSpec
 from repro.util.tables import format_table
 from repro.workloads import all_workloads, get_workload
@@ -104,7 +104,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
                 fresh = _simulate_parallel(todo, args.jobs)
             else:
-                fresh = simulate_many(todo)
+                from repro.sim.table import simulate_many_columnar
+
+                fresh = simulate_many_columnar(todo)
             for i, result in zip(missing, fresh):
                 results[i] = result
                 if cache is not None:

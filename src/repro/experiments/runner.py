@@ -9,9 +9,11 @@ SMT1/2/4, and speedups compare completion of the *same work*.
 caches the runs; every scatter figure (6, 8-15) is then a cheap
 projection: pick the measurement level for the metric and a level pair
 for the speedup.  One entry point covers every execution strategy:
-``run_catalog(arch_or_system, ..., strategy="batched"|"serial"|"parallel")``
-— the vectorized batch engine (default), the scalar reference loop, or
-the resilient multiprocessing fan-out.  The historical names
+``run_catalog(arch_or_system, ..., strategy="columnar"|"surrogate"|
+"batched"|"serial"|"parallel")`` — the columnar scenario-table engine
+(default), the calibrated surrogate fast path, the legacy vectorized
+batch engine, the scalar reference loop, or the resilient
+multiprocessing fan-out.  The historical names
 (``run_catalog_batched``, ``systems.p7_runs``/``nehalem_runs``) survive
 as thin :class:`DeprecationWarning` shims.
 """
@@ -50,7 +52,7 @@ __all__ = [
 ]
 
 #: Execution strategies the unified :func:`run_catalog` accepts.
-STRATEGIES = ("batched", "serial", "parallel")
+STRATEGIES = ("columnar", "surrogate", "batched", "serial", "parallel")
 
 #: Named systems accepted wherever a :class:`SystemSpec` is expected:
 #: alias -> (architecture registry name, chip count).
@@ -266,7 +268,7 @@ def run_catalog(
     catalog: Optional[Mapping[str, WorkloadSpec]] = None,
     levels: Optional[Sequence[int]] = None,
     *,
-    strategy: str = "batched",
+    strategy: str = "columnar",
     n_chips: Optional[int] = None,
     seed: int = 11,
     work: float = DEFAULT_WORK,
@@ -285,11 +287,23 @@ def run_catalog(
     (Table I for POWER7, the Fig. 10/12 set for Nehalem), ``levels`` to
     the architecture's SMT levels.
 
-    ``strategy`` selects how the runs execute; all three produce the
-    same :class:`CatalogRuns` (to floating-point round-off):
+    ``strategy`` selects how the runs execute; all of them produce the
+    same :class:`CatalogRuns` (to floating-point round-off; the
+    surrogate to its verified error bound):
 
-    * ``"batched"`` (default) — every chip fixed point solved in
-      vectorized lockstep via :func:`repro.sim.engine.simulate_many`;
+    * ``"columnar"`` (default) — the whole sweep lowered into one
+      struct-of-arrays :class:`repro.sim.table.ScenarioTable` per
+      architecture and solved with whole-table numpy ops
+      (:func:`repro.sim.table.simulate_many_columnar`);
+    * ``"surrogate"`` — the calibrated fast path
+      (:func:`repro.sim.surrogate.simulate_many_surrogate`): verified
+      regression warm starts answer confident runs, the rest fall back
+      to the columnar solver.  Surrogate-answered results are *not*
+      written to the run cache (they carry a bounded approximation,
+      the cache stores exact solver output);
+    * ``"batched"`` — the previous per-scenario-object lockstep via
+      :func:`repro.sim.engine.simulate_many` (kept as the benchmark
+      baseline);
     * ``"serial"`` — the scalar reference loop, one
       :func:`simulate_run` per spec with a nested ``run`` span each
       (the source of ``repro stats``' slowest-runs table);
@@ -375,18 +389,29 @@ def run_catalog(
                                 failed[missing[idx]] = f"{type(exc).__name__}: {exc}"
                                 tracer.add("runner.failed_runs")
                 else:
+                    surrogate_hits: List[bool] = [False] * len(todo)
                     try:
                         if strategy == "parallel":
                             fresh = list(_simulate_parallel(
                                 todo, jobs, policy=retry_policy,
                                 fault_hook=fault_hook,
                             ))
+                        elif strategy == "surrogate":
+                            from repro.sim.surrogate import simulate_many_surrogate
+
+                            fresh, surrogate_hits = simulate_many_surrogate(todo)
+                            fresh = list(fresh)
+                        elif strategy == "columnar":
+                            from repro.sim.table import simulate_many_columnar
+
+                            fresh = list(simulate_many_columnar(todo))
                         else:
                             fresh = list(simulate_many(todo))
                     except Exception:
                         # One bad spec must not abort the whole sweep:
                         # salvage run-by-run and report the casualties.
                         fresh = []
+                        surrogate_hits = [False] * len(todo)
                         for idx, spec in zip(missing, todo):
                             try:
                                 fresh.append(simulate_run(spec))
@@ -394,9 +419,14 @@ def run_catalog(
                                 fresh.append(None)
                                 failed[idx] = f"{type(exc).__name__}: {exc}"
                                 tracer.add("runner.failed_runs")
-                for i, result in zip(missing, fresh):
+                for pos, (i, result) in enumerate(zip(missing, fresh)):
                     results[i] = result
-                    if result is not None and use_cache and cache is not None:
+                    if (
+                        result is not None
+                        and use_cache
+                        and cache is not None
+                        and not surrogate_hits[pos]
+                    ):
                         cache.put(specs[i], result)
         if failed:
             sweep.set(failed_runs=len(failed))

@@ -50,6 +50,40 @@ class TestFingerprint:
         assert model_fingerprint() == model_fingerprint()
         assert len(model_fingerprint()) == 16
 
+    def test_repeat_calls_hit_the_memo(self, monkeypatch):
+        import repro.check.goldens as goldens
+        from repro.sim import runcache
+
+        calls = {"n": 0}
+        real = runcache._arch_fp_json
+
+        def counting(arch):
+            calls["n"] += 1
+            return real(arch)
+
+        monkeypatch.setattr(runcache, "_arch_fp_json", counting)
+        goldens._FINGERPRINT_CACHE.clear()
+        first = model_fingerprint()
+        after_first = calls["n"]
+        assert after_first > 0  # the miss really rebuilt the arch parts
+        assert model_fingerprint() == first
+        assert calls["n"] == after_first  # the hit rebuilt nothing
+
+    def test_constant_change_invalidates_the_memo(self, monkeypatch):
+        from repro.sim import runcache
+
+        baseline = model_fingerprint()
+        # A changed model constant produces a different constants JSON;
+        # the memo must miss and yield a different fingerprint.
+        monkeypatch.setattr(
+            runcache, "_CONSTANTS_FP_JSON", '{"tampered": true}'
+        )
+        tampered = model_fingerprint()
+        assert tampered != baseline
+        assert len(tampered) == 16
+        # And repeat calls under the tampered constants stay memoized.
+        assert model_fingerprint() == tampered
+
 
 class TestGoldenLifecycle:
     def test_update_writes_stamped_files(self, golden_dir):

@@ -3,6 +3,7 @@
 import pytest
 
 import repro.experiments.runner as runner_mod
+import repro.sim.table as table_mod
 from repro.experiments.runner import (
     run_catalog,
     scatter_from_runs,
@@ -99,6 +100,7 @@ def broken_equake(monkeypatch):
         return real_simulate_run(spec)
 
     monkeypatch.setattr(runner_mod, "simulate_many", batch_dies)
+    monkeypatch.setattr(table_mod, "simulate_many_columnar", batch_dies)
     monkeypatch.setattr(runner_mod, "simulate_run", run_or_die)
     return subset
 

@@ -1,9 +1,10 @@
-"""Integration: a batched catalog sweep emits consistent telemetry.
+"""Integration: a columnar catalog sweep emits consistent telemetry.
 
 Runs a small POWER7 sweep twice against a run cache in a temporary
 directory with the global tracer enabled: the cold pass must record one
-``runcache.misses`` per run (and the engine counters that prove work
-happened), the warm pass one ``runcache.hits`` per run and nothing else.
+``runcache.misses`` per run (and the table-engine counters that prove
+work happened), the warm pass one ``runcache.hits`` per run and nothing
+else.
 """
 
 import pytest
@@ -52,9 +53,14 @@ class TestColdPass:
         assert counters["runcache.misses"] == N_RUNS
         assert counters["runcache.puts"] == N_RUNS
         assert "runcache.hits" not in counters
-        # The engine actually simulated: batch/fixed-point work happened.
-        assert counters["chip.batch_jobs"] > 0
-        assert counters["chip.batch_bisection_steps"] > 0
+        # The table engine actually simulated: whole-table solves and
+        # bandwidth bisection happened over every run of the sweep.
+        assert counters["table.tables"] == 1
+        assert counters["table.runs"] == N_RUNS
+        assert counters["table.rows"] >= N_RUNS
+        assert counters["table.solves"] > 0
+        assert counters["table.bisection_steps"] > 0
+        # Serial-rate warming still goes through the core batch solver.
         assert counters["core_batch.solves"] > 0
         assert counters["engine.serial_memo_misses"] == len(NAMES)
 
@@ -70,7 +76,7 @@ class TestColdPass:
         (simulate,) = by_name["simulate"]
         assert simulate.attrs["runs"] == N_RUNS
         assert simulate.path.startswith("runner.run_catalog/")
-        assert by_name["engine.simulate_many"]
+        assert by_name["table.simulate_many"]
 
 
 class TestWarmPass:
@@ -83,7 +89,8 @@ class TestWarmPass:
         assert counters.get("runcache.misses", 0) == 0
         assert counters.get("runcache.puts", 0) == 0
         # No simulation at all on the warm pass.
-        assert "chip.batch_jobs" not in counters
+        assert "table.tables" not in counters
+        assert "table.solves" not in counters
         assert "core_batch.solves" not in counters
         (top,) = [r for r in tracer.spans()
                   if r.name == "runner.run_catalog"]

@@ -1,0 +1,192 @@
+"""The calibrated surrogate fast path: fit, persist, verify, fall back.
+
+The surrogate is only allowed to answer when it can *prove* the answer:
+leverage inside the calibration envelope and a fixed-point residual
+within ``EPS_RHO``.  These tests pin both sides of that contract — the
+accepted answers against the full solver at the 1% documented bound,
+and the refusals (out-of-calibration queries) falling back to results
+bit-identical to the columnar solver — plus the persistence layer
+(fingerprint-stamped model files next to the runcache) and the
+``model_fingerprint`` memoization that keeps the hot path cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import power7
+from repro.arch.classes import InstrClass, Mix
+from repro.check.differential import compare_runs
+from repro.obs import configure
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.stream import MemoryBehavior, StreamParams
+from repro.sim.surrogate import (
+    LEVERAGE_SLACK,
+    SurrogateModel,
+    clear_surrogate_cache,
+    fit_surrogate,
+    get_surrogate,
+    load_surrogate,
+    save_surrogate,
+    simulate_many_surrogate,
+    surrogate_path,
+)
+from repro.sim.table import simulate_many_columnar
+from repro.simos import SystemSpec
+from repro.workloads import all_workloads
+
+P7 = power7()
+
+
+@pytest.fixture(autouse=True)
+def isolated_models(tmp_path, monkeypatch):
+    """Every test gets its own model store and a cold in-process cache."""
+    monkeypatch.setenv("REPRO_RUNCACHE_DIR", str(tmp_path / "runcache"))
+    clear_surrogate_cache()
+    yield
+    clear_surrogate_cache()
+
+
+@pytest.fixture
+def tracer():
+    tracer = configure(enabled=True)
+    tracer.reset()
+    yield tracer
+    configure(enabled=False)
+    tracer.reset()
+
+
+def _spec(name="EP", level=4, seed=11, **kwargs):
+    workload = all_workloads()[name]
+    return RunSpec(system=SystemSpec(P7, 1), smt_level=level,
+                   stream=workload.stream, sync=workload.sync, seed=seed,
+                   **kwargs)
+
+
+def _out_of_calibration_spec():
+    """A stream far outside the catalog: the leverage gate must fire."""
+    extreme = StreamParams(
+        mix=Mix({InstrClass.LOAD: 0.85, InstrClass.STORE: 0.05,
+                 InstrClass.BRANCH: 0.05, InstrClass.FX: 0.03,
+                 InstrClass.VS: 0.02}),
+        ilp=0.6,
+        memory=MemoryBehavior(l1_mpki=300.0, l2_mpki=290.0, l3_mpki=280.0,
+                              locality_alpha=0.01, data_sharing=0.9),
+        branch_mispredict_rate=0.2,
+        mlp=1.0,
+    )
+    sync = all_workloads()["EP"].sync
+    return RunSpec(system=SystemSpec(P7, 1), smt_level=4, stream=extreme,
+                   sync=sync, seed=11)
+
+
+class TestPersistence:
+    def test_fit_save_load_round_trip(self):
+        model = fit_surrogate(P7, 1)
+        path = save_surrogate(model)
+        assert model.fingerprint in path
+        loaded = load_surrogate(P7.name, 1)
+        assert loaded is not None
+        assert loaded.fingerprint == model.fingerprint
+        assert loaded.n_train == model.n_train
+        np.testing.assert_allclose(loaded.coef, model.coef)
+        np.testing.assert_allclose(loaded.a_inv, model.a_inv)
+
+    def test_load_missing_model_returns_none(self):
+        assert load_surrogate(P7.name, 1) is None
+
+    def test_load_rejects_stale_fingerprint(self):
+        model = fit_surrogate(P7, 1)
+        save_surrogate(model)
+        # A model persisted under an older fingerprint must not load,
+        # even if a file exists at the stale path.
+        import shutil
+
+        stale = surrogate_path(P7.name, 1, "0" * 16)
+        shutil.move(surrogate_path(P7.name, 1, model.fingerprint), stale)
+        assert load_surrogate(P7.name, 1) is None
+
+    def test_load_revalidates_embedded_fingerprint(self):
+        model = fit_surrogate(P7, 1)
+        payload = model.to_json()
+        payload["fingerprint"] = "0" * 16
+        tampered = SurrogateModel.from_json(payload)
+        # Write the tampered payload at the *current* fingerprint path.
+        import json, os
+
+        path = surrogate_path(P7.name, 1, model.fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(tampered.to_json(), fh)
+        assert load_surrogate(P7.name, 1) is None
+
+    def test_get_surrogate_fits_once_then_memoizes(self, tracer):
+        first = get_surrogate(P7, 1)
+        second = get_surrogate(P7, 1)
+        assert first is second
+        counters = tracer.counters()
+        assert counters["surrogate.fits"] == 1
+        assert counters["surrogate.saves"] == 1
+
+    def test_get_surrogate_loads_from_disk_after_cache_clear(self, tracer):
+        get_surrogate(P7, 1)
+        clear_surrogate_cache()
+        get_surrogate(P7, 1)
+        counters = tracer.counters()
+        assert counters["surrogate.fits"] == 1
+        assert counters["surrogate.loads"] == 1
+
+
+class TestPrediction:
+    def test_accepted_answers_within_documented_bound(self):
+        specs = [_spec(name, level)
+                 for name in ("EP", "SSCA2", "Fluidanimate")
+                 for level in (1, 4)]
+        results, accepted = simulate_many_surrogate(specs)
+        assert any(accepted), "surrogate must engage on catalog workloads"
+        for spec, got, ok in zip(specs, results, accepted):
+            bound = 1e-2 if ok else 1e-9
+            diffs = compare_runs(simulate_run(spec), got, bound)
+            assert not diffs, (ok, diffs)
+
+    def test_out_of_calibration_query_falls_back(self, tracer):
+        specs = [_spec("EP", 4), _out_of_calibration_spec()]
+        results, accepted = simulate_many_surrogate(specs)
+        assert accepted[0] is True
+        assert accepted[1] is False
+        counters = tracer.counters()
+        assert counters["surrogate.leverage_rejects"] >= 1
+        assert counters["surrogate.hits"] == 1
+        assert counters["surrogate.fallbacks"] == 1
+        # The fallback is the full solver: bit-identical to columnar.
+        columnar = simulate_many_columnar([specs[1]])[0]
+        assert compare_runs(results[1], columnar, rel_tol=0.0) == []
+
+    def test_leverage_gate_is_calibrated_not_arbitrary(self):
+        from repro.sim.surrogate import _features
+        from repro.sim.table import ScenarioTable
+
+        model = get_surrogate(P7, 1)
+        inside = _features(ScenarioTable([_spec("EP", 4)]))
+        outside = _features(ScenarioTable([_out_of_calibration_spec()]))
+        assert model.leverage(inside)[0] <= LEVERAGE_SLACK * model.max_leverage
+        assert model.leverage(outside)[0] > LEVERAGE_SLACK * model.max_leverage
+
+    def test_empty_batch(self):
+        assert simulate_many_surrogate([]) == ([], [])
+
+
+@pytest.mark.surrogate
+class TestFullCatalogAccuracy:
+    """Slow sweep: the 1% bound over the whole default calibration set."""
+
+    def test_every_catalog_run_within_bound(self):
+        specs = [_spec(name, level)
+                 for name in all_workloads()
+                 for level in (1, 2, 4)]
+        results, accepted = simulate_many_surrogate(specs)
+        hits = sum(accepted)
+        assert hits > len(specs) / 2, f"only {hits}/{len(specs)} accepted"
+        for spec, got, ok in zip(specs, results, accepted):
+            bound = 1e-2 if ok else 1e-9
+            diffs = compare_runs(simulate_run(spec), got, bound)
+            assert not diffs, (spec.smt_level, ok, diffs)

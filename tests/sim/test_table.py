@@ -1,0 +1,117 @@
+"""The columnar ScenarioTable engine vs the serial reference.
+
+Every test drives the same :class:`RunSpec` set down both paths and
+holds the table's results to the repository-wide 1e-9 equivalence bound
+via the differential pillar's ``compare_runs`` — including the shapes
+the lockstep solver finds hardest: ragged batches mixing architectures,
+SMT levels, thread counts and chip counts; and degenerate single-row
+tables where no lockstep amortization exists at all.
+"""
+
+import pytest
+
+from repro.arch import nehalem, power7
+from repro.check.differential import REL_TOL, compare_runs
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.table import ScenarioTable, simulate_many_columnar
+from repro.simos import SystemSpec
+from repro.workloads import all_workloads
+
+from .helpers import balanced_stream, memory_stream, thrashy_fp_stream
+
+
+#: One shared instance per architecture: a ScenarioTable groups rows by
+#: Architecture identity, exactly as run_catalog and the api session do.
+P7 = power7()
+NHM = nehalem()
+
+
+def _catalog_spec(name, level, *, arch=None, n_chips=1, seed=11, **kwargs):
+    workload = all_workloads()[name]
+    system = SystemSpec(arch if arch is not None else P7, n_chips)
+    return RunSpec(system=system, smt_level=level, stream=workload.stream,
+                   sync=workload.sync, seed=seed, **kwargs)
+
+
+def assert_equivalent(specs, results):
+    assert len(results) == len(specs)
+    for spec, got in zip(specs, results):
+        diffs = compare_runs(simulate_run(spec), got, REL_TOL)
+        assert not diffs, (spec.smt_level, diffs)
+
+
+class TestRoundTrip:
+    def test_single_row_table(self):
+        specs = [_catalog_spec("EP", 4)]
+        assert_equivalent(specs, simulate_many_columnar(specs))
+
+    def test_catalog_batch(self):
+        specs = [
+            _catalog_spec(name, level)
+            for name in ("EP", "SSCA2", "Fluidanimate", "SPECjbb_contention")
+            for level in (1, 2, 4)
+        ]
+        assert_equivalent(specs, simulate_many_columnar(specs))
+
+    def test_ragged_batch_mixed_archs_levels_and_chips(self):
+        p7, nhm = P7, NHM
+        specs = [
+            _catalog_spec("EP", 4, arch=p7),
+            _catalog_spec("SSCA2", 1, arch=nhm, seed=3),
+            _catalog_spec("Fluidanimate", 2, arch=p7, n_chips=2),
+            _catalog_spec("IS", 2, arch=nhm, n_chips=2, seed=7),
+            _catalog_spec("SPECjbb_contention", 4, arch=p7,
+                          n_threads=3, noise_rel=0.0),
+            _catalog_spec("EP", 1, arch=p7, seed=5),
+        ]
+        assert_equivalent(specs, simulate_many_columnar(specs))
+
+    def test_synthetic_streams_round_trip(self):
+        arch = P7
+        workload = all_workloads()["SPECjbb_contention"]
+        specs = [
+            RunSpec(system=SystemSpec(arch, 1), smt_level=level,
+                    stream=stream, sync=workload.sync, seed=11)
+            for stream in (balanced_stream(), memory_stream(),
+                           thrashy_fp_stream())
+            for level in (1, 4)
+        ]
+        assert_equivalent(specs, simulate_many_columnar(specs))
+
+    def test_empty_batch(self):
+        assert simulate_many_columnar([]) == []
+
+    def test_input_order_preserved_across_arch_groups(self):
+        # Interleave the two architecture groups: results must come back
+        # in input order even though the table solves them group-wise.
+        p7, nhm = P7, NHM
+        specs = [
+            _catalog_spec("EP", 4, arch=p7),
+            _catalog_spec("EP", 2, arch=nhm),
+            _catalog_spec("SSCA2", 4, arch=p7),
+            _catalog_spec("SSCA2", 2, arch=nhm),
+        ]
+        results = simulate_many_columnar(specs)
+        for spec, got in zip(specs, results):
+            assert got.n_threads == spec.resolved_threads()
+        assert_equivalent(specs, results)
+
+
+class TestScenarioTable:
+    def test_table_run_matches_serial(self):
+        specs = [_catalog_spec("EP", level) for level in (1, 2, 4)]
+        table = ScenarioTable(specs)
+        assert_equivalent(specs, table.run())
+
+    def test_table_rejects_mixed_architectures(self):
+        specs = [_catalog_spec("EP", 4, arch=P7),
+                 _catalog_spec("EP", 2, arch=NHM)]
+        with pytest.raises(ValueError):
+            ScenarioTable(specs)
+
+    def test_run_is_repeatable(self):
+        specs = [_catalog_spec("SSCA2", 4)]
+        table = ScenarioTable(specs)
+        first = table.run()[0]
+        second = ScenarioTable(specs).run()[0]
+        assert compare_runs(first, second, rel_tol=0.0) == []

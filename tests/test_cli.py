@@ -65,12 +65,12 @@ class TestTelemetry:
         assert events[0]["type"] == "meta"
         spans = [e for e in events if e["type"] == "span"]
         names = {e["name"] for e in spans}
-        assert "cli.run" in names and "engine.simulate_many" in names
+        assert "cli.run" in names and "table.simulate_many" in names
         (top,) = [e for e in spans if e["name"] == "cli.run"]
         assert top["attrs"]["workload"] == "EP"
         assert top["attrs"]["cache_misses"] == 1
         counters = {e["name"] for e in events if e["type"] == "counter"}
-        assert "chip.batch_jobs" in counters
+        assert "table.solves" in counters
 
     def test_stats_summarizes_trace(self, capsys, tmp_path):
         trace = tmp_path / "t.jsonl"
@@ -81,7 +81,7 @@ class TestTelemetry:
         out = capsys.readouterr().out
         assert "span tree" in out
         assert "cli.run" in out
-        assert "chip.batch_jobs" in out
+        assert "table.solves" in out
 
     def test_stats_picks_latest_from_directory(self, capsys, tmp_path):
         trace = tmp_path / "t.jsonl"
