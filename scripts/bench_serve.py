@@ -14,6 +14,17 @@ calibrated fast path answers in-bound rows without the full solver.
 Telemetry (``repro.obs``) is read in-process after each phase so the
 achieved mean batch size is *measured*, not assumed.
 
+A second sweep measures the sharded worker tier (``--workers``,
+default ``1,2,4``): mixed-key traffic — four distinct (arch, n_chips)
+systems, so distinct batch keys route to distinct worker processes —
+driven through the same closed loop at each pool size.  The recorded
+``worker_scaling`` block carries the req/s curve, the measured mean
+batch size at every width (coalescing must survive sharding), and the
+host's usable core count: worker processes buy throughput only up to
+the physical cores available, so the >= 2.5x at 4 workers acceptance
+gate is enforced only where >= 4 cores exist and the curve is recorded
+annotated (not failed) on smaller hosts — see docs/scaling.md.
+
 Writes ``BENCH_serve.json`` at the repo root::
 
     PYTHONPATH=src python scripts/bench_serve.py [--requests N]
@@ -25,6 +36,7 @@ layer; the script exits 1 below it).
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -43,20 +55,45 @@ WORKLOADS = ("SSCA2", "Fluidanimate", "SPECjbb_contention", "Dedup",
 #: otherwise dominate the first batch and pollute the timing.
 SESSION = {"seed": 11, "use_cache": False, "threshold": 0.064}
 
+#: Distinct batch keys for the worker sweep: each (arch, n_chips) pair
+#: is its own coalescing group and routes to its own worker, so a pool
+#: of up to four workers can be fully busy at once.
+MIXED_SYSTEMS = (("p7", 1), ("p7", 2), ("nehalem", 1), ("nehalem", 2))
 
-def drive(host, port, n_clients, requests_per_client):
-    """Closed-loop load: each client fires its requests back to back."""
+
+def usable_cores():
+    """Cores this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def drive(host, port, n_clients, requests_per_client, mixed_keys=False):
+    """Closed-loop load: each client fires its requests back to back.
+
+    ``mixed_keys`` spreads the clients over :data:`MIXED_SYSTEMS` so the
+    traffic carries four distinct batch keys instead of one.
+    """
     barrier = threading.Barrier(n_clients + 1)
     errors = []
 
     def worker(client_index):
         try:
-            with ServeClient(host, port) as client:
+            with ServeClient(host, port, timeout_s=120.0) as client:
+                if mixed_keys:
+                    arch, n_chips = MIXED_SYSTEMS[
+                        client_index % len(MIXED_SYSTEMS)]
+                else:
+                    arch, n_chips = "p7", None
                 barrier.wait(timeout=30)
                 for i in range(requests_per_client):
                     workload = WORKLOADS[(client_index + i) % len(WORKLOADS)]
+                    # Distinct seeds keep every request a real solve:
+                    # no run-cache or hot-key-cache hit can answer it.
                     seed = 1000 * client_index + i
-                    client.predict(workload, seed=seed)
+                    client.predict(workload, arch=arch, n_chips=n_chips,
+                                   seed=seed)
         except Exception as exc:  # pragma: no cover - reported below
             errors.append(exc)
 
@@ -75,18 +112,18 @@ def drive(host, port, n_clients, requests_per_client):
     return total, elapsed
 
 
-def run_phase(config, n_clients, requests_per_client):
+def run_phase(config, n_clients, requests_per_client, mixed_keys=False):
     tracer = configure(enabled=True)
     tracer.reset()
     with BackgroundServer(config) as bg:
         total, elapsed = drive(bg.host, bg.port, n_clients,
-                               requests_per_client)
+                               requests_per_client, mixed_keys=mixed_keys)
     counters = tracer.counters()
     configure(enabled=False)
     tracer.reset()
     batches = counters.get("serve.batches", 0)
     batched_requests = counters.get("serve.batched_requests", 0)
-    return {
+    phase = {
         "clients": n_clients,
         "requests": total,
         "seconds": elapsed,
@@ -94,6 +131,16 @@ def run_phase(config, n_clients, requests_per_client):
         "batches": int(batches),
         "mean_batch_size": batched_requests / batches if batches else 0.0,
     }
+    if config.workers > 1:
+        phase["workers"] = config.workers
+        phase["worker_batches"] = {
+            name.split("serve.worker.", 1)[1].split(".", 1)[0]: int(value)
+            for name, value in sorted(counters.items())
+            if name.startswith("serve.worker.w") and name.endswith(".batches")
+        }
+        phase["shed"] = int(counters.get("serve.worker.shed", 0))
+        phase["spills"] = int(counters.get("serve.worker.spills", 0))
+    return phase
 
 
 def batched_config():
@@ -109,10 +156,18 @@ def unbatched_config():
     return ServeConfig(max_batch=1, max_linger_ms=0.0, session=SESSION)
 
 
+def pool_config(workers):
+    return ServeConfig(max_batch=32, max_linger_ms=4.0, workers=workers,
+                       session=SESSION)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=8,
                         help="requests per client per phase")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated pool widths for the worker "
+                             "sweep (empty string skips it)")
     parser.add_argument("--output", default=None,
                         help="output path (default: <repo>/BENCH_serve.json)")
     args = parser.parse_args(argv)
@@ -145,6 +200,49 @@ def main(argv=None):
                       / phases["batched_16_clients"]["requests_per_s"])
     print(f"surrogate vs batched  @16 clients: {surrogate_gain:.2f}x")
 
+    # -- worker-scaling sweep (mixed-key traffic) ----------------------
+    cores = usable_cores()
+    widths = [int(w) for w in args.workers.split(",") if w.strip()]
+    worker_scaling = None
+    scaling_failed = False
+    if widths:
+        worker_phases = {}
+        for width in widths:
+            label = f"workers_{width}"
+            worker_phases[label] = run_phase(
+                pool_config(width), 16, args.requests, mixed_keys=True)
+            p = worker_phases[label]
+            print(f"{label:24s} {p['requests']:4d} requests in "
+                  f"{p['seconds']:6.2f}s = {p['requests_per_s']:7.1f} req/s "
+                  f"(mean batch size {p['mean_batch_size']:.1f})")
+        base = worker_phases.get("workers_1") or worker_phases[
+            f"workers_{min(widths)}"]
+        top_width = max(widths)
+        top = worker_phases[f"workers_{top_width}"]
+        scaling = top["requests_per_s"] / base["requests_per_s"]
+        cores_limited = cores < top_width
+        print(f"workers {top_width} vs 1 (mixed keys): {scaling:.2f}x "
+              f"on {cores} usable core(s)")
+        worker_scaling = {
+            "cpu_cores": cores,
+            "phases": worker_phases,
+            "speedup_workers_max_vs_1": scaling,
+            "top_width": top_width,
+            "cores_limited": cores_limited,
+        }
+        if cores_limited:
+            # Worker processes buy throughput only up to the physical
+            # cores available (docs/scaling.md): on a smaller host the
+            # curve is recorded honestly and annotated, not failed.
+            worker_scaling["note"] = (
+                f"host exposes {cores} usable core(s); the >= 2.5x at "
+                f"{top_width} workers gate needs >= {top_width} cores "
+                "and was not enforced"
+            )
+            print(f"NOTE: {worker_scaling['note']}")
+        elif top_width >= 4 and scaling < 2.5:
+            scaling_failed = True
+
     payload = {
         "workloads": list(WORKLOADS),
         "requests_per_client": args.requests,
@@ -152,6 +250,8 @@ def main(argv=None):
         "speedup_batched_vs_unbatched_16_clients": speedup,
         "speedup_surrogate_vs_batched_16_clients": surrogate_gain,
     }
+    if worker_scaling is not None:
+        payload["worker_scaling"] = worker_scaling
     out = Path(args.output) if args.output else (
         Path(__file__).resolve().parent.parent / "BENCH_serve.json")
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -160,6 +260,11 @@ def main(argv=None):
     if speedup < 2.0:
         print(f"FAIL: batched serving is only {speedup:.2f}x unbatched "
               f"(acceptance bar: 2x)", file=sys.stderr)
+        return 1
+    if scaling_failed:
+        print(f"FAIL: {top_width} workers scale only "
+              f"{worker_scaling['speedup_workers_max_vs_1']:.2f}x over 1 "
+              f"on {cores} cores (acceptance bar: 2.5x)", file=sys.stderr)
         return 1
     return 0
 

@@ -29,6 +29,7 @@ PUBLIC_MODULES = (
     "repro",
     "repro.api",
     "repro.serve",
+    "repro.serve.workers",
     "repro.obs",
     "repro.faults",
     "repro.check",
@@ -36,10 +37,49 @@ PUBLIC_MODULES = (
     "repro.sim.surrogate",
 )
 
+#: Doc pages that must exist (a rename or deletion fails loudly here
+#: before a dangling cross-reference ships).
+REQUIRED_DOCS = (
+    "api.md",
+    "architecture.md",
+    "observability.md",
+    "performance.md",
+    "robustness.md",
+    "scaling.md",
+    "serving.md",
+    "simulator.md",
+    "testing.md",
+)
+
 
 def public_symbols(module_name: str) -> List[str]:
     module = importlib.import_module(module_name)
     return [name for name in module.__all__ if not name.startswith("_")]
+
+
+def missing_docs() -> List[str]:
+    """Required doc pages absent from docs/ (empty = ok)."""
+    docs_dir = REPO_ROOT / "docs"
+    return [name for name in REQUIRED_DOCS if not (docs_dir / name).is_file()]
+
+
+def missing_scaling_knobs(doc_text: str = None) -> List[str]:
+    """ServeConfig fields absent from docs/scaling.md's knob reference.
+
+    docs/scaling.md promises a complete tuning-knob table; checking it
+    against the dataclass fields keeps a new serving knob from shipping
+    undocumented.
+    """
+    import dataclasses
+
+    from repro.serve import ServeConfig
+
+    if doc_text is None:
+        doc_text = (REPO_ROOT / "docs" / "scaling.md").read_text()
+    return [
+        field.name for field in dataclasses.fields(ServeConfig)
+        if field.name not in doc_text
+    ]
 
 
 def missing_symbols(doc_text: str = None) -> Dict[str, List[str]]:
@@ -61,14 +101,23 @@ def missing_symbols(doc_text: str = None) -> Dict[str, List[str]]:
 
 def main() -> int:
     problems = missing_symbols()
-    if not problems:
+    absent_docs = missing_docs()
+    absent_knobs = [] if absent_docs else missing_scaling_knobs()
+    if not problems and not absent_docs and not absent_knobs:
         total = sum(len(public_symbols(m)) for m in PUBLIC_MODULES)
         print(f"docs/api.md covers all {total} public symbols "
-              f"of {', '.join(PUBLIC_MODULES)}")
+              f"of {', '.join(PUBLIC_MODULES)}; all {len(REQUIRED_DOCS)} "
+              f"doc pages present; docs/scaling.md covers every "
+              f"ServeConfig knob")
         return 0
     for module_name, symbols in problems.items():
         print(f"docs/api.md is missing {len(symbols)} symbol(s) "
               f"from {module_name}.__all__: {', '.join(symbols)}",
+              file=sys.stderr)
+    for name in absent_docs:
+        print(f"required doc page docs/{name} is missing", file=sys.stderr)
+    for knob in absent_knobs:
+        print(f"docs/scaling.md is missing ServeConfig knob {knob!r}",
               file=sys.stderr)
     return 1
 

@@ -1,13 +1,19 @@
 """CI smoke test: boot ``python -m repro serve``, round-trip, drain.
 
 Launches the real CLI entry point as a subprocess (ephemeral port),
-parses the ``serving on host:port`` line, performs one ``ping`` and one
-``predict`` through :class:`repro.serve.ServeClient`, then sends
-SIGINT and requires a graceful, zero-exit shutdown.
+parses the ``serving on host:port`` line, performs a ``ping`` and a
+handful of ``predict`` round-trips through
+:class:`repro.serve.ServeClient`, then sends SIGINT and requires a
+graceful, zero-exit shutdown whose settlement line balances
+(``admitted == settled`` — no admitted request may leak through a
+drain).  ``--workers N`` runs the same smoke against the sharded
+worker pool; CI exercises both the in-process and ``--workers 2``
+shapes.
 
-    PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py [--workers N]
 """
 
+import argparse
 import os
 import re
 import signal
@@ -19,13 +25,21 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 TIMEOUT_S = 60.0
 
+WORKLOADS = ("EP", "CG", "IS", "BT")
 
-def main():
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the server under test")
+    args = parser.parse_args(argv)
+
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
     env["PYTHONUNBUFFERED"] = "1"
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--no-cache"],
+        [sys.executable, "-m", "repro", "serve", "--no-cache",
+         "--workers", str(args.workers)],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
     try:
@@ -34,18 +48,20 @@ def main():
         if not match:
             raise RuntimeError(f"unexpected first line: {line!r}")
         host, port = match.group(1), int(match.group(2))
-        print(f"server up at {host}:{port}")
+        print(f"server up at {host}:{port} (workers={args.workers})")
 
         from repro.serve import ServeClient
 
         with ServeClient(host, port, timeout_s=TIMEOUT_S) as client:
             assert client.ping() is True
-            prediction = client.predict("EP")
-            assert prediction["workload"] == "EP"
-            assert prediction["recommended_level"] in (
-                prediction["high_level"], prediction["low_level"]
-            )
-            print(f"predict EP -> SMT{prediction['recommended_level']} "
+            for workload in WORKLOADS:
+                prediction = client.predict(workload)
+                assert prediction["workload"] == workload
+                assert prediction["recommended_level"] in (
+                    prediction["high_level"], prediction["low_level"]
+                )
+            print(f"predict {WORKLOADS[-1]} -> "
+                  f"SMT{prediction['recommended_level']} "
                   f"(SMTsm {prediction['smtsm']:.5f})")
 
         proc.send_signal(signal.SIGINT)
@@ -57,9 +73,16 @@ def main():
             raise RuntimeError(
                 f"server exited {proc.returncode}; output: {output!r}"
             )
-        if "stopped" not in output:
+        settle = re.search(r"stopped admitted=(\d+) settled=(\d+)", output)
+        if not settle:
             raise RuntimeError(f"no graceful-stop marker in: {output!r}")
-        print("graceful shutdown ok")
+        admitted, settled = int(settle.group(1)), int(settle.group(2))
+        if admitted != settled:
+            raise RuntimeError(
+                f"drain leaked requests: admitted={admitted} "
+                f"settled={settled}; output: {output!r}"
+            )
+        print(f"graceful shutdown ok (admitted={admitted} settled={settled})")
         return 0
     finally:
         if proc.poll() is None:

@@ -175,6 +175,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import PredictionServer, ServeConfig
 
+    from repro.obs import configure, get_tracer
+
     session: Dict[str, object] = {"seed": args.seed}
     if args.no_cache:
         session["use_cache"] = False
@@ -185,13 +187,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_linger_ms=args.max_linger_ms,
         queue_size=args.queue_size,
         workers=args.workers,
+        max_inflight_per_worker=args.max_inflight_per_worker,
+        hot_cache_size=args.hot_cache_size,
         session=session,
     )
+    # In-process telemetry so the settlement line below is always
+    # available (a JSONL sink still attaches via REPRO_TELEMETRY).
+    configure(enabled=True)
 
     async def _serve() -> None:
         server = PredictionServer(config)
         host, port = await server.start()
-        print(f"serving on {host}:{port}", flush=True)
+        mode = (f"{config.workers} worker processes"
+                if config.workers > 1 else "in-process")
+        print(f"serving on {host}:{port} ({mode})", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -199,7 +208,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await stop.wait()
         print("draining...", flush=True)
         await server.stop()
-        print("stopped", flush=True)
+        counters = get_tracer().counters()
+        admitted = int(counters.get("serve.admitted", 0))
+        settled = int(counters.get("serve.settled", 0))
+        print(f"stopped admitted={admitted} settled={settled}", flush=True)
 
     asyncio.run(_serve())
     return 0
@@ -377,7 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-size", type=int, default=256,
                    help="admission queue bound (full queue => overloaded)")
     p.add_argument("--workers", type=int, default=1,
-                   help="executor threads running handlers")
+                   help="worker processes running handlers "
+                        "(1 = in-process, >1 = sharded pool)")
+    p.add_argument("--max-inflight-per-worker", type=int, default=64,
+                   help="shed requests once the routed worker is this deep")
+    p.add_argument("--hot-cache-size", type=int, default=1024,
+                   help="dispatcher hot-key LRU entries, pool mode "
+                        "(0 disables)")
     p.add_argument("--seed", type=int, default=11,
                    help="simulation seed applied to every session")
     p.add_argument("--no-cache", action="store_true",

@@ -27,6 +27,7 @@ from repro.obs.core import (
     configure,
     default_telemetry_dir,
     default_telemetry_path,
+    detach_in_subprocess,
     get_tracer,
     telemetry_enabled_by_env,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "get_tracer",
     "configure",
     "configure_telemetry",
+    "detach_in_subprocess",
     "telemetry_enabled_by_env",
     "default_telemetry_dir",
     "default_telemetry_path",

@@ -277,6 +277,26 @@ def get_tracer() -> Tracer:
     return _GLOBAL
 
 
+def detach_in_subprocess(enabled: bool = True) -> Tracer:
+    """Install a fresh global tracer in a forked/spawned child process.
+
+    A forked worker inherits the parent's tracer *object* — including
+    any open JSONL sink file descriptor, which two processes must never
+    share (interleaved writes corrupt the stream, and a child ``close()``
+    would flush the parent's buffer).  Call this first thing in the
+    child: the inherited tracer is abandoned untouched (the parent keeps
+    its sink) and replaced with a sink-less in-process tracer.
+
+    ``enabled=True`` (the default) keeps counters accumulating in the
+    child so a worker can ship counter *deltas* back to its dispatcher —
+    how the serving tier's ``serve.worker.*`` accounting stays complete
+    across process boundaries.
+    """
+    global _GLOBAL
+    _GLOBAL = Tracer(enabled=enabled)
+    return _GLOBAL
+
+
 def configure(
     enabled: Optional[bool] = None,
     sink_path: Optional[os.PathLike] = None,

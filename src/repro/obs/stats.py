@@ -51,6 +51,42 @@ class TelemetrySummary:
         total = hits + misses
         return hits / total if total > 0 else None
 
+    def hot_key_hit_rate(self) -> Optional[float]:
+        """Serving hot-key-cache hit fraction, or ``None`` without traffic."""
+        hits = self.counters.get("serve.hotkeys.hits", 0.0)
+        misses = self.counters.get("serve.hotkeys.misses", 0.0)
+        total = hits + misses
+        return hits / total if total > 0 else None
+
+    def worker_stats(self) -> List[Dict[str, float]]:
+        """Per-worker serving totals from the ``serve.worker.wN.*`` counters.
+
+        One row per worker index, sorted: ``{"worker", "batches",
+        "requests", "mean_batch"}``.  Empty when the worker pool never
+        ran (single-process serving has no per-worker counters).
+        """
+        per_worker: Dict[int, Dict[str, float]] = {}
+        prefix = "serve.worker.w"
+        for name, value in self.counters.items():
+            if not name.startswith(prefix):
+                continue
+            rest = name[len(prefix):]
+            index_s, _, field_name = rest.partition(".")
+            if not index_s.isdigit() or field_name not in ("batches", "requests"):
+                continue
+            per_worker.setdefault(int(index_s), {})[field_name] = value
+        rows = []
+        for index in sorted(per_worker):
+            batches = per_worker[index].get("batches", 0.0)
+            requests = per_worker[index].get("requests", 0.0)
+            rows.append({
+                "worker": float(index),
+                "batches": batches,
+                "requests": requests,
+                "mean_batch": requests / batches if batches else 0.0,
+            })
+        return rows
+
     def slowest_runs(self, top: int = 10) -> List[Dict[str, Any]]:
         """The longest per-run spans (``runner.run`` / ``engine.simulate_run``)."""
         runs = [
@@ -176,6 +212,38 @@ def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
     if summary.gauges:
         rows = [[name, f"{value:g}"] for name, value in sorted(summary.gauges.items())]
         sections.append(format_table(["gauge", "value"], rows, title="gauges"))
+
+    workers = summary.worker_stats()
+    if workers:
+        rows = [
+            [
+                f"w{int(row['worker'])}",
+                f"{row['batches']:g}",
+                f"{row['requests']:g}",
+                f"{row['mean_batch']:.1f}",
+            ]
+            for row in workers
+        ]
+        shed = summary.counters.get("serve.worker.shed", 0.0)
+        restarts = summary.counters.get("serve.worker.restarts", 0.0)
+        spills = summary.counters.get("serve.worker.spills", 0.0)
+        sections.append(
+            format_table(
+                ["worker", "batches", "requests", "mean batch"],
+                rows,
+                title="serving workers",
+            )
+            + f"\nshed={shed:g} restarts={restarts:g} spills={spills:g}"
+        )
+
+    hot_rate = summary.hot_key_hit_rate()
+    if hot_rate is not None:
+        hits = summary.counters.get("serve.hotkeys.hits", 0.0)
+        misses = summary.counters.get("serve.hotkeys.misses", 0.0)
+        sections.append(
+            f"hot-key cache: {hits:g} hits / {misses:g} misses "
+            f"({100.0 * hot_rate:.1f}% hit rate)"
+        )
 
     hit_rate = summary.cache_hit_rate()
     if hit_rate is not None:

@@ -3,16 +3,26 @@
 A stdlib-only asyncio TCP service that answers ``predict`` / ``sweep``
 / ``score`` requests over an NDJSON protocol, coalescing concurrent
 requests into dynamic micro-batches that amortize one
-``simulate_many`` dispatch across many clients.  See ``docs/serving.md``
-for the protocol, batching model and operational knobs.
+``simulate_many`` dispatch across many clients.  With ``workers > 1``
+the dispatcher shards those batches across a process pool with
+batch-key affinity routing (:mod:`repro.serve.workers`).  See
+``docs/serving.md`` for the protocol and batching model, and
+``docs/scaling.md`` for the worker tier and capacity planning.
 
 Server side: :class:`ServeConfig`, :class:`PredictionServer`,
-:class:`BackgroundServer` (thread helper for tests and benchmarks).
+:class:`BackgroundServer` (thread helper for tests and benchmarks),
+:class:`WorkerPool` / :class:`HotKeyCache` (the scale-out tier).
 Client side: :class:`ServeClient` and its typed error hierarchy.
 Handlers speak only through :mod:`repro.api`.
 """
 
 from repro.serve.batching import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve.workers import (
+    HotKeyCache,
+    WorkerCrashed,
+    WorkerPool,
+    dispatch_batch,
+)
 from repro.serve.client import (
     CancelledError,
     DeadlineExceededError,
@@ -31,6 +41,8 @@ __all__ = [
     "BatcherClosed",
     "CancelledError",
     "DeadlineExceededError",
+    "dispatch_batch",
+    "HotKeyCache",
     "InternalError",
     "InvalidRequestError",
     "MicroBatcher",
@@ -45,4 +57,6 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ShuttingDownError",
+    "WorkerCrashed",
+    "WorkerPool",
 ]

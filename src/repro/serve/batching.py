@@ -4,9 +4,21 @@ The same shape ML inference servers use: requests enter a bounded
 admission queue; a single collector loop takes the first waiting
 request, lingers up to ``max_linger_s`` for company, closes the batch
 at ``max_batch``, groups it by batch key (requests that may legally be
-answered by one handler call), and dispatches each group to a worker
-executor.  One batch is in flight at a time — that is what turns a
-full queue into honest backpressure instead of unbounded buffering.
+answered by one handler call), and dispatches each group to a worker.
+
+Two dispatch planes:
+
+* ``dispatch`` — a synchronous callable run on ``executor`` (the
+  single-process mode).  With the default ``max_concurrent=1`` exactly
+  one batch is in flight at a time — that is what turns a full queue
+  into honest backpressure instead of unbounded buffering.
+* ``dispatch_async`` — an awaitable dispatcher (the
+  :class:`repro.serve.workers.WorkerPool` mode).  Raising
+  ``max_concurrent`` lets the collector pipeline up to that many
+  batches into the pool concurrently, so distinct batch keys (and
+  spilled groups of one hot key) run on different worker processes in
+  parallel; admission stays bounded by the queue plus the pool's own
+  per-worker depth accounting.
 
 Failure handling follows :class:`repro.faults.RetryPolicy`: a group
 whose dispatch raises (or exceeds ``task_timeout_s``) is retried with
@@ -68,11 +80,15 @@ class MicroBatcher:
 
     def __init__(
         self,
-        dispatch: Callable[[Hashable, Sequence[Any]], Sequence[Any]],
+        dispatch: Optional[Callable[[Hashable, Sequence[Any]], Sequence[Any]]] = None,
         *,
+        dispatch_async: Optional[
+            Callable[[Hashable, Sequence[Any]], Awaitable[Sequence[Any]]]
+        ] = None,
         max_batch: int = 16,
         max_linger_s: float = 0.002,
         queue_size: int = 256,
+        max_concurrent: int = 1,
         retry_policy: Optional[RetryPolicy] = None,
         executor=None,
     ):
@@ -80,9 +96,15 @@ class MicroBatcher:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_linger_s < 0:
             raise ValueError(f"max_linger_s must be >= 0, got {max_linger_s}")
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if (dispatch is None) == (dispatch_async is None):
+            raise ValueError("pass exactly one of dispatch / dispatch_async")
         self._dispatch = dispatch
+        self._dispatch_async = dispatch_async
         self.max_batch = max_batch
         self.max_linger_s = max_linger_s
+        self.max_concurrent = max_concurrent
         self._queue: "asyncio.Queue[PendingItem]" = asyncio.Queue(maxsize=queue_size)
         self.retry_policy = retry_policy or RetryPolicy(
             task_timeout_s=300.0, max_retries=1, backoff_s=0.01
@@ -92,6 +114,9 @@ class MicroBatcher:
         self._idle = asyncio.Event()
         self._idle.set()
         self._task: Optional[asyncio.Task] = None
+        self._inflight: set = set()          # concurrent _process tasks
+        self._pending_batch = False          # collected but not yet processing
+        self._slots: Optional[asyncio.Semaphore] = None
 
     # -- admission -----------------------------------------------------
 
@@ -159,19 +184,57 @@ class MicroBatcher:
         return batch
 
     async def _run(self) -> None:
+        if self.max_concurrent > 1 and self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_concurrent)
+        loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect()
+            if self.max_concurrent == 1:
+                # Sequential plane: one batch in flight, the queue is
+                # the whole backpressure story.
+                try:
+                    await self._process(batch)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # pragma: no cover - defensive
+                    for item in batch:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+                finally:
+                    self._maybe_idle()
+                continue
+            # Pipelined plane: hand the batch to a tracked task so the
+            # collector can assemble the next one while this dispatches.
+            # _pending_batch keeps drain() honest in the window between
+            # collecting the batch and the task existing.
+            self._pending_batch = True
             try:
-                await self._process(batch)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # pragma: no cover - defensive
-                for item in batch:
-                    if not item.future.done():
-                        item.future.set_exception(exc)
+                await self._slots.acquire()
+                task = loop.create_task(self._process_tracked(batch))
+                self._inflight.add(task)
+                task.add_done_callback(self._on_process_done)
             finally:
-                if self._queue.empty():
-                    self._idle.set()
+                self._pending_batch = False
+
+    async def _process_tracked(self, batch: List[PendingItem]) -> None:
+        try:
+            await self._process(batch)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+        finally:
+            self._slots.release()
+
+    def _on_process_done(self, task: "asyncio.Task") -> None:
+        self._inflight.discard(task)
+        self._maybe_idle()
+
+    def _maybe_idle(self) -> None:
+        if self._queue.empty() and not self._inflight and not self._pending_batch:
+            self._idle.set()
 
     async def _process(self, batch: List[PendingItem]) -> None:
         tracer = get_tracer()
@@ -191,8 +254,16 @@ class MicroBatcher:
         groups: Dict[Hashable, List[PendingItem]] = {}
         for item in live:
             groups.setdefault(item.key, []).append(item)
-        for key, items in groups.items():
-            await self._dispatch_group(key, items)
+        if self.max_concurrent == 1 or len(groups) == 1:
+            for key, items in groups.items():
+                await self._dispatch_group(key, items)
+        else:
+            # Distinct keys route to distinct workers — ship them all
+            # at once so a mixed batch spreads across the pool.
+            await asyncio.gather(*(
+                self._dispatch_group(key, items)
+                for key, items in groups.items()
+            ))
 
     async def _dispatch_group(self, key: Hashable,
                               items: List[PendingItem]) -> None:
@@ -214,12 +285,18 @@ class MicroBatcher:
         with tracer.span("serve.batch", size=size):
             while True:
                 try:
-                    results = await asyncio.wait_for(
-                        loop.run_in_executor(
-                            self._executor, self._dispatch, key, payloads
-                        ),
-                        timeout=policy.task_timeout_s,
-                    )
+                    if self._dispatch_async is not None:
+                        results = await asyncio.wait_for(
+                            self._dispatch_async(key, payloads),
+                            timeout=policy.task_timeout_s,
+                        )
+                    else:
+                        results = await asyncio.wait_for(
+                            loop.run_in_executor(
+                                self._executor, self._dispatch, key, payloads
+                            ),
+                            timeout=policy.task_timeout_s,
+                        )
                     break
                 except asyncio.CancelledError:
                     raise

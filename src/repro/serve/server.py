@@ -1,14 +1,26 @@
 """The asyncio prediction server: admission, batching, lifecycle.
 
-Composition (one process, one event loop)::
+Composition — one dispatcher event loop in front of either an
+in-process executor (``workers=1``) or a sharded process pool
+(``workers>1``, see :mod:`repro.serve.workers` and docs/scaling.md)::
 
-    TCP conn ──parse──▶ admission ──▶ MicroBatcher ──▶ executor ──▶ handlers
-       ▲                  │ full?                          │            │
-       └──── NDJSON ◀── overloaded(retry-after)            └── repro.api only
+    TCP conn ──parse──▶ hot-key LRU ──▶ admission ──▶ MicroBatcher
+       ▲                  │ hit?           │ full/deep?       │
+       └───── NDJSON ◀────┘         overloaded(retry-after)   │
+                                                   ┌──────────┴─────────┐
+                                        workers=1: │          workers>1:│
+                                          executor ▼            WorkerPool
+                                          handlers ▼        route by batch key
+                                         repro.api only    worker 0 … worker N-1
 
-* **Admission** is the micro-batcher's bounded queue; a full queue is
-  answered immediately with an ``overloaded`` error carrying
+* **Admission** is the micro-batcher's bounded queue plus — under the
+  worker pool — per-worker queue-depth accounting
+  (``max_inflight_per_worker``); a full queue or a too-deep routed
+  worker is answered immediately with an ``overloaded`` error carrying
   ``retry_after_ms`` — the client's cue to back off (429 semantics).
+* **Hot-key cache** (pool mode): deterministic ``predict``/``score``
+  repeats are answered straight from a dispatcher-side LRU, before
+  admission, whichever worker computed them first.
 * **Deadlines**: each request may carry ``deadline_ms``; expired
   requests are failed with ``deadline_exceeded`` instead of being
   served late, whether they expire waiting or executing.
@@ -48,6 +60,7 @@ from repro.serve.protocol import (
     response_error,
     response_ok,
 )
+from repro.serve.workers import HotKeyCache, WorkerPool, dispatch_batch
 
 __all__ = ["ServeConfig", "PredictionServer", "BackgroundServer"]
 
@@ -61,10 +74,18 @@ class ServeConfig:
     max_batch: int = 16                 # micro-batch ceiling
     max_linger_ms: float = 2.0          # how long a batch waits for company
     queue_size: int = 256               # admission queue bound
-    workers: int = 1                    # executor threads running handlers
+    #: Worker processes running handlers.  1 (the default) keeps the
+    #: historical single-process shape: handlers run on an in-process
+    #: executor thread.  >1 starts a :class:`repro.serve.workers.WorkerPool`
+    #: with batch-key affinity routing (see docs/scaling.md).
+    workers: int = 1
     default_deadline_ms: Optional[float] = 30_000.0
     retry_after_ms: float = 50.0        # hint attached to overloaded/shutdown
     drain_timeout_s: float = 30.0       # bound on graceful drain
+    #: Pool-mode knobs (ignored when ``workers == 1``).
+    max_inflight_per_worker: int = 64   # shed when the routed worker is deeper
+    hot_cache_size: int = 1024          # dispatcher LRU entries; 0 disables
+    mp_start_method: Optional[str] = None   # fork|spawn; None = platform default
     retry_policy: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(
             task_timeout_s=300.0, max_retries=1, backoff_s=0.01
@@ -83,6 +104,15 @@ class ServeConfig:
             raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_inflight_per_worker < 1:
+            raise ValueError(
+                "max_inflight_per_worker must be >= 1, "
+                f"got {self.max_inflight_per_worker}"
+            )
+        if self.hot_cache_size < 0:
+            raise ValueError(
+                f"hot_cache_size must be >= 0, got {self.hot_cache_size}"
+            )
 
 
 class PredictionServer:
@@ -93,6 +123,8 @@ class PredictionServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher: Optional[MicroBatcher] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[WorkerPool] = None
+        self._hot_cache: Optional[HotKeyCache] = None
         self._draining = False
         self._stopped = asyncio.Event()
         self._connections: set = set()
@@ -102,17 +134,35 @@ class PredictionServer:
     async def start(self) -> Tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
         config = self.config
-        self._executor = ThreadPoolExecutor(
-            max_workers=config.workers, thread_name_prefix="repro-serve"
-        )
-        self._batcher = MicroBatcher(
-            self._dispatch,
-            max_batch=config.max_batch,
-            max_linger_s=config.max_linger_ms / 1000.0,
-            queue_size=config.queue_size,
-            retry_policy=config.retry_policy,
-            executor=self._executor,
-        )
+        if config.workers > 1:
+            self._pool = WorkerPool(
+                config.workers,
+                config.session,
+                max_inflight_per_worker=config.max_inflight_per_worker,
+                start_method=config.mp_start_method,
+            ).start()
+            if config.hot_cache_size > 0:
+                self._hot_cache = HotKeyCache(config.hot_cache_size)
+            self._batcher = MicroBatcher(
+                dispatch_async=self._pool.dispatch,
+                max_batch=config.max_batch,
+                max_linger_s=config.max_linger_ms / 1000.0,
+                queue_size=config.queue_size,
+                max_concurrent=2 * config.workers,
+                retry_policy=config.retry_policy,
+            )
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            self._batcher = MicroBatcher(
+                self._dispatch,
+                max_batch=config.max_batch,
+                max_linger_s=config.max_linger_ms / 1000.0,
+                queue_size=config.queue_size,
+                retry_policy=config.retry_policy,
+                executor=self._executor,
+            )
         self._batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port
@@ -144,6 +194,12 @@ class PredictionServer:
             await asyncio.gather(*self._connections, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            # Joining worker processes blocks; keep the loop responsive.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.close
+            )
+            self._pool = None
         self._server = None
         self._stopped.set()
         get_tracer().add("serve.stops")
@@ -155,19 +211,7 @@ class PredictionServer:
 
     def _dispatch(self, key, payloads: Sequence[Any]):
         """Route one coalesced group to its handler (executor thread)."""
-        op = key[0]
-        defaults = self.config.session
-        tracer = get_tracer()
-        with tracer.span("serve.dispatch", op=op, size=len(payloads)):
-            if op == "predict":
-                return handlers.handle_predict_batch(payloads, defaults)
-            if op == "sweep":
-                return [handlers.handle_sweep(p, defaults) for p in payloads]
-            if op == "score":
-                return [handlers.handle_score(p, defaults) for p in payloads]
-            if op == "ping":
-                return [handlers.handle_ping(p, defaults) for p in payloads]
-            raise handlers.HandlerError(f"unroutable op {op!r}")
+        return dispatch_batch(key, payloads, self.config.session)
 
     # -- connection handling -------------------------------------------
 
@@ -218,10 +262,28 @@ class PredictionServer:
                         retry_after_ms=self.config.retry_after_ms,
                     ))
                     continue
+                if self._hot_cache is not None:
+                    cached = self._hot_cache.get(request.op, request.params)
+                    if cached is not None:
+                        # Answered before admission: no batch slot, no
+                        # worker, no admitted/settled accounting.
+                        tracer.add("serve.responses")
+                        await out_q.put(response_ok(request.id, cached))
+                        continue
+                key = handlers.batch_key(request.op, request.params)
+                if self._pool is not None and self._pool.overloaded(key):
+                    tracer.add("serve.rejections")
+                    tracer.add("serve.worker.shed")
+                    await out_q.put(response_error(
+                        request.id, ERR_OVERLOADED,
+                        "routed worker queue too deep; back off and retry",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ))
+                    continue
                 deadline_t = self._deadline_t(request)
                 try:
                     future = self._batcher.submit(
-                        handlers.batch_key(request.op, request.params),
+                        key,
                         request.params,
                         deadline_t,
                     )
@@ -325,6 +387,8 @@ class PredictionServer:
                 request.id, ERR_DEADLINE, "deadline elapsed during execution"
             ))
             return
+        if self._hot_cache is not None:
+            self._hot_cache.put(request.op, request.params, result)
         tracer.add("serve.responses")
         await out_q.put(response_ok(request.id, result))
 

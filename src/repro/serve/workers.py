@@ -1,0 +1,506 @@
+"""The sharded worker tier: a process pool behind the micro-batcher.
+
+One asyncio dispatcher process owns admission and coalescing; the
+solves run in ``workers`` child processes, so the GIL stops being the
+serving ceiling (see ``docs/scaling.md`` for the full architecture and
+the capacity model)::
+
+    MicroBatcher ──group──▶ WorkerPool.dispatch(key, payloads)
+                               │  route by batch key
+                    ┌──────────┼──────────┐
+                 worker 0   worker 1   worker N-1     (processes)
+                    └── handlers → repro.api → solver ─┘
+
+Three properties the pool preserves:
+
+* **Coalescing survives sharding.**  A dispatched group — requests that
+  share one batch key, i.e. one ``(op, arch, n_chips)`` system — is
+  shipped to exactly one worker and answered by one vectorized
+  ``predict_many`` call there.  Batches are never split across workers.
+* **Affinity routing.**  A batch key is pinned to a preferred worker
+  the first time it is seen (round-robin over workers), so repeated
+  traffic for one system keeps hitting that worker's warm session
+  (fitted thresholds, surrogate models, serial-rate memo).  When the
+  preferred worker is busy and another is strictly less loaded, the
+  group *spills* to the least-loaded worker (``serve.worker.spills``) —
+  hot single-key traffic pipelines across the pool instead of queueing
+  behind one process.
+* **Crash containment.**  A worker that dies mid-job fails only its
+  in-flight jobs (with :class:`WorkerCrashed`, which the batcher's
+  ``RetryPolicy`` retries) and is respawned immediately
+  (``serve.worker.restarts``); the service never goes down with a
+  worker.
+
+Per-worker **queue-depth accounting** (``inflight_requests``) feeds the
+server's admission control: when the routed worker already holds
+``max_inflight_per_worker`` requests, new arrivals for that key are
+shed with ``overloaded`` + ``retry_after_ms`` before they are admitted
+(``serve.worker.shed``) — backpressure sized for thousands of
+connections instead of an unbounded dispatcher backlog.
+
+Workers ship the counter deltas they accumulate per job (run-cache
+hits, table solves, schema mismatches...) back with each response; the
+dispatcher merges them into its own tracer, so ``repro stats`` sees one
+coherent picture across the whole tier.
+
+:class:`HotKeyCache` is the dispatcher-side LRU over *response
+payloads* for deterministic operations (``predict``/``score``): a
+popular prediction is answered before admission, reaching no worker
+and no solver at all, whichever worker computed it first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing
+import os
+import sys
+import threading
+import traceback
+import warnings
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import get_tracer
+
+__all__ = [
+    "HotKeyCache",
+    "WorkerCrashed",
+    "WorkerPool",
+    "default_start_method",
+    "dispatch_batch",
+]
+
+#: Environment override for the pool's multiprocessing start method.
+ENV_START_METHOD = "REPRO_SERVE_MP"
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast, shares the warm import state),
+    ``spawn`` elsewhere; override with ``REPRO_SERVE_MP=spawn|fork``."""
+    env = os.environ.get(ENV_START_METHOD, "").strip().lower()
+    if env in ("fork", "spawn", "forkserver"):
+        return env
+    return "fork" if sys.platform.startswith("linux") else "spawn"
+
+
+class WorkerCrashed(Exception):
+    """A worker process died with this job in flight (retryable)."""
+
+
+def dispatch_batch(key: Hashable, payloads: Sequence[Any],
+                   defaults: Optional[Mapping[str, Any]]) -> List[Any]:
+    """Route one coalesced group to its handler.
+
+    This is the single dispatch routine shared by the in-process
+    executor path (``workers=1``) and every pool worker: the op is the
+    first element of the batch key, ``defaults`` are the server-level
+    session knobs.  Runs synchronously wherever it is called.
+    """
+    from repro.serve import handlers
+
+    op = key[0]
+    tracer = get_tracer()
+    with tracer.span("serve.dispatch", op=op, size=len(payloads)):
+        if op == "predict":
+            return handlers.handle_predict_batch(payloads, defaults)
+        if op == "sweep":
+            return [handlers.handle_sweep(p, defaults) for p in payloads]
+        if op == "score":
+            return [handlers.handle_score(p, defaults) for p in payloads]
+        if op == "ping":
+            return [handlers.handle_ping(p, defaults) for p in payloads]
+        raise handlers.HandlerError(f"unroutable op {op!r}")
+
+
+# -- the worker side ------------------------------------------------------
+
+#: Wire statuses a worker may answer with.
+_OK = "ok"
+_HANDLER_ERROR = "handler_error"   # client error: re-raised as HandlerError
+_ERROR = "error"                   # internal error: re-raised as RuntimeError
+
+
+def _worker_main(conn, defaults: Dict[str, Any], index: int) -> None:
+    """The child process loop: recv (job, key, payloads) → dispatch → send.
+
+    The child detaches from the parent's tracer first (a forked child
+    must never share the parent's sink fd) and keeps a fresh in-process
+    tracer so each response can carry the counter deltas the job caused.
+    """
+    from repro.obs import detach_in_subprocess
+
+    tracer = detach_in_subprocess(enabled=True)
+    baseline: Dict[str, float] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        job_id, key, payloads = message
+        try:
+            results = dispatch_batch(key, payloads, defaults)
+            status, body = _OK, results
+        except Exception as exc:
+            from repro.serve.handlers import HandlerError
+
+            if isinstance(exc, HandlerError):
+                status, body = _HANDLER_ERROR, str(exc)
+            else:
+                status = _ERROR
+                body = "".join(traceback.format_exception_only(exc)).strip()
+        counters = tracer.counters()
+        delta = {
+            name: value - baseline.get(name, 0.0)
+            for name, value in counters.items()
+            if value != baseline.get(name, 0.0)
+        }
+        baseline = counters
+        try:
+            conn.send((job_id, status, body, delta))
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# -- the dispatcher side --------------------------------------------------
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("index", "process", "conn", "reader", "inflight_requests",
+                 "inflight_jobs")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+        self.inflight_requests = 0    # requests dispatched, not yet answered
+        self.inflight_jobs = 0        # groups dispatched, not yet answered
+
+
+class WorkerPool:
+    """``n_workers`` handler processes behind an async dispatch facade.
+
+    Construct and :meth:`start` on a running event loop; dispatch whole
+    coalesced groups with ``await pool.dispatch(key, payloads)``; close
+    with :meth:`close` after the batcher has drained.  All routing,
+    accounting and crash recovery happen on the event-loop thread (the
+    per-worker reader threads only forward completions into the loop).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        session_defaults: Optional[Mapping[str, Any]] = None,
+        *,
+        max_inflight_per_worker: int = 64,
+        start_method: Optional[str] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.max_inflight_per_worker = max_inflight_per_worker
+        self._defaults = dict(session_defaults or {})
+        self._ctx = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        self._workers: List[_Worker] = []
+        self._assignment: Dict[Hashable, int] = {}    # predict keys → worker
+        self._assign_rr = itertools.count()
+        self._ephemeral_rr = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._pending: Dict[int, Tuple["asyncio.Future", _Worker, int]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.n_workers):
+            worker = _Worker(index)
+            self._spawn(worker)
+            self._workers.append(worker)
+        return self
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        with warnings.catch_warnings():
+            # Python >= 3.12 warns on fork from a multi-threaded process
+            # (the BackgroundServer path).  The children only ever touch
+            # repro + numpy state that is rebuilt on demand, and the
+            # spawn method remains one env var away for platforms where
+            # fork is genuinely unsafe.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._defaults, worker.index),
+                name=f"repro-serve-w{worker.index}",
+                daemon=True,
+            )
+            process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.reader = threading.Thread(
+            target=self._reader_loop, args=(worker, parent_conn),
+            name=f"repro-serve-w{worker.index}-reader", daemon=True,
+        )
+        worker.reader.start()
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop every worker (sentinel, join, then terminate stragglers)."""
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=timeout_s)
+            if worker.process.is_alive():  # pragma: no cover - stuck handler
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # -- routing and accounting ----------------------------------------
+
+    def _sticky(self, key: Hashable) -> bool:
+        # Predict keys name a system and recur; other ops carry a
+        # per-request identity in their key, so pinning them would only
+        # grow the assignment map without ever producing a repeat hit.
+        return isinstance(key, tuple) and bool(key) and key[0] == "predict"
+
+    def route(self, key: Hashable) -> _Worker:
+        """The worker a group with ``key`` would run on right now.
+
+        Sticky keys go to their assigned worker unless it is busy and
+        another worker is strictly less loaded (a *spill*); ephemeral
+        keys round-robin.  Pure function of current inflight state —
+        calling it does not commit anything.
+        """
+        if not self._sticky(key):
+            return self._workers[next(self._ephemeral_rr) % self.n_workers]
+        index = self._assignment.get(key)
+        if index is None:
+            index = self._assignment[key] = (
+                next(self._assign_rr) % self.n_workers
+            )
+        preferred = self._workers[index]
+        if preferred.inflight_jobs == 0:
+            return preferred
+        least = min(self._workers, key=lambda w: w.inflight_requests)
+        if least.inflight_requests < preferred.inflight_requests:
+            get_tracer().add("serve.worker.spills")
+            return least
+        return preferred
+
+    def load(self, key: Hashable) -> int:
+        """Dispatched-but-unanswered requests on the worker ``key`` routes
+        to — the quantity admission control sheds on."""
+        if self._sticky(key):
+            index = self._assignment.get(key)
+            if index is not None:
+                return self._workers[index].inflight_requests
+        return min(w.inflight_requests for w in self._workers)
+
+    def overloaded(self, key: Hashable) -> bool:
+        """Whether admitting another request for ``key`` should be shed."""
+        return self.load(key) >= self.max_inflight_per_worker
+
+    def depths(self) -> List[int]:
+        return [w.inflight_requests for w in self._workers]
+
+    # -- dispatch ------------------------------------------------------
+
+    async def dispatch(self, key: Hashable, payloads: Sequence[Any]) -> List[Any]:
+        """Run one coalesced group on one worker; returns handler results.
+
+        Raises :class:`WorkerCrashed` if the worker dies mid-job (the
+        batcher's retry policy re-dispatches, by then onto the respawned
+        or a sibling worker), :class:`repro.serve.handlers.HandlerError`
+        for client errors, ``RuntimeError`` for handler failures.
+        """
+        if self._closed:
+            raise WorkerCrashed("worker pool is closed")
+        worker = self.route(key)
+        job_id = next(self._job_ids)
+        future = self._loop.create_future()
+        self._pending[job_id] = (future, worker, len(payloads))
+        worker.inflight_requests += len(payloads)
+        worker.inflight_jobs += 1
+        tracer = get_tracer()
+        tracer.add("serve.worker.dispatched_batches")
+        tracer.add("serve.worker.dispatched_requests", len(payloads))
+        tracer.add(f"serve.worker.w{worker.index}.batches")
+        tracer.add(f"serve.worker.w{worker.index}.requests", len(payloads))
+        if tracer.enabled:
+            tracer.gauge("serve.worker.inflight", sum(self.depths()))
+        try:
+            worker.conn.send((job_id, key, list(payloads)))
+        except (BrokenPipeError, OSError):
+            self._settle(job_id)
+            raise WorkerCrashed(
+                f"worker {worker.index} unreachable at dispatch"
+            ) from None
+        try:
+            return await future
+        finally:
+            # Cancellation (deadline/timeout) must not leak accounting:
+            # the reader settles completed jobs, but a job the worker
+            # will never answer (crash path) is settled by _on_crash.
+            if future.cancelled() and job_id in self._pending:
+                self._settle(job_id)
+
+    def _settle(self, job_id: int) -> Optional[Tuple["asyncio.Future", _Worker, int]]:
+        entry = self._pending.pop(job_id, None)
+        if entry is not None:
+            _, worker, n_requests = entry
+            worker.inflight_requests -= n_requests
+            worker.inflight_jobs -= 1
+        return entry
+
+    # -- completions (reader thread → event loop) ----------------------
+
+    def _reader_loop(self, worker: _Worker, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+        # fallthrough: the pipe is gone — either close() or a crash
+            else:
+                try:
+                    self._loop.call_soon_threadsafe(self._complete, message)
+                except RuntimeError:   # loop already closed (shutdown)
+                    break
+                continue
+        if not self._closed:
+            try:
+                self._loop.call_soon_threadsafe(self._on_crash, worker)
+            except RuntimeError:
+                pass
+
+    def _complete(self, message) -> None:
+        job_id, status, body, counter_delta = message
+        entry = self._settle(job_id)
+        tracer = get_tracer()
+        if tracer.enabled:
+            for name, value in counter_delta.items():
+                tracer.add(name, value)
+            tracer.gauge("serve.worker.inflight", sum(self.depths()))
+        if entry is None:
+            return                     # cancelled and already settled
+        future = entry[0]
+        if future.done():
+            return
+        if status == _OK:
+            future.set_result(body)
+        elif status == _HANDLER_ERROR:
+            from repro.serve.handlers import HandlerError
+
+            future.set_exception(HandlerError(body))
+        else:
+            future.set_exception(RuntimeError(body))
+
+    def _on_crash(self, worker: _Worker) -> None:
+        """Fail the dead worker's jobs, respawn it, keep serving."""
+        if self._closed:
+            return
+        get_tracer().add("serve.worker.restarts")
+        dead = [
+            job_id for job_id, (_, w, _) in self._pending.items() if w is worker
+        ]
+        for job_id in dead:
+            entry = self._settle(job_id)
+            if entry is not None and not entry[0].done():
+                entry[0].set_exception(WorkerCrashed(
+                    f"worker {worker.index} died with this job in flight"
+                ))
+        try:
+            worker.process.join(timeout=1.0)
+        except (OSError, AssertionError):  # pragma: no cover - already reaped
+            pass
+        self._spawn(worker)
+
+
+# -- the dispatcher-side hot-key cache ------------------------------------
+
+
+class HotKeyCache:
+    """Bounded LRU over response payloads for deterministic operations.
+
+    Keyed on the canonical JSON of ``(op, params)`` — the same inputs
+    the handlers see — so a hit is exactly a repeat of an already
+    answered request under this server's session defaults.  Only
+    ``predict`` and ``score`` results are admitted: both are pure
+    functions of their parameters (a seeded simulation / a closed-form
+    metric), whereas ``sweep`` responses are large and ``ping`` is
+    cheaper than the lookup.
+
+    Telemetry: ``serve.hotkeys.hits`` / ``serve.hotkeys.misses`` /
+    ``serve.hotkeys.evictions``, plus a ``serve.hotkeys.size`` gauge.
+    """
+
+    #: Operations whose responses may be cached.
+    CACHEABLE_OPS = ("predict", "score")
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    @staticmethod
+    def cache_key(op: str, params: Mapping[str, Any]) -> Optional[str]:
+        """The canonical key, or ``None`` when the request is uncacheable."""
+        if op not in HotKeyCache.CACHEABLE_OPS:
+            return None
+        try:
+            return json.dumps({"op": op, "params": params}, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+
+    def get(self, op: str, params: Mapping[str, Any]) -> Optional[Any]:
+        if self.max_entries <= 0:
+            return None
+        key = self.cache_key(op, params)
+        if key is None:
+            return None
+        tracer = get_tracer()
+        hit = self._entries.get(key)
+        if hit is None:
+            tracer.add("serve.hotkeys.misses")
+            return None
+        self._entries.move_to_end(key)
+        tracer.add("serve.hotkeys.hits")
+        return hit
+
+    def put(self, op: str, params: Mapping[str, Any], result: Any) -> None:
+        if self.max_entries <= 0:
+            return
+        key = self.cache_key(op, params)
+        if key is None:
+            return
+        tracer = get_tracer()
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            tracer.add("serve.hotkeys.evictions")
+        if tracer.enabled:
+            tracer.gauge("serve.hotkeys.size", len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)

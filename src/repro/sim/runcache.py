@@ -25,6 +25,29 @@ constructor argument, and disable default use entirely by setting
 ``REPRO_RUNCACHE=0``.  Stored payloads carry the full result (times,
 counter events, per-thread IPC), so a cache hit reconstructs a
 :class:`RunResult` that is exactly equal to the recomputed one.
+
+**Multi-process safety.**  The serving tier's worker pool (and
+``--jobs`` sweeps) has many processes reading and writing one cache
+directory concurrently, with no lock.  Three rules make that safe:
+
+* *Atomic publish*: :meth:`RunCache.put` writes the payload to an
+  exclusive ``mkstemp`` temp file in the cache directory and publishes
+  it with ``os.replace`` — atomic within a filesystem — so a reader
+  sees either no entry or a complete entry, never a torn half-write.
+  Concurrent writers of the same key are last-write-wins, which is
+  harmless: the payload is a pure function of the key.
+* *Schema-checked reads*: every :meth:`RunCache.get` validates the
+  stored ``schema`` stamp and the full field set before trusting the
+  bytes; anything malformed is counted (``runcache.corrupt`` /
+  ``runcache.schema_mismatch``), deleted, and treated as a miss —
+  unlinking is itself atomic, so racing readers degrade to misses.
+* *Crash-safe cleanup*: a writer killed between ``mkstemp`` and
+  ``os.replace`` leaves only an orphaned ``*.tmp`` file that no reader
+  ever looks at (``get`` resolves ``*.json`` paths only);
+  :meth:`RunCache.clear` sweeps such stragglers.
+
+``tests/sim/test_runcache_concurrent.py`` hammers these guarantees
+with N simultaneous writer/reader processes.
 """
 
 from __future__ import annotations
@@ -306,8 +329,15 @@ class RunCache:
             pass
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps orphaned ``*.tmp`` files — the droppings of a
+        writer killed between ``mkstemp`` and the atomic publish
+        (counted separately as ``runcache.tmp_swept``, not in the
+        return value).
+        """
         removed = 0
+        swept = 0
         try:
             for path in self.root.glob("*.json"):
                 try:
@@ -315,9 +345,18 @@ class RunCache:
                     removed += 1
                 except OSError:
                     pass
+            for path in self.root.glob("*.tmp"):
+                try:
+                    path.unlink()
+                    swept += 1
+                except OSError:
+                    pass
         except OSError:
             pass
-        get_tracer().add("runcache.invalidated", removed)
+        tracer = get_tracer()
+        tracer.add("runcache.invalidated", removed)
+        if swept:
+            tracer.add("runcache.tmp_swept", swept)
         return removed
 
     def __len__(self) -> int:

@@ -1,0 +1,279 @@
+"""e2e worker-pool serving: sharding, coalescing, hot cache, crashes.
+
+The acceptance property from docs/scaling.md: sharding must never cost
+coalescing.  With 2 workers and 16 concurrent same-key clients the
+dispatched groups stay max_batch-sized and land on single workers;
+mixed-key traffic spreads across the pool; responses are bit-identical
+to the direct :mod:`repro.api` answers; and the settlement invariant
+(``serve.admitted == serve.settled``) survives the pool.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.obs import summarize_tracer, render_summary
+from repro.serve import (
+    BackgroundServer,
+    HotKeyCache,
+    ServeClient,
+    ServeConfig,
+    WorkerCrashed,
+    WorkerPool,
+)
+
+WORKLOADS = ("EP", "CG", "IS", "BT", "LU_MPI", "FT_MPI", "EP_MPI", "SP")
+SESSION = {"seed": 11, "use_cache": False}
+
+
+def pooled_config(**overrides):
+    kwargs = dict(
+        workers=2,
+        max_batch=8,
+        max_linger_ms=200.0,
+        session=SESSION,
+    )
+    kwargs.update(overrides)
+    return ServeConfig(**kwargs)
+
+
+def drive_concurrent(host, port, calls):
+    """Run one client thread per call; returns results in call order."""
+    results = [None] * len(calls)
+    errors = []
+    barrier = threading.Barrier(len(calls))
+
+    def worker(i, fn):
+        try:
+            with ServeClient(host, port, timeout_s=120.0) as client:
+                barrier.wait()
+                results[i] = fn(client)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, fn))
+        for i, fn in enumerate(calls)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+def worker_counters(tracer, field_name):
+    out = {}
+    for name, value in tracer.counters().items():
+        prefix = "serve.worker.w"
+        if name.startswith(prefix) and name.endswith("." + field_name):
+            index_s = name[len(prefix):].split(".", 1)[0]
+            if index_s.isdigit():
+                out[int(index_s)] = value
+    return out
+
+
+class TestCoalescingSurvivesSharding:
+    def test_same_key_clients_coalesce_on_single_workers(self, tracer, make_server):
+        # 16 same-batch-key clients (same arch+chips, distinct workloads
+        # so the hot-key cache cannot answer any of them) against 2
+        # workers: groups stay whole.
+        bg = make_server(pooled_config())
+        calls = [
+            (lambda w: (lambda c: c.predict(w)))(WORKLOADS[i % len(WORKLOADS)])
+            for i in range(16)
+        ]
+        drive_concurrent(bg.host, bg.port, calls)
+
+        counters = tracer.counters()
+        batches = counters["serve.batches"]
+        batched = counters["serve.batched_requests"]
+        assert batched == 16.0
+        # Coalescing preserved: mean dispatched batch size >= 4.
+        assert batched / batches >= 4.0, counters
+
+        per_worker_requests = worker_counters(tracer, "requests")
+        per_worker_batches = worker_counters(tracer, "batches")
+        assert sum(per_worker_requests.values()) == 16.0
+        assert (sum(per_worker_batches.values())
+                == counters["serve.worker.dispatched_batches"] == batches)
+        # Batches are never split across workers, so some worker holds
+        # at least one full max_batch-sized group of this key.
+        assert max(per_worker_requests.values()) >= 8.0, per_worker_requests
+
+    def test_mixed_key_traffic_distributes_across_workers(self, tracer, make_server):
+        # Two distinct batch keys (p7 vs nehalem) are pinned to two
+        # distinct workers by first-sight round-robin.
+        bg = make_server(pooled_config())
+        calls = []
+        for i in range(8):
+            arch = "p7" if i % 2 == 0 else "nehalem"
+            workload = WORKLOADS[i % len(WORKLOADS)]
+            calls.append(
+                (lambda w, a: (lambda c: c.predict(w, arch=a)))(workload, arch)
+            )
+        drive_concurrent(bg.host, bg.port, calls)
+
+        per_worker_batches = worker_counters(tracer, "batches")
+        busy = [i for i, v in per_worker_batches.items() if v > 0]
+        assert len(busy) == 2, per_worker_batches
+
+    def test_pooled_results_match_direct_api(self, tracer, make_server):
+        bg = make_server(pooled_config())
+        served = drive_concurrent(bg.host, bg.port, [
+            (lambda w: (lambda c: c.predict(w)))(w) for w in WORKLOADS[:4]
+        ])
+        session = api.get_session("p7", **SESSION)
+        for workload, payload in zip(WORKLOADS[:4], served):
+            direct = session.predict(workload).payload()
+            assert payload == direct
+
+    def test_drain_settles_every_admitted_request(self, tracer, make_server):
+        bg = make_server(pooled_config())
+        drive_concurrent(bg.host, bg.port, [
+            (lambda w: (lambda c: c.predict(w)))(w) for w in WORKLOADS[:6]
+        ])
+        bg.stop()
+        counters = tracer.counters()
+        assert counters["serve.admitted"] == counters["serve.settled"]
+
+
+class TestHotKeyCacheEndToEnd:
+    def test_repeat_predict_served_from_hot_cache(self, tracer, make_server):
+        bg = make_server(pooled_config())
+        with ServeClient(bg.host, bg.port, timeout_s=120.0) as client:
+            first = client.predict("EP")
+            admitted_after_first = tracer.counters()["serve.admitted"]
+            second = client.predict("EP")
+        assert second == first
+        counters = tracer.counters()
+        assert counters["serve.hotkeys.hits"] >= 1.0
+        # The hit is answered before admission: no new admitted/settled.
+        assert counters["serve.admitted"] == admitted_after_first
+
+    def test_hot_cache_unit_lru_eviction(self, tracer):
+        cache = HotKeyCache(max_entries=2)
+        cache.put("predict", {"workload": "EP"}, {"v": 1})
+        cache.put("predict", {"workload": "CG"}, {"v": 2})
+        assert cache.get("predict", {"workload": "EP"}) == {"v": 1}
+        cache.put("predict", {"workload": "IS"}, {"v": 3})   # evicts CG (LRU)
+        assert cache.get("predict", {"workload": "CG"}) is None
+        assert cache.get("predict", {"workload": "EP"}) == {"v": 1}
+        assert len(cache) == 2
+        assert tracer.counters()["serve.hotkeys.evictions"] == 1.0
+        # Non-deterministic / uncacheable ops never enter the cache.
+        assert HotKeyCache.cache_key("ping", {}) is None
+        assert HotKeyCache.cache_key("sweep", {"arch": "p7"}) is None
+
+
+class TestWorkerPoolDirect:
+    def run_pool(self, coro_fn, **pool_kwargs):
+        async def main():
+            kwargs = dict(session_defaults=SESSION, start_method="fork")
+            kwargs.update(pool_kwargs)
+            pool = WorkerPool(2, **kwargs).start()
+            try:
+                return await coro_fn(pool)
+            finally:
+                pool.close()
+
+        return asyncio.run(main())
+
+    def test_dispatch_roundtrip_and_accounting(self, tracer):
+        async def body(pool):
+            results = await pool.dispatch(("ping", 0), [{}])
+            assert results == [{"pong": True}]
+            assert pool.depths() == [0, 0]
+
+        self.run_pool(body)
+        counters = tracer.counters()
+        assert counters["serve.worker.dispatched_batches"] == 1.0
+        assert counters["serve.worker.dispatched_requests"] == 1.0
+
+    def test_crashed_worker_fails_job_and_respawns(self, tracer, monkeypatch):
+        # Patch the dispatch routine *before* the pool forks so the
+        # child inherits a version that hangs on the sentinel workload —
+        # the kill then lands mid-job deterministically.
+        import repro.serve.workers as workers_mod
+
+        real_dispatch = workers_mod.dispatch_batch
+
+        def hanging_dispatch(key, payloads, defaults):
+            if payloads and payloads[0].get("workload") == "__hang__":
+                time.sleep(600)
+            return real_dispatch(key, payloads, defaults)
+
+        monkeypatch.setattr(workers_mod, "dispatch_batch", hanging_dispatch)
+
+        async def body(pool):
+            key = ("predict", "p7", 1)
+            worker = pool.route(key)
+            job = asyncio.get_running_loop().create_task(
+                pool.dispatch(key, [{"workload": "__hang__"}])
+            )
+            await asyncio.sleep(0.05)      # let the job reach the worker
+            worker.process.kill()
+            with pytest.raises(WorkerCrashed):
+                await job
+            # The replacement comes up and serves the same key.
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while asyncio.get_running_loop().time() < deadline:
+                try:
+                    results = await pool.dispatch(key, [{"workload": "EP"}])
+                    break
+                except WorkerCrashed:
+                    await asyncio.sleep(0.05)
+            assert results[0]["workload"] == "EP"
+            assert pool.depths() == [0, 0]
+
+        self.run_pool(body)
+        assert tracer.counters()["serve.worker.restarts"] >= 1.0
+
+    def test_sticky_routing_and_spill(self, tracer):
+        async def body(pool):
+            key = ("predict", "p7", 1)
+            preferred = pool.route(key)
+            assert pool.route(key) is preferred     # sticky while idle
+            # Simulate the preferred worker being mid-dispatch.
+            preferred.inflight_jobs += 1
+            preferred.inflight_requests += 8
+            spilled = pool.route(key)
+            assert spilled is not preferred
+            preferred.inflight_jobs -= 1
+            preferred.inflight_requests -= 8
+
+        self.run_pool(body)
+        assert tracer.counters()["serve.worker.spills"] == 1.0
+
+    def test_overloaded_sheds_on_routed_worker_depth(self, tracer):
+        async def body(pool):
+            key = ("predict", "p7", 1)
+            worker = pool.route(key)
+            assert not pool.overloaded(key)
+            worker.inflight_requests = pool.max_inflight_per_worker
+            assert pool.overloaded(key)
+            assert pool.load(key) == pool.max_inflight_per_worker
+            worker.inflight_requests = 0
+
+        self.run_pool(body, max_inflight_per_worker=4)
+
+
+class TestServingStats:
+    def test_repro_stats_summarizes_worker_and_hotkey_counters(self, tracer, make_server):
+        bg = make_server(pooled_config())
+        with ServeClient(bg.host, bg.port, timeout_s=120.0) as client:
+            client.predict("EP")
+            client.predict("EP")     # hot-cache hit
+        bg.stop()
+        summary = summarize_tracer(tracer)
+        rows = summary.worker_stats()
+        assert rows and sum(r["requests"] for r in rows) >= 1.0
+        assert summary.hot_key_hit_rate() == pytest.approx(0.5)
+        report = render_summary(summary)
+        assert "serving workers" in report
+        assert "hot-key cache" in report
+        assert "mean batch" in report

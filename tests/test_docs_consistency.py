@@ -33,3 +33,20 @@ def test_public_surface_is_nonempty():
 def test_missing_symbols_detects_drift():
     check_docs = load_check_docs()
     assert "repro.obs" in check_docs.missing_symbols(doc_text="smtsm only")
+
+
+def test_required_doc_pages_present():
+    check_docs = load_check_docs()
+    assert check_docs.missing_docs() == []
+    assert "scaling.md" in check_docs.REQUIRED_DOCS
+
+
+def test_scaling_doc_covers_every_serve_knob():
+    check_docs = load_check_docs()
+    assert check_docs.missing_scaling_knobs() == []
+
+
+def test_missing_scaling_knobs_detects_drift():
+    check_docs = load_check_docs()
+    absent = check_docs.missing_scaling_knobs(doc_text="just max_batch")
+    assert "workers" in absent and "hot_cache_size" in absent
