@@ -180,6 +180,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     session: Dict[str, object] = {"seed": args.seed}
     if args.no_cache:
         session["use_cache"] = False
+    chaos = None
+    if args.chaos:
+        from repro.faults.chaos import ChaosConfig
+
+        chaos = ChaosConfig.parse(args.chaos)
+        if args.workers <= 1:
+            print("warning: --chaos requires --workers > 1; ignoring",
+                  flush=True)
+            chaos = None
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -189,6 +198,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_inflight_per_worker=args.max_inflight_per_worker,
         hot_cache_size=args.hot_cache_size,
+        hang_timeout_s=args.hang_timeout_s,
+        chaos=chaos,
+        brownout=not args.no_brownout,
         session=session,
     )
     # In-process telemetry so the settlement line below is always
@@ -200,6 +212,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host, port = await server.start()
         mode = (f"{config.workers} worker processes"
                 if config.workers > 1 else "in-process")
+        if config.chaos is not None and config.chaos.any_chaos:
+            mode += ", chaos armed"
         print(f"serving on {host}:{port} ({mode})", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -400,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation seed applied to every session")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the persistent run cache for this server")
+    p.add_argument("--hang-timeout-s", type=float, default=30.0,
+                   help="watchdog: declare a worker hung after this much "
+                        "silence with jobs in flight (pool mode)")
+    p.add_argument("--chaos", default="",
+                   help="inject worker faults (pool mode): a preset "
+                        "('worker_hang'), 'severity=0.4', or "
+                        "'hang=0.02,crash=0.04,slow=0.2,corrupt=0.1,seed=7'")
+    p.add_argument("--no-brownout", action="store_true",
+                   help="shed with hard overloaded errors instead of "
+                        "degraded (surrogate) answers under sustained "
+                        "overload")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -11,6 +11,11 @@ Two halves:
   tasks inside the parallel sweep runner's worker processes, so the
   recovery path (retry, backoff, serial fallback) is testable on
   demand.
+* **serving chaos** — :class:`ChaosConfig` injects worker hangs, hard
+  crashes, slow jobs and response corruption into the ``repro.serve``
+  worker pool (:class:`ChaosPlan` executes it inside each worker);
+  :func:`chaos_profile` is the serving analogue of
+  :func:`noise_profile`, one scalar severity over every chaos axis.
 
 :class:`RetryPolicy` is the shared bounded-retry policy those recovery
 paths (the resilient sweep runner, the ``repro.serve`` worker dispatch)
@@ -20,11 +25,21 @@ See ``docs/robustness.md`` for the fault model and tuning guidance.
 """
 
 from repro.faults.app import PROTECTED_EVENTS, FaultyApp
+from repro.faults.chaos import (
+    ENV_SERVE_CHAOS,
+    ChaosConfig,
+    ChaosPlan,
+    chaos_profile,
+)
 from repro.faults.model import FaultConfig, noise_profile
 from repro.faults.retry import RetryPolicy
 from repro.faults.workers import InjectedWorkerCrash, WorkerFaultPlan
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosPlan",
+    "chaos_profile",
+    "ENV_SERVE_CHAOS",
     "FaultConfig",
     "noise_profile",
     "FaultyApp",

@@ -1,0 +1,283 @@
+"""Serving-tier chaos injection: what can go wrong with a worker fleet.
+
+:class:`FaultConfig` (``repro.faults.model``) corrupts the *signal* —
+the counter stream the SMT decision is computed from.  This module
+corrupts the *plumbing* that delivers those decisions at fleet scale:
+the worker processes and the wire protocol of the ``repro.serve``
+prediction service.  The two compose — a chaos-injected server can run
+sessions whose measurements are themselves fault-injected — and follow
+the same design rules: every fault axis has a deterministic, seeded
+knob, and one scalar severity sweeps them all together.
+
+The axes (each a per-*job* probability, drawn once per dispatched
+batch on the worker about to run it):
+
+* **hangs** (``hang_prob`` / ``hang_s``) — the worker goes silent but
+  stays alive: the process keeps existing, the pipe stays open, and
+  nothing ever comes back.  Models a deadlocked solver, a lost GIL, an
+  NFS stall.  Only a liveness watchdog can see these.
+* **crashes** (``crash_prob``) — the worker dies mid-batch with
+  ``os._exit``, the serving analogue of a segfault or an OOM kill.
+  The parent sees EOF on the pipe.
+* **slow workers** (``slow_prob`` / ``slow_s``) — per-job latency
+  inflation (uniform in ``[slow_s, 2*slow_s]``): a thermally throttled
+  or noisy-neighbour box.  Jobs still succeed, tails grow.
+* **response corruption** (``corrupt_prob``) — the worker answers with
+  a mangled payload (an element dropped, or the body replaced by
+  junk), modelling a torn write or a bad frame.  The dispatcher's
+  result-shape validation turns these into retryable dispatch faults.
+
+Activation: pass a :class:`ChaosConfig` as ``ServeConfig.chaos``, or
+set ``REPRO_SERVE_CHAOS`` (``severity=0.4`` or explicit
+``hang=0.02,crash=0.04,slow=0.2,corrupt=0.1,seed=7``; the named preset
+``worker_hang`` is hang-only chaos for the CI smoke).  Chaos only
+applies in worker-pool mode (``workers > 1``) — the whole point is
+exercising the supervision plane around the pool.
+
+Determinism: every draw comes from a stream seeded on ``(seed, worker
+index, respawn generation)``, so a given ``(seed, config, traffic)``
+misbehaves identically run to run — the property the serving-chaos
+phase of ``scripts/bench_robustness.py`` builds on — while a respawned
+worker draws a fresh schedule instead of replaying its crash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosPlan",
+    "ENV_SERVE_CHAOS",
+    "chaos_profile",
+]
+
+#: Environment variable holding a chaos spec for ``repro serve``.
+ENV_SERVE_CHAOS = "REPRO_SERVE_CHAOS"
+
+#: Named presets accepted by :meth:`ChaosConfig.parse` (and therefore by
+#: ``REPRO_SERVE_CHAOS`` and ``repro serve --chaos``).
+_PRESETS = {
+    # Hang-only chaos: the CI chaos-smoke preset.  Aggressive enough
+    # that a short smoke run sees several hangs, short enough that the
+    # watchdog recovers each one in well under a second.
+    "worker_hang": {"hang": 0.15, "hang_s": 30.0},
+}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-job fault probabilities for the serving tier (all off by default)."""
+
+    hang_prob: float = 0.0
+    hang_s: float = 3600.0
+    crash_prob: float = 0.0
+    slow_prob: float = 0.0
+    slow_s: float = 0.05
+    corrupt_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        check_fraction("hang_prob", self.hang_prob)
+        check_fraction("crash_prob", self.crash_prob)
+        check_fraction("slow_prob", self.slow_prob)
+        check_fraction("corrupt_prob", self.corrupt_prob)
+        check_positive("hang_s", self.hang_s)
+        check_positive("slow_s", self.slow_s)
+
+    @property
+    def any_chaos(self) -> bool:
+        """Whether this config can misbehave at all."""
+        return (
+            self.hang_prob > 0
+            or self.crash_prob > 0
+            or self.slow_prob > 0
+            or self.corrupt_prob > 0
+        )
+
+    def scaled(self, factor: float) -> "ChaosConfig":
+        """A copy with every probability scaled by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return replace(
+            self,
+            hang_prob=min(1.0, self.hang_prob * factor),
+            crash_prob=min(1.0, self.crash_prob * factor),
+            slow_prob=min(1.0, self.slow_prob * factor),
+            corrupt_prob=min(1.0, self.corrupt_prob * factor),
+        )
+
+    # -- serialization (ServeConfig carries these across spawn) ---------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hang_prob": self.hang_prob,
+            "hang_s": self.hang_s,
+            "crash_prob": self.crash_prob,
+            "slow_prob": self.slow_prob,
+            "slow_s": self.slow_s,
+            "corrupt_prob": self.corrupt_prob,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosConfig":
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """A config from a compact spec string.
+
+        Accepts a named preset (``worker_hang``), a single-knob
+        composite (``severity=0.4``), or comma-separated assignments
+        (``hang=0.02,crash=0.04,slow=0.2,corrupt=0.1,seed=7``).  The
+        short names map onto the ``*_prob`` fields; ``hang_s`` /
+        ``slow_s`` are accepted verbatim.
+        """
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        if spec in _PRESETS:
+            return cls.parse(",".join(
+                f"{k}={v}" for k, v in _PRESETS[spec].items()
+            ))
+        aliases = {
+            "hang": "hang_prob", "crash": "crash_prob",
+            "slow": "slow_prob", "corrupt": "corrupt_prob",
+        }
+        kwargs: Dict[str, Any] = {}
+        severity: Optional[float] = None
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad chaos spec item {part!r} (expected key=value, "
+                    f"severity=S, or a preset: {', '.join(sorted(_PRESETS))})"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "severity":
+                severity = float(value)
+                continue
+            field_name = aliases.get(key, key)
+            if field_name == "seed":
+                kwargs["seed"] = int(value)
+            elif field_name in ("hang_prob", "hang_s", "crash_prob",
+                                "slow_prob", "slow_s", "corrupt_prob"):
+                kwargs[field_name] = float(value)
+            else:
+                raise ValueError(f"unknown chaos knob {key!r}")
+        if severity is not None:
+            base = chaos_profile(severity)
+            # Explicit assignments override the composite.
+            return replace(base, **kwargs)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosConfig"]:
+        """The config named by ``REPRO_SERVE_CHAOS``, or ``None``."""
+        spec = os.environ.get(ENV_SERVE_CHAOS, "").strip()
+        if not spec:
+            return None
+        config = cls.parse(spec)
+        return config if config.any_chaos else None
+
+
+def chaos_profile(severity: float) -> ChaosConfig:
+    """The documented composite serving-fault mix at a severity in ``[0, 1]``.
+
+    The serving analogue of :func:`repro.faults.noise_profile`: one
+    scalar that scales every chaos axis together, anchored so that
+    ``severity=1`` is a fleet having a very bad day — one job in ten
+    crashes its worker outright, one in twenty hangs it, half the jobs
+    run slow, a quarter of responses arrive mangled — and
+    ``severity=0`` is a healthy fleet.  The exact mix is documented in
+    ``docs/robustness.md``; change it there and here together.
+    """
+    check_fraction("severity", severity)
+    if severity == 0.0:
+        return ChaosConfig()
+    return ChaosConfig(
+        hang_prob=0.05 * severity,
+        hang_s=3600.0,
+        crash_prob=0.10 * severity,
+        slow_prob=0.50 * severity,
+        slow_s=0.05,
+        corrupt_prob=0.25 * severity,
+    )
+
+
+class ChaosPlan:
+    """The worker-side executor of a :class:`ChaosConfig`.
+
+    Constructed inside each worker process (it is *not* shipped across
+    the pipe — only the frozen config is), with an RNG stream derived
+    from ``config.seed``, the worker index, and the worker's respawn
+    ``generation``, so every worker misbehaves on its own deterministic
+    schedule.  Mixing in the generation matters: without it a respawned
+    worker replays its stream from the top, and a worker whose *first*
+    draw is a crash becomes a poison pill — it dies on the first job
+    after every respawn, forever.  With it, each incarnation draws a
+    fresh (but still seeded) schedule.
+
+    ``before_job()`` runs before the handler and may hang the worker
+    (a long sleep on the request thread — the pipe stays open, nothing
+    answers), crash it (``os._exit``), or just make it slow.
+    ``maybe_corrupt(results)`` runs after and may mangle the response
+    body.  Telemetry for the survivable faults (``serve.chaos.slow`` /
+    ``serve.chaos.corrupt``) ships back with the response's counter
+    delta; hangs and crashes never answer, so the parent observes them
+    through the watchdog/restart counters instead.
+    """
+
+    def __init__(self, config: ChaosConfig, worker_index: int,
+                 generation: int = 0):
+        self.config = config
+        # One stream per (seed, worker, incarnation).  String seeds are
+        # hashed with sha512, stable across runs and python versions
+        # (unlike hash(), which is salted).
+        self._rng = random.Random(
+            f"{config.seed}:{worker_index}:{generation}"
+        )
+
+    def before_job(self) -> None:
+        """Possibly hang, crash, or slow down the current job."""
+        config = self.config
+        draw = self._rng.random()
+        if draw < config.hang_prob:
+            import time
+            time.sleep(config.hang_s)   # pragma: no cover - watchdog kills us
+            return
+        draw -= config.hang_prob
+        if draw < config.crash_prob:
+            os._exit(41)                # pragma: no cover - kills the worker
+        if self._rng.random() < config.slow_prob:
+            import time
+
+            from repro.obs import get_tracer
+
+            get_tracer().add("serve.chaos.slow")
+            time.sleep(config.slow_s * (1.0 + self._rng.random()))
+
+    def maybe_corrupt(self, results: List[Any]) -> List[Any]:
+        """Possibly return a mangled copy of ``results``."""
+        if self._rng.random() >= self.config.corrupt_prob:
+            return results
+        from repro.obs import get_tracer
+
+        get_tracer().add("serve.chaos.corrupt")
+        if results and self._rng.random() < 0.5:
+            # Drop one element: a short read / torn frame.
+            victim = self._rng.randrange(len(results))
+            return [r for i, r in enumerate(results) if i != victim]
+        # Replace the body with junk of the right length but the wrong
+        # shape (handlers return dicts; a bare string is never valid).
+        return ["\x00chaos\x00" for _ in results]

@@ -87,6 +87,42 @@ class TelemetrySummary:
             })
         return rows
 
+    def supervision_stats(self) -> Optional[Dict[str, float]]:
+        """Serving supervision/degradation totals, or ``None`` when quiet.
+
+        Collects the chaos (``serve.chaos.*``), watchdog
+        (``serve.watchdog.*``), brownout (``serve.brownout.*``) and
+        resilient-client (``client.*``) counters the robustness plane
+        emits; ``None`` when none of them ever fired (healthy serving
+        run, or no serving at all).
+        """
+        names = {
+            "chaos_slow": "serve.chaos.slow",
+            "chaos_corrupt": "serve.chaos.corrupt",
+            "hangs": "serve.watchdog.hangs",
+            "kills": "serve.watchdog.kills",
+            "quarantines": "serve.watchdog.quarantines",
+            "deadline_abandoned": "serve.worker.deadline_abandoned",
+            "corrupt_responses": "serve.worker.corrupt_responses",
+            "close_leaks": "serve.worker.close_leaks",
+            "brownout_activations": "serve.brownout.activations",
+            "brownout_degraded": "serve.brownout.degraded",
+            "brownout_rejections": "serve.brownout.rejections",
+            "client_retries": "client.retries",
+            "client_reconnects": "client.reconnects",
+            "client_hedges": "client.hedges",
+            "client_hedge_wins": "client.hedge_wins",
+            "client_breaker_opens": "client.breaker_opens",
+            "client_giveups": "client.giveups",
+        }
+        stats = {
+            key: self.counters.get(counter, 0.0)
+            for key, counter in names.items()
+        }
+        if not any(stats.values()):
+            return None
+        return stats
+
     def slowest_runs(self, top: int = 10) -> List[Dict[str, Any]]:
         """The longest per-run spans (``runner.run`` / ``engine.simulate_run``)."""
         runs = [
@@ -234,6 +270,32 @@ def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
                 title="serving workers",
             )
             + f"\nshed={shed:g} restarts={restarts:g} spills={spills:g}"
+        )
+
+    supervision = summary.supervision_stats()
+    if supervision is not None:
+        rows = [
+            ["chaos", f"slow={supervision['chaos_slow']:g} "
+                      f"corrupt={supervision['chaos_corrupt']:g}"],
+            ["watchdog", f"hangs={supervision['hangs']:g} "
+                         f"kills={supervision['kills']:g} "
+                         f"quarantines={supervision['quarantines']:g}"],
+            ["workers", "deadline_abandoned="
+                        f"{supervision['deadline_abandoned']:g} "
+                        f"corrupt_responses={supervision['corrupt_responses']:g} "
+                        f"close_leaks={supervision['close_leaks']:g}"],
+            ["brownout", f"activations={supervision['brownout_activations']:g} "
+                         f"degraded={supervision['brownout_degraded']:g} "
+                         f"rejections={supervision['brownout_rejections']:g}"],
+            ["client", f"retries={supervision['client_retries']:g} "
+                       f"reconnects={supervision['client_reconnects']:g} "
+                       f"hedges={supervision['client_hedges']:g} "
+                       f"hedge_wins={supervision['client_hedge_wins']:g} "
+                       f"breaker_opens={supervision['client_breaker_opens']:g} "
+                       f"giveups={supervision['client_giveups']:g}"],
+        ]
+        sections.append(
+            format_table(["plane", "totals"], rows, title="serving supervision")
         )
 
     hot_rate = summary.hot_key_hit_rate()

@@ -21,9 +21,17 @@ Two dispatch planes:
   per-worker depth accounting.
 
 Failure handling follows :class:`repro.faults.RetryPolicy`: a group
-whose dispatch raises (or exceeds ``task_timeout_s``) is retried with
-exponential backoff; exhausted retries fail that group's requests with
-the dispatch error, never the whole service.
+whose dispatch raises (or exceeds ``task_timeout_s``), or whose result
+batch fails the :func:`repro.serve.workers.validate_results` shape
+check (a corrupted response), is retried with exponential backoff;
+exhausted retries fail that group's requests with the dispatch error,
+never the whole service.
+
+Deadlines travel with the work: the async plane forwards each item's
+absolute deadline to the pool so workers abandon already-expired
+positions (returned as the :data:`~repro.serve.workers.EXPIRED`
+sentinel, surfaced here as the same ``deadline exceeded`` timeout the
+pre-dispatch expiry check raises).
 
 Telemetry (``repro.obs``): ``serve.queue_depth`` gauge,
 ``serve.batches`` / ``serve.batched_requests`` counters (their ratio is
@@ -40,6 +48,7 @@ from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Seq
 
 from repro.faults.retry import RetryPolicy
 from repro.obs import get_tracer
+from repro.serve.workers import EXPIRED, validate_results
 
 #: Histogram bucket upper bounds for the batch-size distribution.
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32)
@@ -280,6 +289,7 @@ class MicroBatcher:
 
         loop = asyncio.get_running_loop()
         payloads = [item.payload for item in items]
+        deadlines = [item.deadline_t for item in items]
         policy = self.retry_policy
         attempt = 0
         with tracer.span("serve.batch", size=size):
@@ -287,7 +297,7 @@ class MicroBatcher:
                 try:
                     if self._dispatch_async is not None:
                         results = await asyncio.wait_for(
-                            self._dispatch_async(key, payloads),
+                            self._dispatch_async(key, payloads, deadlines),
                             timeout=policy.task_timeout_s,
                         )
                     else:
@@ -297,6 +307,10 @@ class MicroBatcher:
                             ),
                             timeout=policy.task_timeout_s,
                         )
+                    # Shape-check inside the retry loop: a corrupted
+                    # response (short batch, junk bodies) raises a
+                    # retryable CorruptResponse and re-dispatches.
+                    validate_results(key, results, size)
                     break
                 except asyncio.CancelledError:
                     raise
@@ -312,16 +326,15 @@ class MicroBatcher:
                     delay = policy.backoff_for(attempt)
                     if delay > 0:
                         await asyncio.sleep(delay)
-        if len(results) != size:  # pragma: no cover - handler contract
-            exc = RuntimeError(
-                f"dispatch returned {len(results)} results for {size} requests"
-            )
-            for item in items:
-                if not item.future.done():
-                    item.future.set_exception(exc)
-            return
         for item, result in zip(items, results):
-            if not item.future.done():
+            if item.future.done():
+                continue
+            if isinstance(result, str) and result == EXPIRED:
+                tracer.add("serve.deadline_expirations")
+                item.future.set_exception(
+                    asyncio.TimeoutError("deadline exceeded")
+                )
+            else:
                 item.future.set_result(result)
 
 

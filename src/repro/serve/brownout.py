@@ -1,0 +1,152 @@
+"""Brownout degradation: answer worse instead of refusing, under duress.
+
+Backpressure (429 + ``retry_after_ms``) is the right first response to
+a load spike — it is cheap, honest, and a well-behaved client recovers.
+But when overload is *sustained* (a traffic step the pool cannot
+absorb, or a quarantine wave that has benched every worker), pure
+shedding turns the service into a wall of errors even though a cheaper
+answer exists: the calibrated surrogate fast path
+(``repro.sim.surrogate``) predicts the same SMT decision at a fraction
+of the solver cost, within its calibrated error band.  Brownout is the
+controlled trade of fidelity for availability — the serving analogue of
+the paper's premise that a slightly noisy signal still supports a sound
+SMT decision.
+
+Mechanics (see ``docs/robustness.md`` for semantics and tuning):
+
+* :class:`BrownoutGate` decides *when*.  Every would-be shed is a
+  signal; the gate engages only after signals have persisted for
+  ``hold_s`` (one momentary spike still sheds — brownout is for
+  weather, not for gusts) and disengages after a quiet ``cool_s``.
+  Engagement is counted once per episode
+  (``serve.brownout.activations``).
+* :class:`DegradedResponder` decides *how*.  Eligible requests
+  (``predict`` — the op with a cheap surrogate equivalent) are answered
+  through a dedicated single-thread executor running the normal handler
+  path with ``surrogate=True`` session defaults, and the result is
+  flagged ``degraded: true`` so clients can tell fast answers from full
+  ones.  A small ``max_inflight`` cap keeps the degraded lane itself
+  from becoming a new unbounded queue: past it, requests shed exactly
+  as before (``serve.brownout.rejections``).
+
+Degraded answers bypass the batcher entirely, so — like hot-key cache
+hits — they take no batch slot and do not enter the
+``serve.admitted``/``serve.settled`` settlement ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import get_tracer
+
+__all__ = ["BrownoutGate", "DegradedResponder"]
+
+
+class BrownoutGate:
+    """Sustained-overload detector: engages after ``hold_s`` of signals.
+
+    Loop-thread-owned state, no locking.  ``signal()`` records one
+    would-be shed and returns whether brownout is engaged; signals
+    separated by more than ``cool_s`` of quiet reset the episode.
+    ``hold_s=0`` engages on the first signal (tests, aggressive
+    configs).
+    """
+
+    def __init__(self, hold_s: float = 5.0, cool_s: Optional[float] = None):
+        if hold_s < 0:
+            raise ValueError(f"hold_s must be >= 0, got {hold_s}")
+        self.hold_s = hold_s
+        self.cool_s = cool_s if cool_s is not None else max(hold_s, 1.0)
+        self._first_signal_t: Optional[float] = None
+        self._last_signal_t: Optional[float] = None
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def signal(self, now: Optional[float] = None) -> bool:
+        """Record one overload signal; True when brownout is engaged."""
+        if now is None:
+            now = time.monotonic()
+        if (self._last_signal_t is not None
+                and now - self._last_signal_t > self.cool_s):
+            # The previous episode went quiet: start fresh.
+            self._first_signal_t = None
+            self._active = False
+        self._last_signal_t = now
+        if self._first_signal_t is None:
+            self._first_signal_t = now
+        if not self._active and now - self._first_signal_t >= self.hold_s:
+            self._active = True
+            get_tracer().add("serve.brownout.activations")
+        return self._active
+
+
+class DegradedResponder:
+    """The degraded answer lane: surrogate-mode handlers, flagged results.
+
+    Owns one executor thread and an inflight cap.  The caller must
+    :meth:`try_reserve` a slot on the event-loop thread before awaiting
+    :meth:`respond` (which releases the slot when done) — reservation
+    and saturation stay race-free without locks that way.
+    """
+
+    #: Operations with a cheap degraded equivalent.  ``predict`` rides
+    #: the surrogate fast path; ``sweep`` has no cheap substitute and
+    #: ``score``/``ping`` are already cheaper than any substitute.
+    DEGRADABLE_OPS = ("predict",)
+
+    def __init__(self, session_defaults: Optional[Mapping[str, Any]] = None,
+                 *, max_inflight: int = 4):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        defaults = dict(session_defaults or {})
+        defaults["surrogate"] = True
+        self._defaults = defaults
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-brownout"
+        )
+
+    def eligible(self, op: str) -> bool:
+        return op in self.DEGRADABLE_OPS
+
+    def try_reserve(self) -> bool:
+        """Claim a degraded slot; False when the lane is saturated."""
+        if self._inflight >= self.max_inflight:
+            return False
+        self._inflight += 1
+        return True
+
+    async def respond(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """One degraded ``predict`` answer (after a successful reserve).
+
+        Raises whatever the handler raises —
+        :class:`repro.serve.handlers.HandlerError` for bad params — so
+        the server maps errors exactly like the full-fidelity path.
+        """
+        import asyncio
+
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._solve, params
+            )
+        finally:
+            self._inflight -= 1
+        return result
+
+    def _solve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        from repro.serve import handlers
+
+        results = handlers.handle_predict_batch([params], self._defaults)
+        result = dict(results[0])
+        result["degraded"] = True
+        return result
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)

@@ -14,14 +14,31 @@ Error responses are raised as typed exceptions (:class:`OverloadedError`,
 by id, so one connection may be shared by interleaved requests (the
 client buffers out-of-order arrivals), though the class itself is not
 thread-safe — use one client per thread.
+
+:class:`ServeClient` is deliberately naive: one attempt, every error
+raised straight to the caller.  :class:`ResilientClient` wraps the same
+operations with the fleet-facing survival kit — jittered-exponential
+retry that honors the server's ``retry_after_ms`` hint
+(:class:`ClientRetryPolicy`), automatic reconnection, a per-client
+:class:`CircuitBreaker` (open after consecutive failures, half-open
+probes), and opt-in request hedging against the latency tail.  The
+serving-chaos phase of ``scripts/bench_robustness.py`` measures exactly
+this gap: availability under worker chaos with the naive vs the
+resilient client.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Any, Dict, Mapping, Optional, Sequence
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.obs import get_tracer
 from repro.serve.protocol import (
     ERR_CANCELLED,
     ERR_DEADLINE,
@@ -33,6 +50,10 @@ from repro.serve.protocol import (
 
 __all__ = [
     "ServeClient",
+    "ResilientClient",
+    "ClientRetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ServeError",
     "InvalidRequestError",
     "OverloadedError",
@@ -75,6 +96,16 @@ class CancelledError(ServeError):
 
 class InternalError(ServeError):
     code = ERR_INTERNAL
+
+
+class CircuitOpenError(ServeError):
+    """The client's own circuit breaker refused to send (local, typed).
+
+    Raised by :class:`ResilientClient` while its breaker is open;
+    ``retry_after_ms`` carries the time until the next half-open probe.
+    """
+
+    code = "circuit_open"
 
 
 _ERROR_TYPES = {
@@ -204,6 +235,366 @@ class ServeClient:
             pass
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- the resilient layer ---------------------------------------------------
+
+#: Typed server errors worth another attempt.  ``overloaded`` and
+#: ``shutting_down`` explicitly ask for one (retry_after_ms);
+#: ``internal`` covers transient dispatch faults (a worker crash that
+#: exhausted server-side retries); ``cancelled`` means the server
+#: abandoned the request (e.g. its connection died) without running it.
+RETRYABLE_CLIENT_ERRORS = (
+    OverloadedError,
+    ShuttingDownError,
+    InternalError,
+    CancelledError,
+)
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Jittered-exponential retry schedule for :class:`ResilientClient`.
+
+    The delay before attempt ``n+1`` starts from
+    ``base_backoff_ms * backoff_mult**(n-1)`` capped at
+    ``max_backoff_ms``, is floored at the server's ``retry_after_ms``
+    hint when one came back (the server knows its queue better than the
+    client's exponent does), then stretched by up to ``jitter`` of
+    itself, uniformly at random — jitter breaks the retry synchrony
+    that turns one shed into a convoy of re-arrivals.
+    ``total_budget_ms`` bounds the whole request (attempts + backoff):
+    when spending the next delay would blow it, the last error is
+    raised instead.
+    """
+
+    max_attempts: int = 5
+    base_backoff_ms: float = 25.0
+    backoff_mult: float = 2.0
+    max_backoff_ms: float = 1000.0
+    jitter: float = 0.5
+    total_budget_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_ms < 0:
+            raise ValueError(
+                f"base_backoff_ms must be >= 0, got {self.base_backoff_ms}"
+            )
+        if self.backoff_mult < 1.0:
+            raise ValueError(
+                f"backoff_mult must be >= 1, got {self.backoff_mult}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_ms(self, attempt: int, hint_ms: Optional[float],
+                 rng: random.Random) -> float:
+        """Backoff before the next attempt, after failure #``attempt``."""
+        delay = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.backoff_mult ** (attempt - 1),
+        )
+        if hint_ms is not None:
+            delay = max(delay, hint_ms)
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    ``failure_threshold`` consecutive failed attempts open the circuit
+    for ``reset_timeout_s`` (``client.breaker_opens``); while open,
+    :meth:`allow` refuses instantly — the client stops hammering a
+    server that is clearly down.  After the timeout one *probe* attempt
+    is allowed through (half-open): success closes the circuit, failure
+    re-opens it for another full timeout.  Thread-safe (hedge threads
+    record outcomes concurrently).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 1.0):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_t: Optional[float] = None   # None = closed
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_t is None:
+                return "closed"
+            if time.monotonic() - self._opened_t >= self.reset_timeout_s:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        """Whether the next attempt may be sent right now."""
+        with self._lock:
+            if self._opened_t is None:
+                return True
+            elapsed = time.monotonic() - self._opened_t
+            if elapsed < self.reset_timeout_s:
+                return False
+            if self._probing:
+                return False          # one probe at a time
+            self._probing = True
+            return True
+
+    def retry_after_ms(self) -> float:
+        """Time until the circuit half-opens (hint for CircuitOpenError)."""
+        with self._lock:
+            if self._opened_t is None:
+                return 0.0
+            remaining = self.reset_timeout_s - (
+                time.monotonic() - self._opened_t
+            )
+            return max(0.0, remaining) * 1000.0
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_t = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._opened_t is not None:
+                # A failed half-open probe: re-open for a full timeout.
+                self._opened_t = time.monotonic()
+                self._probing = False
+                get_tracer().add("client.breaker_opens")
+            elif self._failures >= self.failure_threshold:
+                self._opened_t = time.monotonic()
+                self._probing = False
+                get_tracer().add("client.breaker_opens")
+
+
+class _Lane:
+    """One connection a :class:`ResilientClient` may have in flight."""
+
+    __slots__ = ("client", "busy")
+
+    def __init__(self):
+        self.client: Optional[ServeClient] = None
+        self.busy = False
+
+
+class ResilientClient:
+    """Retrying, breaker-guarded, optionally hedging serving client.
+
+    Same operation surface as :class:`ServeClient` (``request`` /
+    ``predict`` / ``sweep`` / ``score_counters`` / ``ping``), but each
+    request survives the faults the chaos harness injects:
+
+    * transport failures reconnect automatically
+      (``client.reconnects``);
+    * retryable typed errors back off and retry per ``policy``,
+      honoring the server's ``retry_after_ms`` (``client.retries``);
+    * ``breaker`` trips after consecutive failures and refuses with
+      :class:`CircuitOpenError` while open;
+    * with ``hedge_after_ms`` set, an attempt that has not answered by
+      then races a duplicate on a second connection — first response
+      wins (``client.hedges`` / ``client.hedge_wins``).  Hedge only
+      idempotent traffic: every built-in op is a pure function of its
+      params, but a duplicated request does cost server work.
+
+    Like :class:`ServeClient`, one instance serves one caller thread
+    (the hedging threads are internal).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 policy: Optional[ClientRetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 hedge_after_ms: Optional[float] = None,
+                 timeout_s: float = 60.0,
+                 seed: int = 0):
+        if hedge_after_ms is not None and hedge_after_ms < 0:
+            raise ValueError(
+                f"hedge_after_ms must be >= 0, got {hedge_after_ms}"
+            )
+        self.host = host
+        self.port = port
+        self.policy = policy or ClientRetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.hedge_after_ms = hedge_after_ms
+        self.timeout_s = timeout_s
+        self._rng = random.Random(seed)
+        self._lanes: List[_Lane] = [_Lane()]
+        self._lanes_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- lanes (connections) --------------------------------------------
+
+    def _checkout(self) -> _Lane:
+        """A lane no other in-flight attempt is using (may grow the list)."""
+        with self._lanes_lock:
+            for lane in self._lanes:
+                if not lane.busy:
+                    lane.busy = True
+                    return lane
+            lane = _Lane()
+            lane.busy = True
+            self._lanes.append(lane)
+            return lane
+
+    def _checkin(self, lane: _Lane) -> None:
+        with self._lanes_lock:
+            lane.busy = False
+
+    def _attempt(self, op: str, params: Mapping[str, Any],
+                 deadline_ms: Optional[float]) -> Any:
+        """One attempt on one lane; reconnects a broken lane first."""
+        lane = self._checkout()
+        try:
+            if lane.client is None:
+                lane.client = ServeClient(
+                    self.host, self.port, timeout_s=self.timeout_s
+                )
+                get_tracer().add("client.connects")
+            try:
+                return lane.client.request(op, params, deadline_ms=deadline_ms)
+            except (ConnectionError, socket.timeout, OSError):
+                # The transport is gone; drop the connection so the next
+                # attempt on this lane dials fresh.
+                lane.client.close()
+                lane.client = None
+                get_tracer().add("client.reconnects")
+                raise
+        finally:
+            self._checkin(lane)
+
+    # -- the hedged attempt ----------------------------------------------
+
+    def _hedge_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="repro-client-hedge"
+            )
+        return self._pool
+
+    def _attempt_hedged(self, op: str, params: Mapping[str, Any],
+                        deadline_ms: Optional[float]) -> Any:
+        """Primary attempt, plus a duplicate if it is slow; first wins.
+
+        The losing attempt keeps running on its own lane until the
+        server answers it (responses to a reused lane are parked by
+        :class:`ServeClient`'s id-matching, so the lane stays usable).
+        """
+        pool = self._hedge_pool()
+        primary = pool.submit(self._attempt, op, params, deadline_ms)
+        done, _ = wait([primary], timeout=self.hedge_after_ms / 1000.0)
+        if done:
+            return primary.result()
+        get_tracer().add("client.hedges")
+        hedge = pool.submit(self._attempt, op, params, deadline_ms)
+        futures = {primary, hedge}
+        first_exc: Optional[BaseException] = None
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    if first_exc is None:
+                        first_exc = exc
+                else:
+                    if future is hedge:
+                        get_tracer().add("client.hedge_wins")
+                    return result
+        raise first_exc
+
+    # -- the retry loop ----------------------------------------------------
+
+    def request(self, op: str, params: Optional[Mapping[str, Any]] = None, *,
+                deadline_ms: Optional[float] = None) -> Any:
+        """Send one request with retries/breaker/hedging; block for a result.
+
+        Raises :class:`CircuitOpenError` without touching the network
+        while the breaker is open; otherwise raises the final attempt's
+        typed error once retries/budget are exhausted.
+        """
+        params = params or {}
+        policy = self.policy
+        started = time.monotonic()
+        tracer = get_tracer()
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    "circuit breaker is open",
+                    retry_after_ms=self.breaker.retry_after_ms(),
+                )
+            try:
+                if self.hedge_after_ms is not None:
+                    result = self._attempt_hedged(op, params, deadline_ms)
+                else:
+                    result = self._attempt(op, params, deadline_ms)
+            except RETRYABLE_CLIENT_ERRORS as exc:
+                self.breaker.record_failure()
+                last_exc, hint = exc, exc.retry_after_ms
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.breaker.record_failure()
+                last_exc, hint = exc, None
+            except ServeError as exc:
+                # Client errors and elapsed deadlines are final: another
+                # attempt would send the same doomed request.
+                self.breaker.record_success()
+                raise
+            else:
+                self.breaker.record_success()
+                return result
+            if attempt >= policy.max_attempts:
+                break
+            delay_ms = policy.delay_ms(attempt, hint, self._rng)
+            if policy.total_budget_ms is not None:
+                spent_ms = (time.monotonic() - started) * 1000.0
+                if spent_ms + delay_ms >= policy.total_budget_ms:
+                    break
+            tracer.add("client.retries")
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1000.0)
+        tracer.add("client.giveups")
+        raise last_exc
+
+    # -- operations (same surface as ServeClient) ------------------------
+
+    ping = ServeClient.ping
+    predict = ServeClient.predict
+    sweep = ServeClient.sweep
+    score_counters = ServeClient.score_counters
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        with self._lanes_lock:
+            for lane in self._lanes:
+                if lane.client is not None:
+                    lane.client.close()
+                    lane.client = None
+
+    def __enter__(self) -> "ResilientClient":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -26,6 +26,17 @@ in-process executor (``workers=1``) or a sharded process pool
   served late, whether they expire waiting or executing.
 * **Cancellation**: a dropped connection cancels that connection's
   pending futures, so abandoned work never occupies a batch slot.
+* **Supervision** (pool mode): a
+  :class:`repro.serve.watchdog.WorkerWatchdog` kills and respawns hung
+  workers (``hang_timeout_s``); repeat offenders are quarantined by the
+  pool's restart budget; request deadlines propagate into the workers.
+  Chaos injection (``ServeConfig.chaos`` / ``REPRO_SERVE_CHAOS``) tests
+  all of it — see :mod:`repro.faults.chaos`.
+* **Brownout** (:mod:`repro.serve.brownout`): under *sustained*
+  overload or full quarantine, eligible requests are answered by the
+  surrogate fast path (flagged ``degraded: true``) instead of shed —
+  availability traded against fidelity, bounded by
+  ``brownout_max_inflight``.
 * **Graceful drain** (:meth:`PredictionServer.stop`): stop accepting
   connections, answer new requests with ``shutting_down``, let every
   admitted request finish and flush, then close.
@@ -42,10 +53,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Tuple
 
+from repro.faults.chaos import ChaosConfig
 from repro.faults.retry import RetryPolicy
 from repro.obs import get_tracer
 from repro.serve import handlers
 from repro.serve.batching import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve.brownout import BrownoutGate, DegradedResponder
 from repro.serve import protocol
 from repro.serve.protocol import (
     ERR_CANCELLED,
@@ -60,6 +73,7 @@ from repro.serve.protocol import (
     response_error,
     response_ok,
 )
+from repro.serve.watchdog import WorkerWatchdog
 from repro.serve.workers import HotKeyCache, WorkerPool, dispatch_batch
 
 __all__ = ["ServeConfig", "PredictionServer", "BackgroundServer"]
@@ -86,6 +100,26 @@ class ServeConfig:
     max_inflight_per_worker: int = 64   # shed when the routed worker is deeper
     hot_cache_size: int = 1024          # dispatcher LRU entries; 0 disables
     mp_start_method: Optional[str] = None   # fork|spawn; None = platform default
+    #: Supervision knobs (pool mode).  The watchdog declares a worker
+    #: hung after ``hang_timeout_s`` with jobs in flight and no
+    #: progress; more than ``restart_budget`` respawns inside
+    #: ``restart_window_s`` quarantines the worker for
+    #: ``quarantine_base_s`` (doubling per further offense).
+    hang_timeout_s: float = 30.0
+    restart_budget: int = 3
+    restart_window_s: float = 60.0
+    quarantine_base_s: float = 1.0
+    #: Fault injection: a :class:`repro.faults.ChaosConfig` executed
+    #: inside the pool's workers (None also checks ``REPRO_SERVE_CHAOS``).
+    #: Pool mode only — single-process servers have no fleet to chaos.
+    chaos: Optional[ChaosConfig] = None
+    #: Brownout degradation: when overload signals persist for
+    #: ``brownout_hold_s``, eligible requests are answered degraded
+    #: (surrogate fast path, ``degraded: true``) instead of shed, at
+    #: most ``brownout_max_inflight`` at a time.
+    brownout: bool = True
+    brownout_hold_s: float = 5.0
+    brownout_max_inflight: int = 4
     retry_policy: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(
             task_timeout_s=300.0, max_retries=1, backoff_s=0.01
@@ -113,6 +147,31 @@ class ServeConfig:
             raise ValueError(
                 f"hot_cache_size must be >= 0, got {self.hot_cache_size}"
             )
+        if self.hang_timeout_s <= 0:
+            raise ValueError(
+                f"hang_timeout_s must be > 0, got {self.hang_timeout_s}"
+            )
+        if self.restart_budget < 1:
+            raise ValueError(
+                f"restart_budget must be >= 1, got {self.restart_budget}"
+            )
+        if self.restart_window_s <= 0:
+            raise ValueError(
+                f"restart_window_s must be > 0, got {self.restart_window_s}"
+            )
+        if self.quarantine_base_s <= 0:
+            raise ValueError(
+                f"quarantine_base_s must be > 0, got {self.quarantine_base_s}"
+            )
+        if self.brownout_hold_s < 0:
+            raise ValueError(
+                f"brownout_hold_s must be >= 0, got {self.brownout_hold_s}"
+            )
+        if self.brownout_max_inflight < 1:
+            raise ValueError(
+                "brownout_max_inflight must be >= 1, "
+                f"got {self.brownout_max_inflight}"
+            )
 
 
 class PredictionServer:
@@ -125,6 +184,9 @@ class PredictionServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[WorkerPool] = None
         self._hot_cache: Optional[HotKeyCache] = None
+        self._watchdog: Optional[WorkerWatchdog] = None
+        self._brownout_gate: Optional[BrownoutGate] = None
+        self._degraded: Optional[DegradedResponder] = None
         self._draining = False
         self._stopped = asyncio.Event()
         self._connections: set = set()
@@ -135,11 +197,23 @@ class PredictionServer:
         """Bind and start serving; returns the bound (host, port)."""
         config = self.config
         if config.workers > 1:
+            chaos = config.chaos
+            if chaos is None:
+                chaos = ChaosConfig.from_env()
+            if chaos is not None and not chaos.any_chaos:
+                chaos = None
             self._pool = WorkerPool(
                 config.workers,
                 config.session,
                 max_inflight_per_worker=config.max_inflight_per_worker,
                 start_method=config.mp_start_method,
+                chaos=chaos,
+                restart_budget=config.restart_budget,
+                restart_window_s=config.restart_window_s,
+                quarantine_base_s=config.quarantine_base_s,
+            ).start()
+            self._watchdog = WorkerWatchdog(
+                self._pool, hang_timeout_s=config.hang_timeout_s
             ).start()
             if config.hot_cache_size > 0:
                 self._hot_cache = HotKeyCache(config.hot_cache_size)
@@ -162,6 +236,11 @@ class PredictionServer:
                 queue_size=config.queue_size,
                 retry_policy=config.retry_policy,
                 executor=self._executor,
+            )
+        if config.brownout:
+            self._brownout_gate = BrownoutGate(config.brownout_hold_s)
+            self._degraded = DegradedResponder(
+                config.session, max_inflight=config.brownout_max_inflight
             )
         self._batcher.start()
         self._server = await asyncio.start_server(
@@ -194,12 +273,18 @@ class PredictionServer:
             await asyncio.gather(*self._connections, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._watchdog is not None:
+            await self._watchdog.stop()
+            self._watchdog = None
         if self._pool is not None:
             # Joining worker processes blocks; keep the loop responsive.
             await asyncio.get_running_loop().run_in_executor(
                 None, self._pool.close
             )
             self._pool = None
+        if self._degraded is not None:
+            self._degraded.close()
+            self._degraded = None
         self._server = None
         self._stopped.set()
         get_tracer().add("serve.stops")
@@ -271,14 +356,19 @@ class PredictionServer:
                         await out_q.put(response_ok(request.id, cached))
                         continue
                 key = handlers.batch_key(request.op, request.params)
+                if self._pool is not None and self._pool.all_quarantined():
+                    await self._shed(
+                        request, out_q, delivery_tasks,
+                        "all workers quarantined; back off and retry",
+                        extra_counter="serve.worker.shed",
+                    )
+                    continue
                 if self._pool is not None and self._pool.overloaded(key):
-                    tracer.add("serve.rejections")
-                    tracer.add("serve.worker.shed")
-                    await out_q.put(response_error(
-                        request.id, ERR_OVERLOADED,
+                    await self._shed(
+                        request, out_q, delivery_tasks,
                         "routed worker queue too deep; back off and retry",
-                        retry_after_ms=self.config.retry_after_ms,
-                    ))
+                        extra_counter="serve.worker.shed",
+                    )
                     continue
                 deadline_t = self._deadline_t(request)
                 try:
@@ -288,12 +378,10 @@ class PredictionServer:
                         deadline_t,
                     )
                 except QueueFull:
-                    tracer.add("serve.rejections")
-                    await out_q.put(response_error(
-                        request.id, ERR_OVERLOADED,
+                    await self._shed(
+                        request, out_q, delivery_tasks,
                         "admission queue full; back off and retry",
-                        retry_after_ms=self.config.retry_after_ms,
-                    ))
+                    )
                     continue
                 except BatcherClosed:
                     tracer.add("serve.errors.shutting_down")
@@ -329,6 +417,64 @@ class PredictionServer:
             except asyncio.CancelledError:
                 pass
             self._connections.discard(task)
+
+    async def _shed(self, request: Request, out_q: "asyncio.Queue",
+                    delivery_tasks: set, message: str,
+                    extra_counter: Optional[str] = None) -> None:
+        """One would-be rejection: degrade it if brownout allows, else shed.
+
+        Every call signals the brownout gate; once overload has been
+        sustained past ``brownout_hold_s``, eligible requests are
+        answered through the degraded lane (bypassing admission, like
+        hot-cache hits) and everything else sheds with ``overloaded`` +
+        ``retry_after_ms`` exactly as before.
+        """
+        tracer = get_tracer()
+        if self._degraded is not None and self._brownout_gate.signal():
+            if self._degraded.eligible(request.op):
+                if self._degraded.try_reserve():
+                    deliver = asyncio.get_running_loop().create_task(
+                        self._deliver_degraded(request, out_q)
+                    )
+                    delivery_tasks.add(deliver)
+                    deliver.add_done_callback(delivery_tasks.discard)
+                    return
+                tracer.add("serve.brownout.rejections")
+        tracer.add("serve.rejections")
+        if extra_counter is not None:
+            tracer.add(extra_counter)
+        await out_q.put(response_error(
+            request.id, ERR_OVERLOADED, message,
+            retry_after_ms=self.config.retry_after_ms,
+        ))
+
+    async def _deliver_degraded(self, request: Request,
+                                out_q: "asyncio.Queue") -> None:
+        """Answer one request through the degraded (surrogate) lane."""
+        tracer = get_tracer()
+        try:
+            result = await self._degraded.respond(request.params)
+        except asyncio.CancelledError:
+            tracer.add("serve.errors.cancelled")
+            await out_q.put(response_error(
+                request.id, ERR_CANCELLED, "request abandoned"
+            ))
+            return
+        except handlers.HandlerError as exc:
+            tracer.add("serve.errors.invalid_request")
+            await out_q.put(response_error(request.id, ERR_INVALID, str(exc)))
+            return
+        except Exception as exc:
+            tracer.add("serve.errors.internal")
+            await out_q.put(response_error(
+                request.id, ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                retry_after_ms=self.config.retry_after_ms,
+            ))
+            return
+        tracer.add("serve.brownout.degraded")
+        tracer.add("serve.responses")
+        await out_q.put(response_ok(request.id, result))
 
     def _deadline_t(self, request: Request) -> Optional[float]:
         deadline_ms = request.deadline_ms

@@ -1,0 +1,150 @@
+"""Liveness supervision for the worker pool: catching the silent failures.
+
+Crash containment (``repro.serve.workers``) handles workers that *die*
+— the pipe EOFs, the reader notices, jobs fail retryable and the worker
+respawns.  This module handles the strictly worse failure: a worker
+that is alive but **silent**.  A deadlocked solver, a runaway C loop
+holding the GIL, an NFS stall — the process exists, the pipe stays
+open, and nothing ever comes back.  Without supervision every job
+routed there waits out its full client deadline, and a sticky batch key
+pinned to the hung worker turns one bad process into an outage for one
+whole system's traffic.
+
+The :class:`WorkerWatchdog` closes that hole with a per-worker
+*progress clock*: ``last_progress_t`` advances on every dispatch and
+every completion, so a worker is declared **hung** exactly when it
+holds in-flight jobs and has made no progress for ``hang_timeout_s``.
+An idle worker is never hung, however long it sits — silence with
+nothing to say is health.
+
+The hang state machine (see ``docs/robustness.md``)::
+
+    healthy ──no progress & jobs inflight > hang_timeout_s──▶ hung
+      ▲                                                         │
+      │                              fail jobs (WorkerHung), kill
+      │                                                         ▼
+    serving ◀──respawn (restart budget ok)─── dead ──EOF──▶ _on_crash
+                                                │
+                        over budget in window   ▼
+                             quarantined (exponential re-admit)
+
+Declaring a worker hung does three things, in order: every pending job
+on it fails with retryable :class:`~repro.serve.workers.WorkerHung`
+(``serve.watchdog.hangs``), so the batcher re-dispatches onto healthy
+siblings immediately instead of waiting out deadlines; the process is
+killed (``serve.watchdog.kills``), which turns the hang into an
+ordinary crash; and the existing EOF → ``_on_crash`` path respawns it
+and applies the restart budget — a worker that keeps hanging gets
+quarantined exactly like one that keeps crashing.
+
+The watchdog is a single asyncio task on the dispatcher loop, polling
+at a fraction of ``hang_timeout_s``; detection latency is at most
+``hang_timeout_s + poll_interval_s``.  All state it touches is
+loop-thread-owned, so there is no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.obs import get_tracer
+from repro.serve.workers import WorkerHung, WorkerPool
+
+__all__ = ["WorkerWatchdog"]
+
+
+class WorkerWatchdog:
+    """Hang detector and executioner for a :class:`WorkerPool`.
+
+    Construct with the pool, :meth:`start` on the running loop,
+    :meth:`stop` before the pool closes.  ``hang_timeout_s`` is the
+    silence budget: a worker with in-flight jobs and no progress for
+    that long is failed and killed.  Size it well above the slowest
+    legitimate batch (the default 30 s suits cold full-catalog sweeps;
+    chaos tests run it at fractions of a second).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        hang_timeout_s: float = 30.0,
+        poll_interval_s: Optional[float] = None,
+    ):
+        if hang_timeout_s <= 0:
+            raise ValueError(
+                f"hang_timeout_s must be > 0, got {hang_timeout_s}"
+            )
+        self.pool = pool
+        self.hang_timeout_s = hang_timeout_s
+        self.poll_interval_s = (
+            poll_interval_s if poll_interval_s is not None
+            else max(0.02, hang_timeout_s / 4.0)
+        )
+        self._task: Optional["asyncio.Task"] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerWatchdog":
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-serve-watchdog"
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.poll_interval_s)
+            self.sweep()
+
+    # -- detection -----------------------------------------------------
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """One liveness pass; returns how many workers were declared hung.
+
+        Public (and pure event-loop-thread) so tests can drive detection
+        deterministically without waiting on the polling task.
+        """
+        if self.pool._closed:
+            return 0
+        if now is None:
+            now = time.monotonic()
+        hung = 0
+        for worker in list(self.pool._workers):
+            if worker.inflight_jobs <= 0:
+                continue
+            if now - worker.last_progress_t <= self.hang_timeout_s:
+                continue
+            self._declare_hung(worker, now)
+            hung += 1
+        return hung
+
+    def _declare_hung(self, worker, now: float) -> None:
+        tracer = get_tracer()
+        tracer.add("serve.watchdog.hangs")
+        silent_for = now - worker.last_progress_t
+        self.pool.fail_worker_jobs(worker, WorkerHung(
+            f"no progress for {silent_for:.2f}s "
+            f"(hang_timeout_s={self.hang_timeout_s})"
+        ))
+        # Reset the clock so the next poll tick does not re-declare the
+        # same worker while its respawn is still in flight.
+        worker.last_progress_t = now
+        process = worker.process
+        if process is not None and process.is_alive():
+            tracer.add("serve.watchdog.kills")
+            process.kill()
+        # From here the ordinary crash path takes over: the reader
+        # thread sees EOF, _on_crash respawns the worker and applies
+        # the restart budget / quarantine bookkeeping.

@@ -29,7 +29,28 @@ Three properties the pool preserves:
   in-flight jobs (with :class:`WorkerCrashed`, which the batcher's
   ``RetryPolicy`` retries) and is respawned immediately
   (``serve.worker.restarts``); the service never goes down with a
-  worker.
+  worker.  A worker that is alive but *silent* — hung on a job past
+  ``hang_timeout_s`` — is detected by the
+  :class:`repro.serve.watchdog.WorkerWatchdog`, which fails its jobs
+  with retryable :class:`WorkerHung` and kills it so the same respawn
+  path takes over.  Workers that crash repeatedly inside
+  ``restart_window_s`` blow their ``restart_budget`` and are
+  *quarantined*: still respawned, but routed around for an
+  exponentially growing re-admit interval
+  (``serve.watchdog.quarantines``).
+
+Two more supervision hooks run through the pool:
+
+* **Deadline propagation.**  ``dispatch`` ships each request's absolute
+  monotonic deadline with the job; the worker answers already-expired
+  positions with the :data:`EXPIRED` sentinel instead of solving them
+  (``serve.worker.deadline_abandoned``) — work whose client has already
+  timed out never reaches a solver.
+* **Chaos injection.**  A :class:`repro.faults.ChaosConfig` handed to
+  the pool is executed *inside* each worker by a seeded
+  :class:`repro.faults.ChaosPlan` (hangs, crashes, slow jobs, response
+  corruption); the dispatcher-side :func:`validate_results` shape check
+  turns corrupted responses into retryable :class:`CorruptResponse`.
 
 Per-worker **queue-depth accounting** (``inflight_requests``) feeds the
 server's admission control: when the routed worker already holds
@@ -58,6 +79,7 @@ import multiprocessing
 import os
 import sys
 import threading
+import time
 import traceback
 import warnings
 from collections import OrderedDict
@@ -66,11 +88,15 @@ from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 from repro.obs import get_tracer
 
 __all__ = [
+    "CorruptResponse",
+    "EXPIRED",
     "HotKeyCache",
     "WorkerCrashed",
+    "WorkerHung",
     "WorkerPool",
     "default_start_method",
     "dispatch_batch",
+    "validate_results",
 ]
 
 #: Environment override for the pool's multiprocessing start method.
@@ -88,6 +114,47 @@ def default_start_method() -> str:
 
 class WorkerCrashed(Exception):
     """A worker process died with this job in flight (retryable)."""
+
+
+class WorkerHung(Exception):
+    """The watchdog declared this job's worker hung (retryable)."""
+
+
+class CorruptResponse(Exception):
+    """A worker answered with a malformed result batch (retryable)."""
+
+
+#: Sentinel a worker returns in place of a result whose client deadline
+#: had already passed when the job reached it.  Handlers only ever
+#: return mappings, so a module-qualified marker string is unambiguous
+#: on the wire (and picklable, unlike a sentinel object identity).
+EXPIRED = "__repro.serve.expired__"
+
+
+def validate_results(key: Hashable, results: Any, expected: int) -> List[Any]:
+    """Check a worker's result batch for shape before it is fanned out.
+
+    A well-formed response is a list with one element per payload, each
+    element a mapping (every handler returns dicts) or the
+    :data:`EXPIRED` deadline sentinel.  Anything else — a short batch
+    from a torn frame, junk bodies from a corrupted write — raises
+    :class:`CorruptResponse`, which the batcher's retry policy treats
+    as retryable (the re-dispatch re-solves; handlers are pure).
+    """
+    if not isinstance(results, list) or len(results) != expected:
+        got = len(results) if isinstance(results, list) else type(results).__name__
+        get_tracer().add("serve.worker.corrupt_responses")
+        raise CorruptResponse(
+            f"group {key!r}: expected {expected} results, got {got}"
+        )
+    for item in results:
+        if item == EXPIRED or isinstance(item, Mapping):
+            continue
+        get_tracer().add("serve.worker.corrupt_responses")
+        raise CorruptResponse(
+            f"group {key!r}: malformed result of type {type(item).__name__}"
+        )
+    return results
 
 
 def dispatch_batch(key: Hashable, payloads: Sequence[Any],
@@ -123,16 +190,58 @@ _HANDLER_ERROR = "handler_error"   # client error: re-raised as HandlerError
 _ERROR = "error"                   # internal error: re-raised as RuntimeError
 
 
-def _worker_main(conn, defaults: Dict[str, Any], index: int) -> None:
-    """The child process loop: recv (job, key, payloads) → dispatch → send.
+def _run_job(key: Hashable, payloads: Sequence[Any],
+             deadlines: Optional[Sequence[Optional[float]]],
+             defaults: Optional[Mapping[str, Any]]) -> List[Any]:
+    """Dispatch one job, abandoning payloads whose deadline has passed.
+
+    Deadlines are absolute ``time.monotonic()`` times (CLOCK_MONOTONIC
+    is system-wide on every platform the pool forks on, so the parent's
+    loop clock and the child's clock agree).  Expired positions are
+    answered with :data:`EXPIRED` without touching a handler; live
+    positions dispatch as one (smaller) coalesced batch.
+    """
+    if not deadlines:
+        return dispatch_batch(key, payloads, defaults)
+    now = time.monotonic()
+    live = [i for i, d in enumerate(deadlines) if d is None or d > now]
+    abandoned = len(payloads) - len(live)
+    if abandoned:
+        get_tracer().add("serve.worker.deadline_abandoned", abandoned)
+    if not live:
+        return [EXPIRED] * len(payloads)
+    if abandoned == 0:
+        return dispatch_batch(key, payloads, defaults)
+    answered = dispatch_batch(key, [payloads[i] for i in live], defaults)
+    results: List[Any] = [EXPIRED] * len(payloads)
+    for position, result in zip(live, answered):
+        results[position] = result
+    return results
+
+
+def _worker_main(conn, defaults: Dict[str, Any], index: int,
+                 chaos: Optional[Dict[str, Any]] = None,
+                 generation: int = 0) -> None:
+    """The child loop: recv (job, key, payloads, deadlines) → dispatch → send.
 
     The child detaches from the parent's tracer first (a forked child
     must never share the parent's sink fd) and keeps a fresh in-process
     tracer so each response can carry the counter deltas the job caused.
+    A chaos config (shipped as a plain dict so spawn-mode pickling stays
+    trivial) arms a per-worker :class:`repro.faults.ChaosPlan`;
+    ``generation`` counts respawns so each incarnation draws a fresh
+    chaos schedule instead of replaying its predecessor's.
     """
     from repro.obs import detach_in_subprocess
 
     tracer = detach_in_subprocess(enabled=True)
+    plan = None
+    if chaos:
+        from repro.faults.chaos import ChaosConfig, ChaosPlan
+
+        config = ChaosConfig.from_dict(chaos)
+        if config.any_chaos:
+            plan = ChaosPlan(config, index, generation)
     baseline: Dict[str, float] = {}
     while True:
         try:
@@ -141,9 +250,13 @@ def _worker_main(conn, defaults: Dict[str, Any], index: int) -> None:
             break
         if message is None:
             break
-        job_id, key, payloads = message
+        job_id, key, payloads, deadlines = message
         try:
-            results = dispatch_batch(key, payloads, defaults)
+            if plan is not None:
+                plan.before_job()
+            results = _run_job(key, payloads, deadlines, defaults)
+            if plan is not None:
+                results = plan.maybe_corrupt(results)
             status, body = _OK, results
         except Exception as exc:
             from repro.serve.handlers import HandlerError
@@ -177,7 +290,8 @@ class _Worker:
     """Parent-side handle on one worker process."""
 
     __slots__ = ("index", "process", "conn", "reader", "inflight_requests",
-                 "inflight_jobs")
+                 "inflight_jobs", "last_progress_t", "restart_times",
+                 "quarantined_until", "spawns")
 
     def __init__(self, index: int):
         self.index = index
@@ -186,6 +300,14 @@ class _Worker:
         self.reader: Optional[threading.Thread] = None
         self.inflight_requests = 0    # requests dispatched, not yet answered
         self.inflight_jobs = 0        # groups dispatched, not yet answered
+        self.last_progress_t = time.monotonic()   # last dispatch or answer
+        self.restart_times: List[float] = []      # recent respawn times
+        self.quarantined_until = 0.0              # routed around until then
+        self.spawns = 0               # incarnations (chaos generation)
+
+    def quarantined(self, now: Optional[float] = None) -> bool:
+        return self.quarantined_until > (now if now is not None
+                                         else time.monotonic())
 
 
 class WorkerPool:
@@ -205,12 +327,22 @@ class WorkerPool:
         *,
         max_inflight_per_worker: int = 64,
         start_method: Optional[str] = None,
+        chaos: Optional[Any] = None,
+        restart_budget: int = 3,
+        restart_window_s: float = 60.0,
+        quarantine_base_s: float = 1.0,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if restart_budget < 1:
+            raise ValueError(f"restart_budget must be >= 1, got {restart_budget}")
         self.n_workers = n_workers
         self.max_inflight_per_worker = max_inflight_per_worker
+        self.restart_budget = restart_budget
+        self.restart_window_s = restart_window_s
+        self.quarantine_base_s = quarantine_base_s
         self._defaults = dict(session_defaults or {})
+        self._chaos = chaos.to_dict() if chaos is not None else None
         self._ctx = multiprocessing.get_context(
             start_method or default_start_method()
         )
@@ -244,7 +376,8 @@ class WorkerPool:
             warnings.simplefilter("ignore", DeprecationWarning)
             process = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self._defaults, worker.index),
+                args=(child_conn, self._defaults, worker.index, self._chaos,
+                      worker.spawns),
                 name=f"repro-serve-w{worker.index}",
                 daemon=True,
             )
@@ -257,9 +390,21 @@ class WorkerPool:
             name=f"repro-serve-w{worker.index}-reader", daemon=True,
         )
         worker.reader.start()
+        worker.spawns += 1
+        worker.last_progress_t = time.monotonic()
 
     def close(self, timeout_s: float = 10.0) -> None:
-        """Stop every worker (sentinel, join, then terminate stragglers)."""
+        """Stop every worker (sentinel, join, then terminate stragglers).
+
+        Idempotent: the second and later calls return immediately.  After
+        the processes are down the reader threads are joined too; a
+        reader that outlives close (a pipe that never delivered its EOF)
+        is counted as ``serve.worker.close_leaks`` rather than silently
+        abandoned, and any still-pending jobs are failed with
+        :class:`WorkerCrashed` so no caller waits on a dead pool.
+        """
+        if self._closed:
+            return
         self._closed = True
         for worker in self._workers:
             try:
@@ -275,6 +420,27 @@ class WorkerPool:
                 worker.conn.close()
             except OSError:
                 pass
+        for worker in self._workers:
+            reader = worker.reader
+            if reader is None or reader is threading.current_thread():
+                continue                   # pragma: no cover - defensive
+            reader.join(timeout=2.0)
+            if reader.is_alive():          # pragma: no cover - stuck pipe
+                get_tracer().add("serve.worker.close_leaks")
+        if self._pending and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._fail_leftover_pending)
+            except RuntimeError:           # loop already closed
+                pass
+
+    def _fail_leftover_pending(self) -> None:
+        """Fail any job still pending after close (runs on the loop)."""
+        for job_id in list(self._pending):
+            entry = self._settle(job_id)
+            if entry is not None and not entry[0].done():
+                entry[0].set_exception(WorkerCrashed(
+                    "worker pool closed with this job in flight"
+                ))
 
     # -- routing and accounting ----------------------------------------
 
@@ -284,25 +450,49 @@ class WorkerPool:
         # grow the assignment map without ever producing a repeat hit.
         return isinstance(key, tuple) and bool(key) and key[0] == "predict"
 
+    def _routable(self) -> List[_Worker]:
+        """Workers routing may use: the healthy ones, or — when every
+        worker is quarantined — all of them (serving degraded beats
+        serving nothing; the server layer also sees
+        :meth:`all_quarantined` and sheds/brownouts upstream)."""
+        now = time.monotonic()
+        healthy = [w for w in self._workers if not w.quarantined(now)]
+        return healthy or self._workers
+
+    def quarantined_count(self) -> int:
+        """How many workers are currently quarantined."""
+        now = time.monotonic()
+        return sum(1 for w in self._workers if w.quarantined(now))
+
+    def all_quarantined(self) -> bool:
+        """Whether every worker is currently quarantined."""
+        return self.quarantined_count() == self.n_workers
+
     def route(self, key: Hashable) -> _Worker:
         """The worker a group with ``key`` would run on right now.
 
-        Sticky keys go to their assigned worker unless it is busy and
-        another worker is strictly less loaded (a *spill*); ephemeral
-        keys round-robin.  Pure function of current inflight state —
-        calling it does not commit anything.
+        Sticky keys go to their assigned worker unless it is busy (or
+        quarantined) and another healthy worker is strictly less loaded
+        (a *spill*); ephemeral keys round-robin over healthy workers.
+        Pure function of current inflight/quarantine state — calling it
+        does not commit anything.
         """
+        routable = self._routable()
         if not self._sticky(key):
-            return self._workers[next(self._ephemeral_rr) % self.n_workers]
+            return routable[next(self._ephemeral_rr) % len(routable)]
         index = self._assignment.get(key)
         if index is None:
             index = self._assignment[key] = (
                 next(self._assign_rr) % self.n_workers
             )
         preferred = self._workers[index]
+        if preferred not in routable:
+            least = min(routable, key=lambda w: w.inflight_requests)
+            get_tracer().add("serve.worker.spills")
+            return least
         if preferred.inflight_jobs == 0:
             return preferred
-        least = min(self._workers, key=lambda w: w.inflight_requests)
+        least = min(routable, key=lambda w: w.inflight_requests)
         if least.inflight_requests < preferred.inflight_requests:
             get_tracer().add("serve.worker.spills")
             return least
@@ -311,11 +501,14 @@ class WorkerPool:
     def load(self, key: Hashable) -> int:
         """Dispatched-but-unanswered requests on the worker ``key`` routes
         to — the quantity admission control sheds on."""
+        routable = self._routable()
         if self._sticky(key):
             index = self._assignment.get(key)
             if index is not None:
-                return self._workers[index].inflight_requests
-        return min(w.inflight_requests for w in self._workers)
+                worker = self._workers[index]
+                if worker in routable:
+                    return worker.inflight_requests
+        return min(w.inflight_requests for w in routable)
 
     def overloaded(self, key: Hashable) -> bool:
         """Whether admitting another request for ``key`` should be shed."""
@@ -326,13 +519,22 @@ class WorkerPool:
 
     # -- dispatch ------------------------------------------------------
 
-    async def dispatch(self, key: Hashable, payloads: Sequence[Any]) -> List[Any]:
+    async def dispatch(
+        self,
+        key: Hashable,
+        payloads: Sequence[Any],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[Any]:
         """Run one coalesced group on one worker; returns handler results.
 
-        Raises :class:`WorkerCrashed` if the worker dies mid-job (the
-        batcher's retry policy re-dispatches, by then onto the respawned
-        or a sibling worker), :class:`repro.serve.handlers.HandlerError`
-        for client errors, ``RuntimeError`` for handler failures.
+        ``deadlines`` (absolute monotonic times, one per payload, None
+        for no deadline) ride along so the worker can abandon
+        already-expired positions.  Raises :class:`WorkerCrashed` if the
+        worker dies mid-job and :class:`WorkerHung` if the watchdog
+        declares it hung (the batcher's retry policy re-dispatches, by
+        then onto the respawned or a sibling worker),
+        :class:`repro.serve.handlers.HandlerError` for client errors,
+        ``RuntimeError`` for handler failures.
         """
         if self._closed:
             raise WorkerCrashed("worker pool is closed")
@@ -342,6 +544,7 @@ class WorkerPool:
         self._pending[job_id] = (future, worker, len(payloads))
         worker.inflight_requests += len(payloads)
         worker.inflight_jobs += 1
+        worker.last_progress_t = time.monotonic()
         tracer = get_tracer()
         tracer.add("serve.worker.dispatched_batches")
         tracer.add("serve.worker.dispatched_requests", len(payloads))
@@ -350,7 +553,10 @@ class WorkerPool:
         if tracer.enabled:
             tracer.gauge("serve.worker.inflight", sum(self.depths()))
         try:
-            worker.conn.send((job_id, key, list(payloads)))
+            worker.conn.send((
+                job_id, key, list(payloads),
+                list(deadlines) if deadlines is not None else None,
+            ))
         except (BrokenPipeError, OSError):
             self._settle(job_id)
             raise WorkerCrashed(
@@ -397,6 +603,8 @@ class WorkerPool:
     def _complete(self, message) -> None:
         job_id, status, body, counter_delta = message
         entry = self._settle(job_id)
+        if entry is not None:
+            entry[1].last_progress_t = time.monotonic()
         tracer = get_tracer()
         if tracer.enabled:
             for name, value in counter_delta.items():
@@ -416,20 +624,61 @@ class WorkerPool:
         else:
             future.set_exception(RuntimeError(body))
 
-    def _on_crash(self, worker: _Worker) -> None:
-        """Fail the dead worker's jobs, respawn it, keep serving."""
-        if self._closed:
-            return
-        get_tracer().add("serve.worker.restarts")
+    def fail_worker_jobs(self, worker: _Worker, exc: Exception) -> int:
+        """Fail every pending job on ``worker`` with ``exc`` (loop thread).
+
+        Used by the watchdog before it kills a hung worker, so the
+        stranded jobs re-enter the retry path immediately instead of
+        waiting out their deadlines.  Returns how many jobs were failed.
+        """
         dead = [
             job_id for job_id, (_, w, _) in self._pending.items() if w is worker
         ]
         for job_id in dead:
             entry = self._settle(job_id)
             if entry is not None and not entry[0].done():
-                entry[0].set_exception(WorkerCrashed(
-                    f"worker {worker.index} died with this job in flight"
-                ))
+                entry[0].set_exception(
+                    exc.__class__(f"{exc} (worker {worker.index})")
+                )
+        return len(dead)
+
+    def _note_restart(self, worker: _Worker) -> None:
+        """Quarantine bookkeeping: budget the restarts, back off repeats.
+
+        Each respawn inside ``restart_window_s`` counts against
+        ``restart_budget``; once over budget the worker is quarantined —
+        routed around — for ``quarantine_base_s`` doubling with every
+        further offense (exponential re-admit).  It is still respawned:
+        quarantine is a routing state, not a death sentence, so a
+        recovered worker re-earns traffic when its sentence lapses.
+        """
+        now = time.monotonic()
+        window = [
+            t for t in worker.restart_times if now - t <= self.restart_window_s
+        ]
+        window.append(now)
+        worker.restart_times = window
+        overage = len(window) - self.restart_budget
+        if overage > 0:
+            worker.quarantined_until = (
+                now + self.quarantine_base_s * (2.0 ** (overage - 1))
+            )
+            tracer = get_tracer()
+            tracer.add("serve.watchdog.quarantines")
+            if tracer.enabled:
+                tracer.gauge(
+                    "serve.watchdog.quarantined", self.quarantined_count()
+                )
+
+    def _on_crash(self, worker: _Worker) -> None:
+        """Fail the dead worker's jobs, respawn it, keep serving."""
+        if self._closed:
+            return
+        get_tracer().add("serve.worker.restarts")
+        self.fail_worker_jobs(worker, WorkerCrashed(
+            "worker died with this job in flight"
+        ))
+        self._note_restart(worker)
         try:
             worker.process.join(timeout=1.0)
         except (OSError, AssertionError):  # pragma: no cover - already reaped

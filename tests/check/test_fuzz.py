@@ -72,3 +72,19 @@ class TestAcceptance:
         assert stats["cases"] >= 5000
         assert stats["connections"] > 100
         assert malformed_count(stats) > 1000
+
+    def test_5000_cases_two_worker_pool_settlement(self, monkeypatch):
+        # The same bar against the sharded worker tier: the settlement
+        # invariant must survive cross-process dispatch.  Chaos stays
+        # disarmed — this pillar isolates protocol robustness from
+        # injected worker faults (test_chaos.py covers those).
+        monkeypatch.delenv("REPRO_SERVE_CHAOS", raising=False)
+        config = ServeConfig(
+            workers=2, queue_size=64,
+            session={"threshold": 0.07, "use_cache": False},
+        )
+        report = run_fuzz_checks(cases=5000, seed=409, config=config)
+        assert_clean(report)
+        stats = report.stats
+        assert stats["cases"] >= 5000
+        assert malformed_count(stats) > 1000

@@ -1,0 +1,176 @@
+"""Unit tests for the serving-chaos fault model (repro.faults.chaos)."""
+
+import pytest
+
+from repro.faults import ChaosConfig, ChaosPlan, ENV_SERVE_CHAOS, chaos_profile
+from repro.obs import configure
+
+
+class TestChaosConfig:
+    def test_defaults_are_no_chaos(self):
+        config = ChaosConfig()
+        assert not config.any_chaos
+
+    def test_any_chaos_per_axis(self):
+        assert ChaosConfig(hang_prob=0.1).any_chaos
+        assert ChaosConfig(crash_prob=0.1).any_chaos
+        assert ChaosConfig(slow_prob=0.1).any_chaos
+        assert ChaosConfig(corrupt_prob=0.1).any_chaos
+
+    @pytest.mark.parametrize("field", [
+        "hang_prob", "crash_prob", "slow_prob", "corrupt_prob",
+    ])
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: -0.1})
+
+    def test_durations_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_s=0.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(slow_s=-1.0)
+
+    def test_scaled_caps_at_one(self):
+        config = ChaosConfig(hang_prob=0.4, crash_prob=0.6, seed=3)
+        doubled = config.scaled(2.0)
+        assert doubled.hang_prob == pytest.approx(0.8)
+        assert doubled.crash_prob == 1.0
+        assert doubled.seed == 3          # non-probability fields untouched
+        with pytest.raises(ValueError):
+            config.scaled(-1.0)
+
+    def test_dict_round_trip(self):
+        config = ChaosConfig(hang_prob=0.02, crash_prob=0.04,
+                             slow_prob=0.2, slow_s=0.01,
+                             corrupt_prob=0.1, seed=7)
+        assert ChaosConfig.from_dict(config.to_dict()) == config
+
+
+class TestParse:
+    def test_explicit_assignments(self):
+        config = ChaosConfig.parse("hang=0.02,crash=0.04,slow=0.2,corrupt=0.1,seed=7")
+        assert config.hang_prob == pytest.approx(0.02)
+        assert config.crash_prob == pytest.approx(0.04)
+        assert config.slow_prob == pytest.approx(0.2)
+        assert config.corrupt_prob == pytest.approx(0.1)
+        assert config.seed == 7
+
+    def test_severity_composite_matches_profile(self):
+        assert ChaosConfig.parse("severity=0.4") == chaos_profile(0.4)
+
+    def test_explicit_overrides_severity(self):
+        config = ChaosConfig.parse("severity=0.4,crash=0.0,seed=9")
+        base = chaos_profile(0.4)
+        assert config.crash_prob == 0.0
+        assert config.seed == 9
+        assert config.hang_prob == base.hang_prob
+        assert config.slow_prob == base.slow_prob
+
+    def test_preset_worker_hang(self):
+        config = ChaosConfig.parse("worker_hang")
+        assert config.hang_prob > 0
+        assert config.crash_prob == 0.0
+        assert config.corrupt_prob == 0.0
+        assert config.any_chaos
+
+    def test_empty_spec_is_no_chaos(self):
+        assert not ChaosConfig.parse("").any_chaos
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            ChaosConfig.parse("hang")
+        with pytest.raises(ValueError):
+            ChaosConfig.parse("warp_core_breach=1.0")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_SERVE_CHAOS, raising=False)
+        assert ChaosConfig.from_env() is None
+        monkeypatch.setenv(ENV_SERVE_CHAOS, "severity=0.0")
+        assert ChaosConfig.from_env() is None     # no-op config -> None
+        monkeypatch.setenv(ENV_SERVE_CHAOS, "worker_hang")
+        config = ChaosConfig.from_env()
+        assert config is not None and config.hang_prob > 0
+
+
+class TestChaosProfile:
+    def test_zero_severity_is_healthy(self):
+        assert not chaos_profile(0.0).any_chaos
+
+    def test_axes_scale_together(self):
+        lo, hi = chaos_profile(0.2), chaos_profile(0.4)
+        assert hi.hang_prob == pytest.approx(2 * lo.hang_prob)
+        assert hi.crash_prob == pytest.approx(2 * lo.crash_prob)
+        assert hi.slow_prob == pytest.approx(2 * lo.slow_prob)
+        assert hi.corrupt_prob == pytest.approx(2 * lo.corrupt_prob)
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            chaos_profile(1.5)
+
+
+class TestChaosPlan:
+    def test_corruption_is_deterministic_per_seed_and_worker(self):
+        config = ChaosConfig(corrupt_prob=0.5, seed=7)
+        results = [{"v": i} for i in range(4)]
+        runs = []
+        for _ in range(2):
+            plan = ChaosPlan(config, worker_index=1)
+            runs.append([plan.maybe_corrupt(list(results)) for _ in range(20)])
+        assert runs[0] == runs[1]
+        # Different workers draw from different streams.
+        other = ChaosPlan(config, worker_index=2)
+        other_run = [other.maybe_corrupt(list(results)) for _ in range(20)]
+        assert other_run != runs[0]
+
+    def test_respawn_generation_draws_a_fresh_schedule(self):
+        # A respawned worker must not replay its predecessor's stream —
+        # otherwise a first-draw crash becomes a permanent poison pill.
+        config = ChaosConfig(corrupt_prob=0.5, seed=7)
+        results = [{"v": i} for i in range(4)]
+        gen0 = ChaosPlan(config, 1, generation=0)
+        gen1 = ChaosPlan(config, 1, generation=1)
+        run0 = [gen0.maybe_corrupt(list(results)) for _ in range(20)]
+        run1 = [gen1.maybe_corrupt(list(results)) for _ in range(20)]
+        assert run0 != run1
+        # But a given incarnation is still fully deterministic.
+        again = ChaosPlan(config, 1, generation=1)
+        assert [again.maybe_corrupt(list(results)) for _ in range(20)] == run1
+
+    def test_corruption_mangles_shape_or_body(self):
+        plan = ChaosPlan(ChaosConfig(corrupt_prob=1.0, seed=1), 0)
+        results = [{"v": 1}, {"v": 2}, {"v": 3}]
+        saw_short = saw_junk = False
+        for _ in range(50):
+            mangled = plan.maybe_corrupt(list(results))
+            if len(mangled) != len(results):
+                saw_short = True
+            elif all(isinstance(r, str) for r in mangled):
+                saw_junk = True
+        assert saw_short and saw_junk
+
+    def test_no_corruption_when_disabled(self):
+        plan = ChaosPlan(ChaosConfig(corrupt_prob=0.0, seed=1), 0)
+        results = [{"v": 1}]
+        assert plan.maybe_corrupt(results) is results
+
+    def test_slow_jobs_counted_and_bounded(self):
+        import time
+
+        tracer = configure(enabled=True)
+        tracer.reset()
+        try:
+            plan = ChaosPlan(
+                ChaosConfig(slow_prob=1.0, slow_s=0.001, seed=5), 0
+            )
+            t0 = time.monotonic()
+            for _ in range(5):
+                plan.before_job()
+            elapsed = time.monotonic() - t0
+            assert tracer.counters()["serve.chaos.slow"] == 5.0
+            # Uniform in [slow_s, 2*slow_s] per job.
+            assert 0.005 <= elapsed < 0.5
+        finally:
+            configure(enabled=False)
+            tracer.reset()

@@ -1,0 +1,167 @@
+"""Brownout degradation: answer worse instead of refusing.
+
+Gate semantics (hold / cool / once-per-episode activation) are unit
+tested with injected clocks; the degraded lane's cap and flagging are
+unit tested directly; and one e2e test proves a sustained-overload
+server answers ``predict`` with a ``degraded: true`` surrogate payload
+where a brownout-disabled server sheds with ``overloaded``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve import (
+    BrownoutGate,
+    DegradedResponder,
+    OverloadedError,
+    ServeClient,
+    ServeConfig,
+)
+
+SESSION = {"seed": 11, "use_cache": False, "threshold": 0.07}
+
+
+class TestBrownoutGate:
+    def test_momentary_spike_never_engages(self):
+        gate = BrownoutGate(hold_s=5.0, cool_s=1.0)
+        assert gate.signal(now=100.0) is False
+        assert not gate.active
+        # A second gust after a quiet spell starts a fresh episode.
+        assert gate.signal(now=110.0) is False
+        assert not gate.active
+
+    def test_sustained_overload_engages_once_per_episode(self, tracer):
+        gate = BrownoutGate(hold_s=2.0, cool_s=1.0)
+        assert gate.signal(now=100.0) is False
+        assert gate.signal(now=101.0) is False
+        assert gate.signal(now=102.0) is True      # held for hold_s
+        assert gate.signal(now=102.5) is True
+        assert tracer.counters()["serve.brownout.activations"] == 1.0
+        # Quiet past cool_s disengages; re-engaging is a new episode.
+        assert gate.signal(now=110.0) is False
+        for t in (110.5, 111.0, 111.5):
+            gate.signal(now=t)
+        assert gate.signal(now=112.0) is True
+        assert tracer.counters()["serve.brownout.activations"] == 2.0
+
+    def test_zero_hold_engages_on_first_signal(self):
+        gate = BrownoutGate(hold_s=0.0)
+        assert gate.signal(now=1.0) is True
+        assert gate.active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutGate(hold_s=-1.0)
+
+
+class TestDegradedResponder:
+    def test_only_predict_is_degradable(self):
+        responder = DegradedResponder(SESSION)
+        try:
+            assert responder.eligible("predict")
+            assert not responder.eligible("sweep")
+            assert not responder.eligible("score")
+            assert not responder.eligible("ping")
+        finally:
+            responder.close()
+
+    def test_inflight_cap_bounds_the_lane(self):
+        responder = DegradedResponder(SESSION, max_inflight=2)
+        try:
+            assert responder.try_reserve()
+            assert responder.try_reserve()
+            assert not responder.try_reserve()      # saturated
+        finally:
+            responder._inflight = 0
+            responder.close()
+        with pytest.raises(ValueError):
+            DegradedResponder(SESSION, max_inflight=0)
+
+    def test_degraded_answer_is_flagged_and_releases_its_slot(self):
+        responder = DegradedResponder(SESSION)
+        try:
+            assert responder.try_reserve()
+            result = asyncio.run(responder.respond({"workload": "EP"}))
+            assert result["degraded"] is True
+            assert result["workload"] == "EP"
+            assert "recommended_level" in result
+            assert responder._inflight == 0         # slot released
+        finally:
+            responder.close()
+
+    def test_handler_errors_propagate_and_release(self):
+        from repro.serve.handlers import HandlerError
+
+        responder = DegradedResponder(SESSION)
+        try:
+            assert responder.try_reserve()
+            with pytest.raises(HandlerError):
+                asyncio.run(responder.respond({"workload": ""}))
+            assert responder._inflight == 0
+        finally:
+            responder.close()
+
+
+def _occupy_dispatcher(client: ServeClient) -> None:
+    """Fill the single dispatch slot and the queue_size=1 queue."""
+    client._send(
+        "sweep", {"levels": [1, 2, 4], "strategy": "serial"}, None,
+    )
+    time.sleep(0.3)          # let the collector take the slow sweep
+    client._send(
+        "sweep", {"workloads": ["EP"], "levels": [1], "strategy": "serial"},
+        None,
+    )
+
+
+class TestBrownoutEndToEnd:
+    def test_sustained_overload_serves_degraded_answers(
+            self, tracer, make_server):
+        config = ServeConfig(
+            queue_size=1, max_linger_ms=0.0,
+            brownout_hold_s=0.0,            # engage on the first shed
+            session=SESSION,
+        )
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            _occupy_dispatcher(slow)
+            result = fast.predict("EP")
+        assert result.get("degraded") is True
+        assert result["workload"] == "EP"
+        bg.stop()
+        counters = tracer.counters()
+        assert counters["serve.brownout.activations"] >= 1.0
+        assert counters["serve.brownout.degraded"] >= 1.0
+        # Degraded answers bypass admission like hot-cache hits: the
+        # settlement ledger never sees them (and still balances).
+        assert counters["serve.admitted"] == counters["serve.settled"]
+
+    def test_ineligible_ops_still_shed_during_brownout(
+            self, tracer, make_server):
+        config = ServeConfig(
+            queue_size=1, max_linger_ms=0.0,
+            brownout_hold_s=0.0,
+            session=SESSION,
+        )
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            _occupy_dispatcher(slow)
+            with pytest.raises(OverloadedError):
+                fast.sweep(workloads=["EP"], levels=[1])
+
+    def test_brownout_disabled_sheds_with_429(self, make_server):
+        config = ServeConfig(
+            queue_size=1, max_linger_ms=0.0, brownout=False,
+            session={"seed": 11, "use_cache": False},
+        )
+        bg = make_server(config)
+        with ServeClient(bg.host, bg.port) as slow, \
+                ServeClient(bg.host, bg.port) as fast:
+            _occupy_dispatcher(slow)
+            with pytest.raises(OverloadedError) as exc_info:
+                fast.predict("EP")
+            assert exc_info.value.retry_after_ms > 0

@@ -1,0 +1,164 @@
+"""Serving under injected chaos: faults in, settled ledger out.
+
+The tentpole acceptance property: a chaos-injected worker fleet (hangs,
+crashes, slow jobs, corrupted responses) behind the supervision plane
+still answers every request a :class:`ResilientClient` sends, the
+settlement invariant (``serve.admitted == serve.settled``) holds, and
+no worker process outlives the server.
+"""
+
+import asyncio
+import multiprocessing
+import time
+
+import pytest
+
+from repro.faults import ChaosConfig
+from repro.serve import (
+    CircuitBreaker,
+    ClientRetryPolicy,
+    CorruptResponse,
+    ResilientClient,
+    ServeConfig,
+    WorkerCrashed,
+    WorkerPool,
+)
+from repro.serve.workers import EXPIRED, validate_results
+
+WORKLOADS = ("EP", "CG", "IS", "BT", "LU_MPI", "FT_MPI", "EP_MPI", "SP")
+SESSION = {"seed": 11, "use_cache": False, "threshold": 0.07}
+
+
+def run_pool(coro_fn, **pool_kwargs):
+    async def main():
+        kwargs = dict(session_defaults=SESSION, start_method="fork")
+        kwargs.update(pool_kwargs)
+        pool = WorkerPool(2, **kwargs).start()
+        try:
+            return await coro_fn(pool)
+        finally:
+            pool.close(timeout_s=5.0)
+
+    return asyncio.run(main())
+
+
+class TestChaosAtThePool:
+    def test_crash_chaos_fails_retryable_and_respawns(self, tracer):
+        async def body(pool):
+            with pytest.raises(WorkerCrashed):
+                await pool.dispatch(("ping", 0), [{}])
+
+        run_pool(body, chaos=ChaosConfig(crash_prob=1.0, seed=3))
+        assert tracer.counters()["serve.worker.restarts"] >= 1.0
+
+    def test_corrupt_responses_detected_dispatcher_side(self, tracer):
+        async def body(pool):
+            key = ("ping", 0)
+            results = await pool.dispatch(key, [{}])
+            with pytest.raises(CorruptResponse):
+                validate_results(key, results, 1)
+
+        run_pool(body, chaos=ChaosConfig(corrupt_prob=1.0, seed=1))
+        counters = tracer.counters()
+        assert counters["serve.chaos.corrupt"] >= 1.0
+        assert counters["serve.worker.corrupt_responses"] >= 1.0
+
+    def test_slow_chaos_still_answers(self, tracer):
+        async def body(pool):
+            results = await pool.dispatch(("ping", 0), [{}])
+            assert results == [{"pong": True}]
+
+        run_pool(body, chaos=ChaosConfig(slow_prob=1.0, slow_s=0.01, seed=2))
+        assert tracer.counters()["serve.chaos.slow"] >= 1.0
+
+
+class TestDeadlinePropagation:
+    def test_expired_positions_abandoned_not_solved(self, tracer):
+        async def body(pool):
+            past = time.monotonic() - 1.0
+            results = await pool.dispatch(
+                ("predict", "p7", 1),
+                [{"workload": "EP"}, {"workload": "CG"}],
+                deadlines=[past, None],
+            )
+            assert results[0] == EXPIRED
+            assert results[1]["workload"] == "CG"
+            # The stitched batch still validates dispatcher-side.
+            validate_results(("predict", "p7", 1), results, 2)
+
+        run_pool(body)
+        assert tracer.counters()["serve.worker.deadline_abandoned"] == 1.0
+
+    def test_fully_expired_batch_never_reaches_a_handler(self, tracer):
+        async def body(pool):
+            past = time.monotonic() - 1.0
+            results = await pool.dispatch(
+                ("predict", "p7", 1), [{"workload": "EP"}], deadlines=[past]
+            )
+            assert results == [EXPIRED]
+
+        run_pool(body)
+        assert tracer.counters()["serve.worker.deadline_abandoned"] == 1.0
+
+
+class TestChaosEndToEnd:
+    def test_chaos_storm_survives_with_resilient_client(
+            self, tracer, make_server):
+        # Every fault axis armed at once; aggressive enough that a short
+        # run sees crashes and slowness, mild enough that ten client
+        # attempts always find a healthy path.  restart_budget is raised
+        # so a crashy run cannot quarantine the whole 2-worker fleet.
+        chaos = ChaosConfig(
+            hang_prob=0.03, hang_s=60.0, crash_prob=0.25,
+            slow_prob=0.3, slow_s=0.01, corrupt_prob=0.2, seed=7,
+        )
+        config = ServeConfig(
+            workers=2, max_batch=8, max_linger_ms=10.0,
+            hang_timeout_s=0.5, restart_budget=100,
+            hot_cache_size=0, chaos=chaos, session=SESSION,
+        )
+        bg = make_server(config)
+        client = ResilientClient(
+            bg.host, bg.port,
+            policy=ClientRetryPolicy(
+                max_attempts=10, base_backoff_ms=5.0, max_backoff_ms=100.0,
+            ),
+            breaker=CircuitBreaker(failure_threshold=100),
+            timeout_s=60.0, seed=1,
+        )
+        try:
+            for i in range(24):
+                workload = WORKLOADS[i % len(WORKLOADS)]
+                payload = client.predict(workload, seed=i)
+                assert payload["workload"] == workload
+                assert "recommended_level" in payload
+        finally:
+            client.close()
+        bg.stop()
+
+        counters = tracer.counters()
+        # The settlement ledger survives every injected fault.
+        assert counters["serve.admitted"] == counters["serve.settled"]
+        # Chaos actually happened and was survived.
+        assert counters["serve.worker.restarts"] >= 1.0
+        assert counters.get("serve.chaos.slow", 0.0) >= 1.0
+        # No worker process outlives the server.
+        leftover = [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-serve")
+        ]
+        assert leftover == []
+
+    def test_chaos_ignored_when_config_is_healthy(self, tracer, make_server):
+        config = ServeConfig(
+            workers=2, chaos=ChaosConfig(), session=SESSION,
+        )
+        bg = make_server(config)
+        client = ResilientClient(bg.host, bg.port)
+        try:
+            assert client.ping() is True
+        finally:
+            client.close()
+        counters = tracer.counters()
+        assert "serve.chaos.slow" not in counters
+        assert "serve.worker.restarts" not in counters
