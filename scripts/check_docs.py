@@ -35,6 +35,7 @@ PUBLIC_MODULES = (
     "repro.check",
     "repro.sim.table",
     "repro.sim.surrogate",
+    "repro.fleet",
 )
 
 #: Doc pages that must exist (a rename or deletion fails loudly here
@@ -46,6 +47,7 @@ REQUIRED_DOCS = (
     "performance.md",
     "robustness.md",
     "scaling.md",
+    "fleet.md",
     "serving.md",
     "simulator.md",
     "testing.md",
@@ -82,6 +84,24 @@ def missing_scaling_knobs(doc_text: str = None) -> List[str]:
     ]
 
 
+def missing_fleet_knobs(doc_text: str = None) -> List[str]:
+    """FleetConfig fields absent from docs/fleet.md (empty = ok).
+
+    Same contract as the scaling-knob check: every fleet tuning knob
+    must be named in its doc page before it ships.
+    """
+    import dataclasses
+
+    from repro.fleet import FleetConfig
+
+    if doc_text is None:
+        doc_text = (REPO_ROOT / "docs" / "fleet.md").read_text()
+    return [
+        field.name for field in dataclasses.fields(FleetConfig)
+        if field.name not in doc_text
+    ]
+
+
 def missing_symbols(doc_text: str = None) -> Dict[str, List[str]]:
     """Symbols absent from docs/api.md, keyed by module (empty = ok).
 
@@ -103,12 +123,15 @@ def main() -> int:
     problems = missing_symbols()
     absent_docs = missing_docs()
     absent_knobs = [] if absent_docs else missing_scaling_knobs()
-    if not problems and not absent_docs and not absent_knobs:
+    absent_fleet_knobs = [] if absent_docs else missing_fleet_knobs()
+    if (not problems and not absent_docs and not absent_knobs
+            and not absent_fleet_knobs):
         total = sum(len(public_symbols(m)) for m in PUBLIC_MODULES)
         print(f"docs/api.md covers all {total} public symbols "
               f"of {', '.join(PUBLIC_MODULES)}; all {len(REQUIRED_DOCS)} "
               f"doc pages present; docs/scaling.md covers every "
-              f"ServeConfig knob")
+              f"ServeConfig knob; docs/fleet.md covers every "
+              f"FleetConfig knob")
         return 0
     for module_name, symbols in problems.items():
         print(f"docs/api.md is missing {len(symbols)} symbol(s) "
@@ -118,6 +141,9 @@ def main() -> int:
         print(f"required doc page docs/{name} is missing", file=sys.stderr)
     for knob in absent_knobs:
         print(f"docs/scaling.md is missing ServeConfig knob {knob!r}",
+              file=sys.stderr)
+    for knob in absent_fleet_knobs:
+        print(f"docs/fleet.md is missing FleetConfig knob {knob!r}",
               file=sys.stderr)
     return 1
 

@@ -9,15 +9,28 @@ quickstart path; see the subpackages for the rest:
 
 ``repro.arch``, ``repro.sim``, ``repro.counters``, ``repro.simos``,
 ``repro.workloads``, ``repro.core``, ``repro.experiments``,
-``repro.analysis``, ``repro.obs``, ``repro.api``, ``repro.serve``.
+``repro.analysis``, ``repro.obs``, ``repro.api``, ``repro.serve``,
+``repro.fleet``.
 
 For application code, prefer the stable facade in :mod:`repro.api`
-(``Session``/``predict``/``sweep``/``score_counters``, re-exported
-here); the prediction service in :mod:`repro.serve` is built entirely
-on top of it.
+(``Session``/``predict``/``sweep``/``score_counters``/
+``simulate_fleet``, re-exported here); the prediction service in
+:mod:`repro.serve` and the fleet simulator in :mod:`repro.fleet` are
+built on the same substrate.
 """
 
-from repro.api import Session, predict, score_counters, sweep
+from repro.api import (
+    FleetConfig,
+    FleetResult,
+    Policy,
+    Session,
+    Strategy,
+    list_policies,
+    predict,
+    score_counters,
+    simulate_fleet,
+    sweep,
+)
 from repro.arch import generic_core, get_architecture, nehalem, power7
 from repro.core import SmtPredictor, smtsm, smtsm_from_run
 from repro.obs import configure_telemetry, get_tracer
@@ -26,13 +39,19 @@ from repro.sim.results import speedup
 from repro.simos import SystemSpec
 from repro.workloads import all_workloads, get_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Session",
     "predict",
     "sweep",
     "score_counters",
+    "simulate_fleet",
+    "FleetConfig",
+    "FleetResult",
+    "Policy",
+    "Strategy",
+    "list_policies",
     "power7",
     "nehalem",
     "generic_core",

@@ -9,7 +9,10 @@ whose handlers import *only* this module — get three operations:
 * :func:`sweep` — run a benchmark-catalog slice through the unified
   :func:`repro.experiments.runner.run_catalog` engine;
 * :func:`score_counters` — evaluate SMTsm on raw counter readings
-  (events + wall/CPU times) without any simulation at all.
+  (events + wall/CPU times) without any simulation at all;
+* :func:`simulate_fleet` — run the :mod:`repro.fleet` simulated
+  datacenter (N chips, a seeded job trace, a placement policy) and
+  return its aggregate :class:`~repro.fleet.FleetResult`.
 
 A :class:`Session` pins the shared context (system, seed, work budget,
 run cache, threshold) and amortizes it across calls: the fitted
@@ -36,9 +39,17 @@ from repro.core.predictor import Observation, SmtPredictor
 from repro.counters.pmu import CounterSample
 from repro.experiments.runner import (
     CatalogRuns,
+    Strategy,
     resolve_system,
     run_catalog,
 )
+from repro.fleet import (
+    FleetConfig,
+    FleetResult,
+    Policy,
+    list_policies,
+)
+from repro.fleet import simulate_fleet as _simulate_fleet
 from repro.obs import get_tracer
 from repro.sim.engine import DEFAULT_WORK, RunSpec
 from repro.sim.results import RunResult, speedup
@@ -57,6 +68,12 @@ __all__ = [
     "sweep_summary",
     "score_counters",
     "get_session",
+    "FleetConfig",
+    "FleetResult",
+    "Policy",
+    "Strategy",
+    "list_policies",
+    "simulate_fleet",
 ]
 
 DEFAULT_SEED = 11
@@ -491,3 +508,23 @@ def score_counters(
         avg_thread_cpu_s=avg_thread_cpu_s,
         n_software_threads=n_software_threads,
     )
+
+
+def simulate_fleet(
+    config: Optional[FleetConfig] = None, **overrides
+) -> FleetResult:
+    """Run the :mod:`repro.fleet` simulated datacenter (docs/fleet.md).
+
+    Accepts a full :class:`FleetConfig`, keyword overrides over one, or
+    keywords alone::
+
+        result = simulate_fleet(chips=24, jobs=4000, policy=Policy.SMTSM)
+        result.throughput_jobs_s, result.latency_p95_s
+
+    ``policy`` takes a :class:`Policy` member or any registered policy
+    name (:func:`list_policies`); ``strategy`` must be a batch-capable
+    :class:`Strategy` (``columnar`` or ``surrogate``) — the fleet's
+    per-(arch, workload, level) reference space is solved as one
+    mega-batch before the event loop starts.
+    """
+    return _simulate_fleet(config, **overrides)

@@ -138,6 +138,78 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run one fleet simulation and print its aggregate summary.
+
+    Precedence for every knob: CLI flag > ``REPRO_FLEET_*`` env var >
+    :class:`repro.fleet.FleetConfig` default.  Exit status is the
+    settlement gate: 0 only when every submitted job is accounted for
+    (completed + rejected + crash-lost).
+    """
+    import dataclasses
+    import json
+
+    from repro.fleet import FleetConfig, simulate_fleet
+
+    base = FleetConfig.from_env()
+    overrides = {
+        name: value
+        for name, value in (
+            ("chips", args.chips), ("jobs", args.jobs),
+            ("policy", args.policy), ("severity", args.severity),
+            ("seed", args.seed), ("arch_mix", args.arch_mix),
+            ("strategy", args.strategy), ("load", args.load),
+            ("arrival", args.arrival), ("mix", args.mix),
+            ("workloads", args.workloads),
+            ("queue_depth", args.queue_depth),
+        )
+        if value is not None
+    }
+    try:
+        config = dataclasses.replace(base, **overrides) if overrides else base
+        result = simulate_fleet(config)
+    except ValueError as exc:
+        raise SystemExit(f"fleet: {exc}")
+
+    if args.json:
+        print(json.dumps(result.payload(), indent=2, sort_keys=False))
+    else:
+        counts = ", ".join(
+            f"{arch} x{n}" for arch, n in sorted(result.arch_counts.items())
+        )
+        print(
+            f"fleet: {result.n_nodes} chips ({counts}), "
+            f"policy={config.policy}, severity={config.severity}, "
+            f"strategy={config.strategy}"
+        )
+        print(
+            f"jobs: submitted={result.jobs_submitted} "
+            f"completed={result.jobs_completed} "
+            f"rejected={result.rejected_admission} "
+            f"crashed={result.rejected_crashed} "
+            f"settled={'yes' if result.settled else 'NO'}"
+        )
+        print(
+            f"throughput: {result.throughput_jobs_s:.3f} jobs/s over "
+            f"{result.horizon_s:.1f}s offered "
+            f"(drained at {result.makespan_s:.1f}s)"
+        )
+        print(
+            f"latency: mean={result.latency_mean_s:.3f}s "
+            f"p50={result.latency_p50_s:.3f}s "
+            f"p95={result.latency_p95_s:.3f}s "
+            f"p99={result.latency_p99_s:.3f}s"
+        )
+        levels = ", ".join(
+            f"SMT{level}: {n}" for level, n in sorted(result.level_jobs.items())
+        )
+        print(f"smt: switches={result.smt_switches} jobs per level [{levels}]")
+        print(
+            f"faults: crashes={result.node_crashes} hangs={result.node_hangs}"
+        )
+    return 0 if result.settled else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import (
         default_telemetry_dir,
@@ -378,6 +450,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: a fresh file under results/.telemetry/)",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a datacenter of SMT chips under a placement policy",
+    )
+    p.add_argument("--chips", type=int, default=None,
+                   help="fleet size, one node per chip (default 24)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="synthetic trace length (default 2000)")
+    p.add_argument("--policy", default=None,
+                   help="placement policy: smtsm, least_loaded, "
+                        "round_robin, random")
+    p.add_argument("--severity", type=float, default=None,
+                   help="fault severity in [0,1]: counter noise + node "
+                        "crash/hang rates (default 0.0)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="root seed for trace, faults, and policy draws")
+    p.add_argument("--arch-mix", default=None,
+                   help="fleet composition, e.g. 'power7' or "
+                        "'power7:3,nehalem:1'")
+    p.add_argument("--strategy", default=None,
+                   help="mega-batch engine: columnar or surrogate")
+    p.add_argument("--load", type=float, default=None,
+                   help="offered load vs max-level capacity (default 1.05)")
+    p.add_argument("--arrival", default=None,
+                   help="arrival process: poisson or uniform")
+    p.add_argument("--mix", default=None,
+                   help="workload-mix distribution: uniform or zipf")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated catalog names (default: the "
+                        "POWER7 set)")
+    p.add_argument("--queue-depth", type=int, default=None,
+                   help="per-node queue bound; a full node sheds "
+                        "(default 8)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full JSON payload instead of the summary")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("stats", help="summarize a telemetry JSONL file")
     p.add_argument(

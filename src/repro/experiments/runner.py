@@ -35,6 +35,7 @@ from repro.sim.engine import DEFAULT_WORK, RunSpec, simulate_many, simulate_run
 from repro.sim.results import RunResult, speedup
 from repro.sim.runcache import RunCache, cache_enabled_by_default
 from repro.simos.system import SystemSpec
+from repro.util.enums import ValidatedStrEnum
 from repro.util.tables import format_table
 from repro.workloads.spec import WorkloadSpec
 
@@ -43,6 +44,7 @@ __all__ = [
     "CatalogRuns",
     "RetryPolicy",  # re-exported; now lives in repro.faults.retry
     "STRATEGIES",
+    "Strategy",
     "resolve_system",
     "run_catalog",
     "run_catalog_batched",
@@ -51,8 +53,25 @@ __all__ = [
     "scatter_from_runs",
 ]
 
-#: Execution strategies the unified :func:`run_catalog` accepts.
-STRATEGIES = ("columnar", "surrogate", "batched", "serial", "parallel")
+
+class Strategy(ValidatedStrEnum):
+    """Execution strategies the unified :func:`run_catalog` accepts.
+
+    Members are their literal strings (``Strategy.COLUMNAR ==
+    "columnar"``), so both the typed constants and the historical bare
+    strings are valid everywhere a ``strategy=`` parameter appears; a
+    typo raises a ``ValueError`` listing the valid options.
+    """
+
+    COLUMNAR = "columnar"
+    SURROGATE = "surrogate"
+    BATCHED = "batched"
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+
+
+#: The strategies as plain literals (kept for existing callers).
+STRATEGIES = Strategy.options()
 
 #: Named systems accepted wherever a :class:`SystemSpec` is expected:
 #: alias -> (architecture registry name, chip count).
@@ -329,8 +348,7 @@ def run_catalog(
     nested ``cache_lookup`` and ``simulate`` phases; the run cache
     itself accumulates ``runcache.hits`` / ``runcache.misses``.
     """
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; use one of {STRATEGIES}")
+    strategy = Strategy.parse(strategy).value
     if jobs is not None and strategy != "parallel":
         raise ValueError(f"jobs= only applies to strategy='parallel', not {strategy!r}")
     system = resolve_system(system, n_chips)

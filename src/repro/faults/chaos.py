@@ -48,6 +48,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional
 
+from repro.util.config import env_str
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = [
@@ -184,7 +185,7 @@ class ChaosConfig:
     @classmethod
     def from_env(cls) -> Optional["ChaosConfig"]:
         """The config named by ``REPRO_SERVE_CHAOS``, or ``None``."""
-        spec = os.environ.get(ENV_SERVE_CHAOS, "").strip()
+        spec = env_str(ENV_SERVE_CHAOS)
         if not spec:
             return None
         config = cls.parse(spec)

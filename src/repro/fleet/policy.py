@@ -1,0 +1,237 @@
+"""The placement-policy API and its four implementations.
+
+A policy answers two questions per job: *where* does it run (which
+node) and *at what SMT level*.  The scheduler calls:
+
+* :meth:`PlacementPolicy.bind` once, with the live node list;
+* :meth:`PlacementPolicy.place` per arrival — returns a node id whose
+  queue has room, or ``None`` to reject;
+* :meth:`PlacementPolicy.level_for` per dispatch — the SMT level the
+  job runs at;
+* :meth:`PlacementPolicy.touch` whenever a node's state changed
+  (dispatch, completion, crash), so index structures can refresh.
+
+All four implementations keep per-job cost O(log n) via lazy heaps —
+a 1000-node fleet never scans all nodes per job:
+
+``smtsm``         places on the node with the earliest *estimated
+                  completion* (backlog estimate from the perf model at
+                  the node's controller-chosen level) and runs the job
+                  at the controller's level — the full
+                  telemetry-driven scheduler.
+``least_loaded``  shortest queue, max SMT level (load signal only).
+``round_robin``   rotating cursor, max SMT level.
+``random``        seeded uniform pick, max SMT level.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.node import Node
+from repro.fleet.trace import Job
+from repro.util.enums import ValidatedStrEnum
+from repro.util.rng import RngStream
+
+__all__ = [
+    "Policy",
+    "PlacementPolicy",
+    "list_policies",
+    "make_policy",
+    "register_policy",
+]
+
+
+class Policy(ValidatedStrEnum):
+    """Placement policies :func:`~repro.fleet.simulate_fleet` accepts.
+
+    Members are their literal strings (``Policy.SMTSM == "smtsm"``),
+    so CLI/config strings and typed constants are interchangeable; a
+    typo raises a ``ValueError`` listing the valid options.
+    """
+
+    SMTSM = "smtsm"
+    LEAST_LOADED = "least_loaded"
+    ROUND_ROBIN = "round_robin"
+    RANDOM = "random"
+
+
+class PlacementPolicy:
+    """Protocol base: where a job runs, and at what SMT level.
+
+    ``bank`` is the scheduler's per-(arch, workload) controller bank —
+    the fleet's online SMTsm oracle.  Telemetry-driven policies read
+    levels from it; load-only policies ignore it and run at the arch
+    maximum.
+    """
+
+    #: Registry name; set by subclasses.
+    name = "abstract"
+    #: Whether the scheduler should measure completed jobs and feed the
+    #: controller bank.  Load-only policies skip the telemetry path.
+    uses_telemetry = False
+
+    def bind(self, nodes: Sequence[Node], queue_depth: int, bank) -> None:
+        self.nodes = list(nodes)
+        self.queue_depth = queue_depth
+        self.bank = bank
+
+    def place(self, job: Job, now: float) -> Optional[int]:
+        """Node id to enqueue ``job`` on, or ``None`` to reject."""
+        raise NotImplementedError
+
+    def level_for(self, node: Node, job: Job) -> int:
+        """SMT level the job runs at (default: the arch maximum)."""
+        return node.max_level
+
+    def touch(self, node: Node, now: float = 0.0) -> None:
+        """Node state changed; refresh any index entries for it."""
+
+
+class _HeapPolicy(PlacementPolicy):
+    """Lazy-heap skeleton: order nodes by a key, skip stale entries.
+
+    ``touch`` pushes the node's fresh key; ``place`` pops until the top
+    entry's key matches the node's current key (stale entries from
+    earlier pushes are discarded), giving O(log n) amortized placement.
+    """
+
+    def _key(self, node: Node, now: float) -> Tuple:
+        raise NotImplementedError
+
+    def bind(self, nodes: Sequence[Node], queue_depth: int, bank) -> None:
+        super().bind(nodes, queue_depth, bank)
+        self._heap: List[Tuple] = []
+        self._current: Dict[int, Tuple] = {}
+        for node in self.nodes:
+            self.touch(node)
+
+    def touch(self, node: Node, now: float = 0.0) -> None:
+        key = self._key(node, now)
+        self._current[node.node_id] = key
+        heapq.heappush(self._heap, key + (node.node_id,))
+
+    def place(self, job: Job, now: float) -> Optional[int]:
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            node_id = entry[-1]
+            if self._current.get(node_id) != entry[:-1]:
+                heapq.heappop(heap)      # stale: superseded by a later touch
+                continue
+            node = self.nodes[node_id]
+            if node.down_until > now or not node.accepts(self.queue_depth):
+                return None              # best candidate full/down -> shed
+            return node_id
+        return None
+
+
+class LeastLoadedPolicy(_HeapPolicy):
+    """Shortest queue wins; ties broken by node id (deterministic)."""
+
+    name = "least_loaded"
+
+    def _key(self, node: Node, now: float) -> Tuple:
+        if node.down_until > now:
+            load = self.queue_depth + 1  # restarting: sort behind everyone
+        else:
+            load = node.queue_len + (1 if node.busy else 0)
+        return (load,)
+
+
+class SmtsmPolicy(_HeapPolicy):
+    """Earliest estimated completion at the controller-chosen level.
+
+    ``node.est_free_at`` is maintained by the scheduler: the time the
+    node's current backlog drains, estimated from the perf model at
+    the levels the controller bank currently recommends.  The level
+    decision comes from the hardened controller for the job's (arch,
+    workload) pair, i.e. from noisy online SMTsm — this policy is
+    exactly "the paper's metric, used as a placement signal".
+    """
+
+    name = "smtsm"
+    uses_telemetry = True
+
+    def _key(self, node: Node, now: float) -> Tuple:
+        return (node.est_free_at,)
+
+    def level_for(self, node: Node, job: Job) -> int:
+        return self.bank.level(node.arch, job.workload)
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Rotating cursor; skips full/down nodes up to one full lap."""
+
+    name = "round_robin"
+
+    def bind(self, nodes: Sequence[Node], queue_depth: int, bank) -> None:
+        super().bind(nodes, queue_depth, bank)
+        self._cursor = 0
+
+    def place(self, job: Job, now: float) -> Optional[int]:
+        n = len(self.nodes)
+        for _ in range(n):
+            node = self.nodes[self._cursor]
+            self._cursor = (self._cursor + 1) % n
+            if node.down_until <= now and node.accepts(self.queue_depth):
+                return node.node_id
+        return None
+
+
+class RandomPolicy(PlacementPolicy):
+    """Seeded uniform pick; one retry lap is a queue scan, so a full
+    pick is simply rejected (matching an open-loop spray balancer)."""
+
+    name = "random"
+
+    def __init__(self, rng: RngStream):
+        self._rng = rng
+
+    def place(self, job: Job, now: float) -> Optional[int]:
+        node = self.nodes[int(self._rng.integers(0, len(self.nodes)))]
+        if node.down_until <= now and node.accepts(self.queue_depth):
+            return node.node_id
+        return None
+
+
+_REGISTRY: Dict[str, Callable[[RngStream], PlacementPolicy]] = {
+    Policy.SMTSM.value: lambda rng: SmtsmPolicy(),
+    Policy.LEAST_LOADED.value: lambda rng: LeastLoadedPolicy(),
+    Policy.ROUND_ROBIN.value: lambda rng: RoundRobinPolicy(),
+    Policy.RANDOM.value: lambda rng: RandomPolicy(rng),
+}
+
+
+def register_policy(
+    name: str, factory: Callable[[RngStream], PlacementPolicy]
+) -> None:
+    """Register a custom policy factory (``factory(rng) -> policy``).
+
+    Shadowing a built-in raises — ambiguous benchmark configs are worse
+    than a rename.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def list_policies() -> List[str]:
+    """Every registered policy name, built-ins first."""
+    builtin = [p.value for p in Policy]
+    extra = sorted(k for k in _REGISTRY if k not in builtin)
+    return builtin + extra
+
+
+def make_policy(name, rng: RngStream) -> PlacementPolicy:
+    """Build a policy by name (enum member or literal string)."""
+    key = str(name).lower()
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown policy {name!r}; valid options: "
+            f"{', '.join(list_policies())}"
+        )
+    return factory(rng)

@@ -1,0 +1,105 @@
+"""Seeded synthetic job traces for the fleet simulation.
+
+A trace is a time-ordered list of :class:`Job` records sampled from the
+workload catalog.  Three independently-configurable distributions shape
+it (all drawn from :class:`~repro.util.rng.RngStream` children of the
+fleet seed, so a ``(seed, config)`` pair always produces the identical
+trace):
+
+* **arrival process** — ``poisson`` (exponential inter-arrival gaps,
+  the classic open-system model) or ``uniform`` (evenly spaced with
+  ±25% jitter, a paced load generator);
+* **job size** — a lognormal multiplier around 1.0 with configurable
+  sigma; size scales the useful instructions a job carries, hence its
+  service time at any SMT level;
+* **workload mix** — ``uniform`` over the catalog names or ``zipf``
+  (weight 1/rank in declaration order), modelling a fleet dominated by
+  a few hot services with a long tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.fleet.config import FleetConfig
+from repro.util.rng import RngStream
+
+__all__ = ["Job", "generate_trace", "mean_job_size", "mix_weights"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work offered to the fleet."""
+
+    job_id: int
+    t_arrival: float      # seconds since trace start
+    workload: str         # catalog name
+    size: float           # useful-work multiplier (1.0 = DEFAULT_WORK)
+
+    def __post_init__(self):
+        if self.t_arrival < 0:
+            raise ValueError(f"t_arrival must be >= 0, got {self.t_arrival}")
+        if self.size <= 0:
+            raise ValueError(f"size must be > 0, got {self.size}")
+
+
+def mean_job_size(config: FleetConfig) -> float:
+    """Expected job-size multiplier (lognormal mean at the config sigma)."""
+    return float(np.exp(0.5 * config.job_size_sigma**2))
+
+
+def _mix_weights(config: FleetConfig, n: int) -> np.ndarray:
+    if config.mix == "zipf":
+        weights = 1.0 / np.arange(1, n + 1, dtype=float)
+    else:
+        weights = np.ones(n, dtype=float)
+    return weights / weights.sum()
+
+
+def mix_weights(config: FleetConfig, names: Sequence[str]):
+    """Workload-name -> probability under the config's mix distribution."""
+    probs = _mix_weights(config, len(names))
+    return {name: float(p) for name, p in zip(names, probs)}
+
+
+def generate_trace(
+    config: FleetConfig,
+    workload_names: Sequence[str],
+    arrival_rate: float,
+    rng: RngStream,
+) -> List[Job]:
+    """Sample ``config.jobs`` jobs arriving at ``arrival_rate`` jobs/s."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be > 0, got {arrival_rate}")
+    names = list(workload_names)
+    if not names:
+        raise ValueError("need at least one workload name")
+    n_jobs = config.jobs
+
+    arrivals_rng = rng.child("arrivals")
+    if config.arrival == "poisson":
+        gaps = arrivals_rng.gen.exponential(1.0 / arrival_rate, size=n_jobs)
+    else:  # uniform: paced with bounded jitter, never reordering arrivals
+        base = 1.0 / arrival_rate
+        gaps = arrivals_rng.uniform(0.75 * base, 1.25 * base, size=n_jobs)
+    times = np.cumsum(gaps)
+
+    sizes = np.exp(
+        rng.child("sizes").normal(0.0, 1.0, size=n_jobs) * config.job_size_sigma
+    )
+    picks = rng.child("mix").choice(
+        len(names), size=n_jobs, p=_mix_weights(config, len(names))
+    )
+
+    return [
+        Job(
+            job_id=i,
+            t_arrival=float(times[i]),
+            workload=names[int(picks[i])],
+            size=float(sizes[i]),
+        )
+        for i in range(n_jobs)
+    ]

@@ -123,6 +123,26 @@ class TelemetrySummary:
             return None
         return stats
 
+    def fleet_stats(self) -> Optional[Dict[str, float]]:
+        """Fleet-simulation totals (``fleet.*``), or ``None`` when the
+        fleet simulator never ran."""
+        names = {
+            "submitted": "fleet.jobs_submitted",
+            "completed": "fleet.jobs_completed",
+            "rejected": "fleet.jobs_rejected",
+            "crash_lost": "fleet.jobs_crash_lost",
+            "smt_switches": "fleet.smt_switches",
+            "node_crashes": "fleet.node_crashes",
+            "node_hangs": "fleet.node_hangs",
+        }
+        stats = {
+            key: self.counters.get(counter, 0.0)
+            for key, counter in names.items()
+        }
+        if not any(stats.values()):
+            return None
+        return stats
+
     def slowest_runs(self, top: int = 10) -> List[Dict[str, Any]]:
         """The longest per-run spans (``runner.run`` / ``engine.simulate_run``)."""
         runs = [
@@ -296,6 +316,21 @@ def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
         ]
         sections.append(
             format_table(["plane", "totals"], rows, title="serving supervision")
+        )
+
+    fleet = summary.fleet_stats()
+    if fleet is not None:
+        rows = [
+            ["jobs", f"submitted={fleet['submitted']:g} "
+                     f"completed={fleet['completed']:g} "
+                     f"rejected={fleet['rejected']:g} "
+                     f"crash_lost={fleet['crash_lost']:g}"],
+            ["smt", f"switches={fleet['smt_switches']:g}"],
+            ["nodes", f"crashes={fleet['node_crashes']:g} "
+                      f"hangs={fleet['node_hangs']:g}"],
+        ]
+        sections.append(
+            format_table(["plane", "totals"], rows, title="fleet simulation")
         )
 
     hot_rate = summary.hot_key_hit_rate()

@@ -53,7 +53,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Tuple
 
-from repro.faults.chaos import ChaosConfig
+from repro.faults.chaos import ENV_SERVE_CHAOS, ChaosConfig
 from repro.faults.retry import RetryPolicy
 from repro.obs import get_tracer
 from repro.serve import handlers
@@ -74,9 +74,23 @@ from repro.serve.protocol import (
     response_ok,
 )
 from repro.serve.watchdog import WorkerWatchdog
-from repro.serve.workers import HotKeyCache, WorkerPool, dispatch_batch
+from repro.serve.workers import (
+    ENV_START_METHOD,
+    HotKeyCache,
+    WorkerPool,
+    dispatch_batch,
+)
+from repro.util.config import dataclass_from_env
 
 __all__ = ["ServeConfig", "PredictionServer", "BackgroundServer"]
+
+
+def _chaos_from_spec(text: str) -> Optional[ChaosConfig]:
+    """Parser for the ``REPRO_SERVE_CHAOS`` env override (empty = off)."""
+    if not text.strip():
+        return None
+    config = ChaosConfig.parse(text)
+    return config if config.any_chaos else None
 
 
 @dataclass(frozen=True)
@@ -172,6 +186,36 @@ class ServeConfig:
                 "brownout_max_inflight must be >= 1, "
                 f"got {self.brownout_max_inflight}"
             )
+
+    @classmethod
+    def from_env(
+        cls,
+        base: Optional["ServeConfig"] = None,
+        *,
+        env: Optional[Mapping[str, str]] = None,
+    ) -> "ServeConfig":
+        """Build a config from ``REPRO_SERVE_*`` variables over ``base``.
+
+        Every scalar field maps to ``REPRO_SERVE_<FIELDNAME>``
+        (``REPRO_SERVE_MAX_BATCH``, ``REPRO_SERVE_WORKERS``, ...), with
+        the two historical short names kept as aliases:
+        ``REPRO_SERVE_MP`` for ``mp_start_method`` and
+        ``REPRO_SERVE_CHAOS`` (a chaos spec string) for ``chaos``.
+        Structured fields (``retry_policy``, ``session``) have no env
+        form.  A malformed value raises ``ValueError`` naming the
+        variable.
+        """
+        return dataclass_from_env(
+            cls,
+            "REPRO_SERVE",
+            env=env,
+            base=base,
+            aliases={
+                "mp_start_method": ENV_START_METHOD,
+                "chaos": ENV_SERVE_CHAOS,
+            },
+            parsers={"chaos": _chaos_from_spec},
+        )
 
 
 class PredictionServer:

@@ -76,7 +76,6 @@ import asyncio
 import itertools
 import json
 import multiprocessing
-import os
 import sys
 import threading
 import time
@@ -86,6 +85,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import get_tracer
+from repro.util.config import env_str
 
 __all__ = [
     "CorruptResponse",
@@ -106,7 +106,7 @@ ENV_START_METHOD = "REPRO_SERVE_MP"
 def default_start_method() -> str:
     """``fork`` where available (fast, shares the warm import state),
     ``spawn`` elsewhere; override with ``REPRO_SERVE_MP=spawn|fork``."""
-    env = os.environ.get(ENV_START_METHOD, "").strip().lower()
+    env = env_str(ENV_START_METHOD).lower()
     if env in ("fork", "spawn", "forkserver"):
         return env
     return "fork" if sys.platform.startswith("linux") else "spawn"

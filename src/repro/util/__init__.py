@@ -1,5 +1,8 @@
-"""Shared utilities: deterministic RNG plumbing, validation, ASCII tables."""
+"""Shared utilities: deterministic RNG plumbing, validation, ASCII
+tables, env-var configuration, and validated string enums."""
 
+from repro.util.config import dataclass_from_env, env_str, parse_bool
+from repro.util.enums import ValidatedStrEnum
 from repro.util.rng import RngStream, spawn_rng
 from repro.util.validation import (
     check_fraction,
@@ -10,6 +13,10 @@ from repro.util.validation import (
 from repro.util.tables import format_table, format_series
 
 __all__ = [
+    "ValidatedStrEnum",
+    "dataclass_from_env",
+    "env_str",
+    "parse_bool",
     "RngStream",
     "spawn_rng",
     "check_fraction",

@@ -1,0 +1,170 @@
+"""Environment-variable configuration shared by the config dataclasses.
+
+``ServeConfig`` (``REPRO_SERVE_*``) and ``FleetConfig``
+(``REPRO_FLEET_*``) both want the same thing: every scalar field
+overridable from the environment, with the variable name derived from
+the field name and the string coerced to the field's annotated type.
+Before this module each consumer hand-rolled its own
+``os.environ.get(...).strip()`` parsing; now they share one
+implementation:
+
+* :func:`env_str` — the canonical "read and strip one variable" used by
+  every env lookup in the package;
+* :func:`parse_bool` — the one truthy/falsy vocabulary
+  (``1/true/yes/on`` vs ``0/false/no/off``);
+* :func:`dataclass_from_env` — build (or override) a frozen config
+  dataclass from ``<PREFIX>_<FIELDNAME>`` variables, coercing by the
+  field's type annotation (``int``/``float``/``bool``/``str`` and
+  ``Optional`` of those; other fields are skipped unless given a custom
+  parser).
+
+A malformed value raises a ``ValueError`` naming the variable, so a bad
+deployment manifest fails at startup instead of silently falling back
+to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing
+from typing import Any, Callable, Dict, Mapping, Optional, Type, TypeVar
+
+__all__ = [
+    "env_str",
+    "parse_bool",
+    "dataclass_from_env",
+    "env_overrides",
+]
+
+T = TypeVar("T")
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off")
+
+
+def env_str(
+    name: str,
+    default: str = "",
+    env: Optional[Mapping[str, str]] = None,
+) -> str:
+    """One stripped environment lookup (the shared idiom)."""
+    source = os.environ if env is None else env
+    return source.get(name, default).strip()
+
+
+def parse_bool(text: str) -> bool:
+    """The package's one boolean vocabulary; raises on anything else."""
+    lowered = text.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    raise ValueError(
+        f"expected one of {'/'.join(_TRUTHY)} or {'/'.join(_FALSY)}, "
+        f"got {text!r}"
+    )
+
+
+def _unwrap_optional(tp: Any) -> tuple:
+    """``(inner_type, is_optional)`` for ``Optional[X]``; passthrough else."""
+    if typing.get_origin(tp) is typing.Union:
+        args = [a for a in typing.get_args(tp) if a is not type(None)]
+        if len(args) == 1:
+            return args[0], True
+    return tp, False
+
+
+def _parser_for(tp: Any) -> Optional[Callable[[str], Any]]:
+    """A string parser for a supported annotation, or ``None``."""
+    inner, is_optional = _unwrap_optional(tp)
+    base: Optional[Callable[[str], Any]]
+    if inner is bool:
+        base = parse_bool
+    elif inner is int:
+        base = int
+    elif inner is float:
+        base = float
+    elif inner is str:
+        base = lambda text: text  # noqa: E731 - trivial identity
+    else:
+        return None
+    if not is_optional:
+        return base
+
+    def parse_optional(text: str) -> Any:
+        if text.strip().lower() in ("", "none", "null"):
+            return None
+        return base(text)
+
+    return parse_optional
+
+
+def env_overrides(
+    cls: Type[T],
+    prefix: str,
+    *,
+    env: Optional[Mapping[str, str]] = None,
+    aliases: Optional[Mapping[str, str]] = None,
+    parsers: Optional[Mapping[str, Callable[[str], Any]]] = None,
+) -> Dict[str, Any]:
+    """Field overrides for ``cls`` found in the environment.
+
+    Each dataclass field ``foo_bar`` is looked up as ``<PREFIX>_FOO_BAR``
+    (``aliases`` maps a field name to a non-derived variable name, e.g.
+    ``mp_start_method -> REPRO_SERVE_MP``).  Fields whose annotation is
+    not a supported scalar are skipped unless ``parsers`` supplies a
+    coercion.  A present-but-malformed value raises ``ValueError``
+    naming the variable.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    source = os.environ if env is None else env
+    aliases = dict(aliases or {})
+    parsers = dict(parsers or {})
+    hints = typing.get_type_hints(cls)
+    overrides: Dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        var = aliases.get(field.name, f"{prefix}_{field.name.upper()}")
+        if var not in source:
+            continue
+        raw = source[var].strip()
+        parser = parsers.get(field.name)
+        if parser is None:
+            parser = _parser_for(hints.get(field.name, field.type))
+        if parser is None:
+            continue  # non-scalar field with no custom parser
+        try:
+            overrides[field.name] = parser(raw)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"bad value for {var}={raw!r} "
+                f"({cls.__name__}.{field.name}): {exc}"
+            ) from None
+    return overrides
+
+
+def dataclass_from_env(
+    cls: Type[T],
+    prefix: str,
+    *,
+    env: Optional[Mapping[str, str]] = None,
+    base: Optional[T] = None,
+    aliases: Optional[Mapping[str, str]] = None,
+    parsers: Optional[Mapping[str, Callable[[str], Any]]] = None,
+) -> T:
+    """Build ``cls`` from the environment, over ``base`` (or defaults).
+
+    With no matching variables set this returns ``base`` unchanged (or a
+    default-constructed instance), so calling it unconditionally at
+    startup is free.  The constructed instance goes through the
+    dataclass ``__post_init__`` validation as usual.
+    """
+    overrides = env_overrides(
+        cls, prefix, env=env, aliases=aliases, parsers=parsers
+    )
+    if base is not None:
+        if not overrides:
+            return base
+        return dataclasses.replace(base, **overrides)
+    return cls(**overrides)

@@ -1,0 +1,61 @@
+"""Validated string-enum constants for stringly-typed parameters.
+
+Parameters like ``run_catalog(strategy=...)`` and
+``simulate_fleet(policy=...)`` historically took bare strings; a typo
+surfaced as a generic error far from the call site.
+:class:`ValidatedStrEnum` keeps the string interface (every member *is*
+its literal value, so ``Strategy.COLUMNAR == "columnar"`` and existing
+callers keep passing plain strings) while giving each parameter a typed
+constant and a :meth:`~ValidatedStrEnum.parse` entry point that raises a
+``ValueError`` naming every valid option on a typo.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ValidatedStrEnum"]
+
+
+class ValidatedStrEnum(str, enum.Enum):
+    """A string enum whose members compare equal to their literal values.
+
+    Subclasses define the accepted literals::
+
+        class Strategy(ValidatedStrEnum):
+            COLUMNAR = "columnar"
+            SERIAL = "serial"
+
+    ``Strategy.parse("columnar")`` and ``Strategy.parse(Strategy.COLUMNAR)``
+    both return the member; ``Strategy.parse("colmnar")`` raises a
+    ``ValueError`` listing the valid options.  Because members subclass
+    ``str``, they can be stored, compared, and formatted (via ``.value``)
+    exactly like the literals they replace.
+    """
+
+    @classmethod
+    def options(cls) -> tuple:
+        """Every accepted literal value, in declaration order."""
+        return tuple(member.value for member in cls)
+
+    @classmethod
+    def parse(cls, value) -> "ValidatedStrEnum":
+        """Coerce a member or its literal string; reject anything else.
+
+        The error message lists every valid option so a typo at a CLI or
+        config boundary is self-diagnosing.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise ValueError(
+            f"unknown {cls.__name__.lower()} {value!r}; valid options: "
+            f"{', '.join(cls.options())}"
+        )
+
+    def __str__(self) -> str:  # match StrEnum semantics on older pythons
+        return str(self.value)

@@ -1,0 +1,70 @@
+"""Tests for the placement-policy API (:mod:`repro.fleet.policy`)."""
+
+import pytest
+
+from repro.fleet import Policy, list_policies, make_policy
+from repro.fleet.policy import (
+    PlacementPolicy,
+    _REGISTRY,
+    register_policy,
+)
+from repro.util.rng import RngStream
+
+
+class TestPolicyEnum:
+    def test_members_equal_literals(self):
+        assert Policy.SMTSM == "smtsm"
+        assert Policy.LEAST_LOADED == "least_loaded"
+        assert str(Policy.RANDOM) == "random"
+
+    def test_parse_accepts_enum_and_string(self):
+        assert Policy.parse("round_robin") is Policy.ROUND_ROBIN
+        assert Policy.parse(Policy.SMTSM) is Policy.SMTSM
+
+    def test_parse_typo_names_valid_options(self):
+        with pytest.raises(ValueError) as exc:
+            Policy.parse("smtms")
+        message = str(exc.value)
+        assert "smtms" in message
+        for name in ("smtsm", "least_loaded", "round_robin", "random"):
+            assert name in message
+
+
+class TestRegistry:
+    def test_builtins_listed_first(self):
+        names = list_policies()
+        assert names[:4] == ["smtsm", "least_loaded",
+                             "round_robin", "random"]
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError) as exc:
+            make_policy("best_fit", RngStream(0, ("p",)))
+        assert "best_fit" in str(exc.value)
+        assert "smtsm" in str(exc.value)
+
+    def test_register_custom_policy(self):
+        class FirstFitPolicy(PlacementPolicy):
+            name = "first_fit_test"
+
+            def place(self, job, now):
+                for node in self.nodes:
+                    if node.down_until <= now and (
+                            len(node.queue) + (node.running is not None)
+                            < self.queue_depth):
+                        return node.node_id
+                return None
+
+        register_policy("first_fit_test", lambda rng: FirstFitPolicy())
+        try:
+            assert "first_fit_test" in list_policies()
+            policy = make_policy("first_fit_test", RngStream(0, ("p",)))
+            assert isinstance(policy, FirstFitPolicy)
+            with pytest.raises(ValueError):
+                register_policy("first_fit_test",
+                                lambda rng: FirstFitPolicy())
+        finally:
+            _REGISTRY.pop("first_fit_test", None)
+
+    def test_cannot_shadow_builtin(self):
+        with pytest.raises(ValueError):
+            register_policy("smtsm", lambda rng: PlacementPolicy())

@@ -1,0 +1,76 @@
+"""Tests for the seeded synthetic arrival trace (:mod:`repro.fleet.trace`)."""
+
+import math
+
+import pytest
+
+from repro.fleet.config import FleetConfig, parse_arch_mix
+from repro.fleet.trace import generate_trace, mean_job_size, mix_weights
+from repro.util.rng import RngStream
+
+
+def make_trace(**overrides):
+    config = FleetConfig(chips=4, jobs=200, **overrides)
+    names = config.workload_names()
+    rng = RngStream(config.seed, ("trace",))
+    return config, generate_trace(config, names, arrival_rate=5.0, rng=rng)
+
+
+class TestGenerateTrace:
+    def test_shape_and_monotone_arrivals(self):
+        config, trace = make_trace()
+        assert len(trace) == config.jobs
+        times = [job.t_arrival for job in trace]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+        assert all(job.size > 0.0 for job in trace)
+        names = set(config.workload_names())
+        assert all(job.workload in names for job in trace)
+        assert [job.job_id for job in trace] == list(range(len(trace)))
+
+    def test_deterministic_for_seed(self):
+        _, a = make_trace(seed=7)
+        _, b = make_trace(seed=7)
+        assert a == b
+        _, c = make_trace(seed=8)
+        assert a != c
+
+    def test_poisson_rate_roughly_honored(self):
+        config, trace = make_trace(arrival="poisson")
+        measured = len(trace) / trace[-1].t_arrival
+        assert measured == pytest.approx(5.0, rel=0.25)
+
+    def test_uniform_gaps_bounded(self):
+        _, trace = make_trace(arrival="uniform")
+        gaps = [b.t_arrival - a.t_arrival
+                for a, b in zip(trace, trace[1:])]
+        base = 1.0 / 5.0
+        assert all(0.75 * base - 1e-9 <= g <= 1.25 * base + 1e-9
+                   for g in gaps)
+
+    def test_mean_job_size_is_lognormal_mean(self):
+        config = FleetConfig(job_size_sigma=0.35)
+        assert mean_job_size(config) == pytest.approx(
+            math.exp(0.35 ** 2 / 2.0))
+
+    def test_zipf_mix_skews_toward_head(self):
+        config = FleetConfig(mix="zipf")
+        names = config.workload_names()
+        weights = mix_weights(config, names)
+        assert weights[names[0]] > weights[names[-1]]
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestParseArchMix:
+    def test_weighted_spec(self):
+        assert parse_arch_mix("power7:3,nehalem:1") == [
+            ("power7", 3), ("nehalem", 1)]
+
+    def test_bare_name(self):
+        assert parse_arch_mix("power7") == [("power7", 1)]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_arch_mix("power7:0")
+        with pytest.raises(ValueError):
+            parse_arch_mix("")
