@@ -1,0 +1,29 @@
+"""Bench (extension): per-cluster SMTsm on the 4+4 big/little chip."""
+
+from benchmarks.conftest import emit
+from repro.experiments import hetero_biglittle
+
+
+def test_hetero_biglittle(benchmark, results_dir):
+    result = benchmark.pedantic(
+        hetero_biglittle.run, rounds=1, iterations=1,
+    )
+    # Asymmetric ceilings: the metric must make the SMT4-vs-SMT1 call
+    # on the big cluster and the SMT2-vs-SMT1 call on the little one,
+    # each from that cluster's own counters.
+    per_workload = result.predicted_vs_best()
+    for cluster in ("big", "little"):
+        assert result.threshold_is_valid(cluster)
+        n = len(result.scatters[cluster].points)
+        hits = sum(1 for rows in per_workload.values()
+                   if cluster in rows
+                   and rows[cluster][0] == rows[cluster][1])
+        assert n == 20
+        assert hits / n >= 0.8
+    # The interesting transfer fact: at least one workload prefers a
+    # different SMT level on the two clusters.
+    split = [name for name, rows in per_workload.items()
+             if "big" in rows and "little" in rows
+             and rows["big"][1] != rows["little"][1]]
+    assert split
+    emit(results_dir, "hetero_biglittle", result.render())

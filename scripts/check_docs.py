@@ -28,6 +28,7 @@ API_DOC = REPO_ROOT / "docs" / "api.md"
 PUBLIC_MODULES = (
     "repro",
     "repro.api",
+    "repro.arch",
     "repro.serve",
     "repro.serve.workers",
     "repro.obs",
@@ -43,6 +44,7 @@ PUBLIC_MODULES = (
 REQUIRED_DOCS = (
     "api.md",
     "architecture.md",
+    "architectures.md",
     "observability.md",
     "performance.md",
     "robustness.md",

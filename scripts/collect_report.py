@@ -25,7 +25,7 @@ SECTIONS = (
         "ablation_factors", "ablation_perf_overhead", "ablation_engines",
         "ablation_threshold_methods", "ablation_priorities",
         "ablation_fetch_policy", "coschedule_symbiosis",
-        "related_mathis_power5",
+        "related_mathis_power5", "armsmt_transfer", "hetero_biglittle",
     )),
 )
 

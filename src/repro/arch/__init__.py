@@ -13,8 +13,21 @@ from repro.arch.machine import Architecture, CacheGeometry
 from repro.arch.power5 import power5
 from repro.arch.power7 import power7
 from repro.arch.nehalem import nehalem
+from repro.arch.armsmt import armsmt
 from repro.arch.generic import generic_core
 from repro.arch.registry import get_architecture, list_architectures, register_architecture
+from repro.arch.hetero import (
+    ClusterSpec,
+    HeteroChip,
+    PowerAreaBudget,
+    big_little,
+    cluster_architecture,
+    expand_node_archs,
+    get_hetero,
+    is_hetero,
+    list_hetero,
+    register_hetero,
+)
 
 __all__ = [
     "InstrClass",
@@ -30,8 +43,19 @@ __all__ = [
     "power5",
     "power7",
     "nehalem",
+    "armsmt",
     "generic_core",
     "get_architecture",
     "list_architectures",
     "register_architecture",
+    "ClusterSpec",
+    "HeteroChip",
+    "PowerAreaBudget",
+    "big_little",
+    "cluster_architecture",
+    "expand_node_archs",
+    "get_hetero",
+    "is_hetero",
+    "list_hetero",
+    "register_hetero",
 ]

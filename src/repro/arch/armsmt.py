@@ -1,0 +1,98 @@
+"""ARM-style 2-way SMT core description (SYNPA-flavored).
+
+Navarro et al.'s SYNPA line of work studies 2-way SMT ARM processors
+whose issue ports are *competitively arbitrated* between the two
+hardware threads rather than statically partitioned.  This model
+captures that shape: a narrow out-of-order ARMv8 server core with
+
+* a 3-wide dispatch stage (narrower than Nehalem's 4 and POWER7's 6),
+* four issue ports that instruction classes *share* — branches arbitrate
+  against integer ALU ops for port ``I0``, loads and stores arbitrate
+  for the single load/store pipe ``LS``,
+* two hardware threads per core, with the issue queue competitively
+  shared (a lone thread can claim a bit more than half) and the ROB
+  hard-split at SMT2.
+
+Since ports are shared across classes, the metric is computed over
+per-port issue fractions against the capacity-proportional ideal
+(Eq. 3 generalized), exactly like Nehalem.  The dispatch-held condition
+maps onto the ARM PMUv3 backend-stall event.
+"""
+
+from __future__ import annotations
+
+from repro.arch.classes import InstrClass
+from repro.arch.machine import Architecture, CacheGeometry
+from repro.arch.partition import SmtPartition
+from repro.arch.ports import IssuePort, PortTopology
+
+
+def armsmt(cores_per_chip: int = 8) -> Architecture:
+    """Build the ARMv8-style 2-way SMT architecture model.
+
+    ``cores_per_chip`` is configurable so tests and heterogeneous
+    cluster builders can use small chips; the reference system has 8
+    cores per chip.
+    """
+    topology = PortTopology(
+        ports=[
+            # Integer ALU + branch port: branches steal issue slots from
+            # integer work (competitive arbitration, not a private BR
+            # port as on POWER7).
+            IssuePort("I0", 1.0),
+            # Second integer ALU port.
+            IssuePort("I1", 1.0),
+            # FP/SIMD (NEON/SVE-style) pipe.
+            IssuePort("V0", 1.0),
+            # Single shared load/store pipe: loads and stores arbitrate
+            # for the same AGU/issue slot.
+            IssuePort("LS", 1.0),
+        ],
+        routing={
+            InstrClass.FX: {"I0": 0.5, "I1": 0.5},
+            InstrClass.BRANCH: {"I0": 1.0},
+            InstrClass.VS: {"V0": 1.0},
+            InstrClass.LOAD: {"LS": 1.0},
+            InstrClass.STORE: {"LS": 1.0},
+        },
+    )
+    partition = SmtPartition(
+        fetch_width=4,
+        dispatch_width=3,
+        issue_width=4,
+        queue_entries=28,
+        rob_entries=96,
+        # The issue queue is competitively shared between the two
+        # hardware threads (slightly better than a hard half-split for a
+        # lone thread); the ROB is statically partitioned at SMT2.
+        queue_share={1: 1.0, 2: 0.58},
+        rob_share={1: 1.0, 2: 0.5},
+        smt1_boost=1.0,
+    )
+    caches = CacheGeometry(
+        l1d_kb=64.0,
+        l2_kb=512.0,
+        l3_mb=1.0 * cores_per_chip,  # 1 MB shared SLC slice per core
+        line_bytes=64,
+        lat_l2=9.0,
+        lat_l3=33.0,
+        lat_mem=210.0,
+        mem_bandwidth_gbps=42.0,
+        numa_extra_cycles=0.0,
+    )
+    return Architecture(
+        name="ARMv8-SMT2",
+        description=(
+            "ARMv8 server core, 2-way SMT, shared competitively-arbitrated "
+            "issue ports (SYNPA-style)"
+        ),
+        frequency_ghz=2.6,
+        cores_per_chip=cores_per_chip,
+        smt_levels=(1, 2),
+        topology=topology,
+        partition=partition,
+        caches=caches,
+        branch_penalty=13.0,
+        metric_space="port",
+        dispatch_held_event="STALL_BACKEND",
+    )

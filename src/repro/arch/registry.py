@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.arch.machine import Architecture
+from repro.arch.armsmt import armsmt
 from repro.arch.generic import generic_core
 from repro.arch.nehalem import nehalem
 from repro.arch.power5 import power5
@@ -14,6 +15,7 @@ _BUILDERS: Dict[str, Callable[[], Architecture]] = {
     "power5": power5,
     "power7": power7,
     "nehalem": nehalem,
+    "armsmt": armsmt,
     "generic": generic_core,
 }
 

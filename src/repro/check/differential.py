@@ -360,6 +360,104 @@ def run_differential_checks(
     )
 
 
+#: Architectures (beyond the main ``--arch`` target) and hetero chips
+#: the cross-architecture sweep pins by default.
+CROSS_ARCHS = ("armsmt",)
+CROSS_HETERO = ("biglittle",)
+#: A lighter workload pair for the cross sweep: the sync-free and the
+#: lock-contended extremes (the two fixed-point regimes).
+CROSS_WORKLOADS = ("EP", "SPECjbb_contention")
+
+
+def run_cross_arch_differential(
+    *,
+    archs: Sequence[str] = CROSS_ARCHS,
+    hetero: Sequence[str] = CROSS_HETERO,
+    workloads: Sequence[str] = CROSS_WORKLOADS,
+    seed: int = 11,
+    work: float = DEFAULT_WORK,
+    rel_tol: float = REL_TOL,
+) -> PillarReport:
+    """Serial-vs-columnar equivalence on the non-default architectures.
+
+    The full differential pillar exercises every execution path on one
+    architecture; this sweep pins the core claim — the columnar engine
+    matches the scalar reference to :data:`REL_TOL` — on each extra
+    architecture in ``archs`` and on every cluster of each heterogeneous
+    chip in ``hetero`` (per-cluster decomposition, mixed SMT ceilings).
+    """
+    from repro.arch.hetero import get_hetero
+    from repro.sim.hetero import HeteroRunSpec, simulate_many_hetero
+    from repro.sim.table import simulate_many_columnar
+    from repro.workloads.catalog import all_workloads
+
+    catalog = all_workloads()
+    violations: List[Violation] = []
+    checks_run = 0
+    subjects = 0
+    tracer = get_tracer()
+
+    def record(check: str, label: str, ref: RunResult, got: RunResult):
+        nonlocal checks_run
+        checks_run += 1
+        diffs = compare_runs(ref, got, rel_tol)
+        if diffs:
+            field, err = max(diffs, key=lambda d: d[1])
+            violations.append(Violation(
+                pillar="differential", check=check, subject=label,
+                message=(f"columnar diverges from the serial reference on "
+                         f"{field} (rel {err:.3e})"),
+                details={"field": field, "rel_error": err, "rel_tol": rel_tol,
+                         "all_fields": dict(diffs)},
+            ))
+
+    with tracer.span("check.cross_arch_differential",
+                     archs=",".join(list(archs) + list(hetero))):
+        for arch in archs:
+            system = resolve_system(arch)
+            labels, specs = _build_specs(
+                system, workloads, tuple(system.arch.smt_levels), seed, work,
+            )
+            subjects += len(specs)
+            reference = [simulate_run(spec) for spec in specs]
+            columnar = simulate_many_columnar(specs)
+            for label, ref, got in zip(labels, reference, columnar):
+                record("cross_arch_columnar_vs_serial",
+                       f"{label} [{system.arch.name}]", ref, got)
+
+        for chip_name in hetero:
+            chip = get_hetero(chip_name)
+            hspecs = [
+                HeteroRunSpec(
+                    chip=chip, stream=catalog[name].stream,
+                    sync=catalog[name].sync,
+                    useful_instructions=work, seed=seed,
+                )
+                for name in workloads
+            ]
+            subjects += len(hspecs) * len(chip.clusters)
+            serial = simulate_many_hetero(hspecs, strategy="serial")
+            columnar = simulate_many_hetero(hspecs, strategy="columnar")
+            for name, ref_h, got_h in zip(workloads, serial, columnar):
+                for cluster in chip.cluster_names:
+                    record(
+                        "hetero_columnar_vs_serial",
+                        f"{name} [{chip_name}.{cluster}]",
+                        ref_h.cluster_results[cluster],
+                        got_h.cluster_results[cluster],
+                    )
+
+    tracer.add("check.differential_checks", checks_run)
+    tracer.add("check.differential_violations", len(violations))
+    return PillarReport(
+        pillar="differential",
+        checks_run=checks_run,
+        subjects=subjects,
+        violations=tuple(violations),
+        stats={"cross_archs": list(archs), "cross_hetero": list(hetero)},
+    )
+
+
 def _minimize_batch(
     specs: List[RunSpec],
     labels: List[str],

@@ -51,28 +51,51 @@ def goldens_dir() -> Path:
 _FINGERPRINT_CACHE: Dict[str, str] = {}
 
 
+#: Homogeneous reference architectures the fingerprint covers.  A fixed
+#: list (not ``list_architectures()``): a test registering a throwaway
+#: arch must not silently invalidate every golden on disk.
+FINGERPRINT_ARCHS = ("power7", "nehalem", "armsmt")
+
+
 def model_fingerprint() -> str:
     """Short hash of the model constants + per-figure architectures.
 
+    Covers :data:`FINGERPRINT_ARCHS` plus every registered
+    heterogeneous chip's full per-cluster spec (cluster architectures,
+    bandwidth shares, power/area budget) — editing any cluster of
+    ``biglittle`` must invalidate the hetero goldens.
+
     Memoized: golden and runcache checks call this on every comparison,
-    and rebuilding + re-serializing both reference architectures per
-    call dominated their runtime.
+    and rebuilding + re-serializing the reference architectures per
+    call dominated their runtime.  The memo key includes the hetero
+    fingerprints (cheap: chips are memoized instances), so replacing a
+    registered chip invalidates the cache.
     """
+    import json as _json
+
     from repro.arch import get_architecture
+    from repro.arch.hetero import get_hetero, hetero_fingerprint, list_hetero
     from repro.sim.runcache import _arch_fp_json, _constants_fp_json
 
     constants_json = _constants_fp_json()
-    hit = _FINGERPRINT_CACHE.get(constants_json)
+    hetero_json = _json.dumps(
+        [hetero_fingerprint(get_hetero(name)) for name in list_hetero()],
+        sort_keys=True,
+    )
+    memo_key = constants_json + "\x00" + hetero_json
+    hit = _FINGERPRINT_CACHE.get(memo_key)
     if hit is not None:
         return hit
     digest = hashlib.sha256()
     digest.update(constants_json.encode())
-    for arch_name in ("power7", "nehalem"):
+    for arch_name in FINGERPRINT_ARCHS:
         digest.update(b"\x00")
         digest.update(_arch_fp_json(get_architecture(arch_name)).encode())
+    digest.update(b"\x00")
+    digest.update(hetero_json.encode())
     fp = digest.hexdigest()[:16]
     _FINGERPRINT_CACHE.clear()
-    _FINGERPRINT_CACHE[constants_json] = fp
+    _FINGERPRINT_CACHE[memo_key] = fp
     return fp
 
 
@@ -126,9 +149,46 @@ def _ppi_summary(result) -> Dict[str, Any]:
     }
 
 
+def _arm_transfer_summary(result) -> Dict[str, Any]:
+    summary = _scatter_summary(result.scatter)
+    summary.update({
+        "gini_range": list(result.gini_range),
+        "min_impurity": result.min_impurity,
+        "ppi_threshold": result.ppi_threshold,
+        "ppi_improvement_pct": result.ppi_improvement_pct,
+        "threshold_valid": result.threshold_is_valid(),
+    })
+    return summary
+
+
+def _hetero_summary(result) -> Dict[str, Any]:
+    return {
+        "chip": result.chip_name,
+        "clusters": {
+            name: {
+                "gini_range": list(result.thresholds[name]),
+                "threshold_valid": result.threshold_is_valid(name),
+                "points": {
+                    p.name: {"metric": p.metric, "speedup": p.speedup}
+                    for p in scatter.points
+                },
+            }
+            for name, scatter in result.scatters.items()
+        },
+        "predicted_vs_best": {
+            workload: {
+                cluster: list(levels) for cluster, levels in by_cluster.items()
+            }
+            for workload, by_cluster in result.predicted_vs_best().items()
+        },
+    }
+
+
 #: figure name -> (catalog key, module name, summarizer).  Figures
-#: sharing a catalog key reuse one ``run_catalog`` sweep.
-_FIGURES: Dict[str, Tuple[str, str, Callable[[Any], Dict[str, Any]]]] = {
+#: sharing a catalog key reuse one ``run_catalog`` sweep; a ``None``
+#: catalog key means the experiment owns its own sweeps (hetero chips
+#: run one catalog per cluster).
+_FIGURES: Dict[str, Tuple[Optional[str], str, Callable[[Any], Dict[str, Any]]]] = {
     "fig06": ("p7", "fig06_smt4v1_at4", _scatter_summary),
     "fig07": ("p7", "fig07_instruction_mix", _mix_ladder_summary),
     "fig08": ("p7", "fig08_smt4v2_at4", _scatter_summary),
@@ -141,6 +201,8 @@ _FIGURES: Dict[str, Tuple[str, str, Callable[[Any], Dict[str, Any]]]] = {
     "fig15": ("p7x2", "fig15_two_chip_21", _scatter_summary),
     "fig16": ("p7", "fig16_gini", _gini_summary),
     "fig17": ("p7", "fig17_ppi", _ppi_summary),
+    "armsmt01": ("armsmt", "armsmt_transfer", _arm_transfer_summary),
+    "hetero01": (None, "hetero_biglittle", _hetero_summary),
 }
 
 
@@ -169,11 +231,14 @@ def compute_summaries(
     with get_tracer().span("check.golden_summaries", figures=len(selected)):
         for name in selected:
             catalog_key, module_name, summarize = _FIGURES[name]
-            if catalog_key not in catalogs:
-                catalogs[catalog_key] = run_catalog(catalog_key, seed=seed)
             module = importlib.import_module(
                 f"repro.experiments.{module_name}"
             )
+            if catalog_key is None:
+                summaries[name] = summarize(module.run(seed=seed))
+                continue
+            if catalog_key not in catalogs:
+                catalogs[catalog_key] = run_catalog(catalog_key, seed=seed)
             summaries[name] = summarize(
                 module.run(seed=seed, runs=catalogs[catalog_key])
             )

@@ -345,6 +345,67 @@ def _memory_state(solution: ChipSolution, ctx: InvariantContext):
 
 # -- pillar runner -------------------------------------------------------
 
+class _Tally:
+    """Mutable accumulator shared by the pillar evaluation helpers."""
+
+    def __init__(self):
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+        self.subjects = 0
+
+    def check(self, inv: Invariant, subject: str, problems) -> None:
+        self.checks_run += 1
+        for message, details in problems:
+            self.violations.append(Violation(
+                pillar="invariants", check=inv.name,
+                subject=subject, message=message, details=details,
+            ))
+
+
+def _run_scope_over(catalog_runs: CatalogRuns, ctx: InvariantContext,
+                    tally: _Tally) -> None:
+    run_invs = invariants_for("run")
+    for name, by_level in catalog_runs.runs.items():
+        for level, result in sorted(by_level.items()):
+            subject = (f"{name}@SMT{level}"
+                       f" [{result.arch.name} x{result.n_chips}]")
+            tally.subjects += 1
+            for inv in run_invs:
+                tally.check(inv, subject, inv.fn(result, ctx))
+
+
+def _chip_solution_checks(solution: ChipSolution, arch, subject: str,
+                          ctx: InvariantContext, tally: _Tally) -> None:
+    tally.subjects += 1
+    for inv in invariants_for("chip"):
+        if inv.name == "dispatch_width_respected":
+            problems = inv.fn(solution, ctx, arch=arch)
+        else:
+            problems = inv.fn(solution, ctx)
+        tally.check(inv, subject, problems)
+
+
+def _chip_scope_over(catalog_runs: CatalogRuns, ctx: InvariantContext,
+                     chip_samples: int, tally: _Tally) -> int:
+    """Re-solve a noise-free scenario sample; returns how many workloads."""
+    from repro.workloads.catalog import all_workloads
+
+    system = catalog_runs.system
+    specs = all_workloads()
+    names = [n for n in catalog_runs.names() if n in specs]
+    step = max(1, len(names) // max(chip_samples, 1))
+    sampled = names[::step][:chip_samples]
+    for name in sampled:
+        stream = specs[name].stream
+        for level in catalog_runs.levels():
+            placement = place_threads(system, level, system.contexts_at(level))
+            solution = solve_chip(placement, stream)
+            subject = (f"chip:{name}@SMT{level}"
+                       f" [{system.arch.name} x{system.n_chips}]")
+            _chip_solution_checks(solution, system.arch, subject, ctx, tally)
+    return len(sampled)
+
+
 def check_catalog_invariants(
     catalog_runs: CatalogRuns,
     *,
@@ -360,65 +421,139 @@ def check_catalog_invariants(
     :func:`repro.sim.chip.solve_chip` — sampled evenly across the
     catalog's workloads at every SMT level.
     """
+    ctx = InvariantContext(noise_rel=noise_rel)
+    tally = _Tally()
+    tracer = get_tracer()
+
+    with tracer.span("check.invariants", runs=sum(
+            len(by_level) for by_level in catalog_runs.runs.values())):
+        _run_scope_over(catalog_runs, ctx, tally)
+        sampled = _chip_scope_over(catalog_runs, ctx, chip_samples, tally)
+
+    tracer.add("check.invariant_checks", tally.checks_run)
+    tracer.add("check.invariant_violations", len(tally.violations))
+    return PillarReport(
+        pillar="invariants",
+        checks_run=tally.checks_run,
+        subjects=tally.subjects,
+        violations=tuple(tally.violations),
+        stats={"registered": len(REGISTRY), "chip_samples": sampled},
+    )
+
+
+#: Reduced workload slice for the per-architecture coverage sweep: the
+#: compute-bound, graph/memory, lock-heavy, and contention extremes.
+COVERAGE_WORKLOADS: Tuple[str, ...] = (
+    "EP", "SSCA2", "Fluidanimate", "SPECjbb_contention",
+)
+
+
+def check_registry_coverage(
+    *,
+    seed: int = 11,
+    noise_rel: float = 0.01,
+    chip_samples: int = 2,
+    exercised: Iterable[str] = (),
+) -> PillarReport:
+    """Exercise every *registered* architecture through the invariant laws.
+
+    The main invariant pillar sweeps one architecture's full catalog;
+    this sweep guarantees no registered architecture escapes scrutiny: a
+    reduced catalog (:data:`COVERAGE_WORKLOADS`, every SMT level) runs
+    on each architecture from :func:`repro.arch.list_architectures` not
+    already ``exercised``, all run- and chip-scope laws are evaluated,
+    and every registered :class:`~repro.arch.hetero.HeteroChip` has its
+    per-cluster fixed points re-checked via
+    :func:`repro.sim.hetero.solve_hetero_chip`.
+
+    An architecture whose builder raises, whose sweep fails, or a hetero
+    chip whose clusters are missing from the registry becomes an
+    ``arch_coverage`` violation — so a newly registered arch that cannot
+    be exercised fails ``repro check --all``.  Emits the
+    ``check.arch_coverage`` counter (architectures covered).
+    """
+    from repro.arch import get_architecture, list_architectures
+    from repro.arch.hetero import get_hetero, list_hetero
+    from repro.experiments.runner import run_catalog
+    from repro.sim.hetero import solve_hetero_chip
     from repro.workloads.catalog import all_workloads
 
     ctx = InvariantContext(noise_rel=noise_rel)
-    violations: List[Violation] = []
-    checks_run = 0
-    subjects = 0
+    tally = _Tally()
     tracer = get_tracer()
+    already = {name.lower() for name in exercised}
+    covered: List[str] = []
+    specs = all_workloads()
+    catalog = {n: specs[n] for n in COVERAGE_WORKLOADS}
 
-    run_invs = invariants_for("run")
-    with tracer.span("check.invariants", runs=sum(
-            len(by_level) for by_level in catalog_runs.runs.values())):
-        for name, by_level in catalog_runs.runs.items():
-            for level, result in sorted(by_level.items()):
-                subject = (f"{name}@SMT{level}"
-                           f" [{result.arch.name} x{result.n_chips}]")
-                subjects += 1
-                for inv in run_invs:
-                    checks_run += 1
-                    for message, details in inv.fn(result, ctx):
-                        violations.append(Violation(
-                            pillar="invariants", check=inv.name,
-                            subject=subject, message=message, details=details,
-                        ))
-
-        # Chip-scope: re-solve a noise-free sample.
-        system = catalog_runs.system
-        specs = all_workloads()
-        names = [n for n in catalog_runs.names() if n in specs]
-        step = max(1, len(names) // max(chip_samples, 1))
-        sampled = names[::step][:chip_samples]
-        chip_invs = invariants_for("chip")
-        for name in sampled:
-            stream = specs[name].stream
-            for level in catalog_runs.levels():
-                placement = place_threads(
-                    system, level, system.contexts_at(level)
+    with tracer.span("check.arch_coverage",
+                     registered=len(list_architectures())):
+        for arch_name in list_architectures():
+            if arch_name in already:
+                covered.append(arch_name)
+                continue
+            try:
+                get_architecture(arch_name)
+                runs = run_catalog(
+                    arch_name, catalog, seed=seed, strategy="columnar",
                 )
-                solution = solve_chip(placement, stream)
-                subject = (f"chip:{name}@SMT{level}"
-                           f" [{system.arch.name} x{system.n_chips}]")
-                subjects += 1
-                for inv in chip_invs:
-                    checks_run += 1
-                    if inv.name == "dispatch_width_respected":
-                        problems = inv.fn(solution, ctx, arch=system.arch)
-                    else:
-                        problems = inv.fn(solution, ctx)
-                    for message, details in problems:
-                        violations.append(Violation(
-                            pillar="invariants", check=inv.name,
-                            subject=subject, message=message, details=details,
-                        ))
+            except Exception as exc:  # noqa: BLE001 — contain, report
+                tally.checks_run += 1
+                tally.violations.append(Violation(
+                    pillar="invariants", check="arch_coverage",
+                    subject=f"arch:{arch_name}",
+                    message=f"registered architecture cannot be exercised: {exc}",
+                    details={},
+                ))
+                continue
+            if runs.failures:
+                tally.checks_run += 1
+                tally.violations.append(Violation(
+                    pillar="invariants", check="arch_coverage",
+                    subject=f"arch:{arch_name}",
+                    message=f"coverage sweep had failures: {dict(runs.failures)}",
+                    details={},
+                ))
+            _run_scope_over(runs, ctx, tally)
+            _chip_scope_over(runs, ctx, chip_samples, tally)
+            covered.append(arch_name)
 
-    tracer.add("check.invariant_checks", checks_run)
-    tracer.add("check.invariant_violations", len(violations))
+        # Hetero chips: clusters must be registry-reachable, and the
+        # per-cluster fixed points must obey the chip-scope laws too.
+        registered = set(list_architectures())
+        for chip_name in list_hetero():
+            chip = get_hetero(chip_name)
+            for cluster in chip.clusters:
+                tally.checks_run += 1
+                if f"{chip_name}.{cluster.name}" not in registered:
+                    tally.violations.append(Violation(
+                        pillar="invariants", check="arch_coverage",
+                        subject=f"hetero:{chip_name}",
+                        message=(
+                            f"cluster {cluster.name!r} is not registered as "
+                            f"{chip_name}.{cluster.name!r} — unreachable by "
+                            "CLI/fleet/coverage"
+                        ),
+                        details={},
+                    ))
+            for wl_name in COVERAGE_WORKLOADS[:chip_samples]:
+                solutions = solve_hetero_chip(chip, specs[wl_name].stream)
+                for cluster_name, solution in solutions.items():
+                    subject = (f"hetero:{chip_name}.{cluster_name}"
+                               f" chip:{wl_name}")
+                    arch = chip.cluster(cluster_name).arch
+                    _chip_solution_checks(solution, arch, subject, ctx, tally)
+
+    tracer.add("check.arch_coverage", len(covered))
+    tracer.add("check.invariant_checks", tally.checks_run)
+    tracer.add("check.invariant_violations", len(tally.violations))
     return PillarReport(
         pillar="invariants",
-        checks_run=checks_run,
-        subjects=subjects,
-        violations=tuple(violations),
-        stats={"registered": len(REGISTRY), "chip_samples": len(sampled)},
+        checks_run=tally.checks_run,
+        subjects=tally.subjects,
+        violations=tuple(tally.violations),
+        stats={
+            "covered_archs": len(covered),
+            "hetero_chips": len(list_hetero()),
+        },
     )

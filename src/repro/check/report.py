@@ -77,6 +77,35 @@ class PillarReport:
         }
 
 
+def merge_pillar_reports(*reports: PillarReport) -> PillarReport:
+    """Combine same-pillar sub-reports (e.g. a pillar's main sweep plus
+    its cross-architecture coverage sweep) into one report.
+
+    Counts add, violations concatenate, stats dicts merge (later
+    reports win on key collisions); a merged report is skipped only if
+    every part was skipped.
+    """
+    if not reports:
+        raise ValueError("nothing to merge")
+    pillars = {r.pillar for r in reports}
+    if len(pillars) != 1:
+        raise ValueError(f"cannot merge reports from different pillars: {pillars}")
+    stats: Dict[str, Any] = {}
+    for r in reports:
+        stats.update(r.stats)
+    skipped = None
+    if all(r.skipped for r in reports):
+        skipped = "; ".join(r.skipped for r in reports)
+    return PillarReport(
+        pillar=reports[0].pillar,
+        checks_run=sum(r.checks_run for r in reports),
+        subjects=sum(r.subjects for r in reports),
+        violations=tuple(v for r in reports for v in r.violations),
+        skipped=skipped,
+        stats=stats,
+    )
+
+
 @dataclass(frozen=True)
 class CheckReport:
     """Everything one ``repro check`` invocation found."""

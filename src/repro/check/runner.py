@@ -14,7 +14,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.check import differential, fuzz, goldens, invariants
-from repro.check.report import PILLARS, CheckReport, PillarReport, Violation
+from repro.check.report import (
+    PILLARS,
+    CheckReport,
+    PillarReport,
+    Violation,
+    merge_pillar_reports,
+)
 from repro.obs import configure, get_tracer
 
 DEFAULT_SEED = 11
@@ -48,20 +54,34 @@ def _crashed(pillar: str, exc: BaseException) -> PillarReport:
 
 
 def _run_invariants(options: CheckOptions) -> PillarReport:
-    from repro.experiments.runner import run_catalog
+    from repro.experiments.runner import run_catalog, resolve_system
 
     runs = run_catalog(options.arch, seed=options.seed)
-    return invariants.check_catalog_invariants(
+    main = invariants.check_catalog_invariants(
         runs, noise_rel=options.noise_rel, chip_samples=options.chip_samples,
     )
+    # Cross-architecture coverage: every *registered* architecture (and
+    # every hetero chip's clusters) must pass the same laws; the main
+    # sweep's architecture is counted as exercised without re-running.
+    coverage = invariants.check_registry_coverage(
+        seed=options.seed, noise_rel=options.noise_rel,
+        chip_samples=min(options.chip_samples, 2),
+        exercised=[resolve_system(options.arch).arch.name.lower(),
+                   options.arch.lower()],
+    )
+    return merge_pillar_reports(main, coverage)
 
 
 def _run_differential(options: CheckOptions) -> PillarReport:
-    return differential.run_differential_checks(
+    main = differential.run_differential_checks(
         arch=options.arch, seed=options.seed,
         rel_tol=options.diff_rel_tol,
         include_parallel=options.include_parallel,
     )
+    cross = differential.run_cross_arch_differential(
+        seed=options.seed, rel_tol=options.diff_rel_tol,
+    )
+    return merge_pillar_reports(main, cross)
 
 
 def _run_goldens(options: CheckOptions) -> PillarReport:

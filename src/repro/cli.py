@@ -19,16 +19,31 @@ from repro.util.tables import format_table
 from repro.workloads import all_workloads, get_workload
 
 
+def _system_names() -> List[str]:
+    """Every name ``--system``/``--arch`` accepts: the short aliases
+    plus the full architecture registry (hetero clusters included)."""
+    from repro.arch import list_architectures
+
+    return ["p7", "p7x2"] + list_architectures()
+
+
+def _system_help() -> str:
+    return " | ".join(_system_names())
+
+
 def _system(name: str) -> SystemSpec:
     from repro.arch import get_architecture
 
     if name == "p7x2":
         return SystemSpec(get_architecture("power7"), 2)
-    if name in ("p7", "power7"):
+    if name == "p7":
         return SystemSpec(get_architecture("power7"), 1)
-    if name == "nehalem":
-        return SystemSpec(get_architecture("nehalem"), 1)
-    raise SystemExit(f"unknown system {name!r} (use p7, p7x2 or nehalem)")
+    try:
+        return SystemSpec(get_architecture(name), 1)
+    except KeyError:
+        raise SystemExit(
+            f"unknown system {name!r} (use one of: {', '.join(_system_names())})"
+        )
 
 
 def cmd_list_workloads(args: argparse.Namespace) -> int:
@@ -151,13 +166,19 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
     from repro.fleet import FleetConfig, simulate_fleet
 
+    if args.nodes is not None and args.arch_mix is not None:
+        raise SystemExit(
+            "fleet: --nodes is an alias for --arch-mix; pass one, not both"
+        )
+    arch_mix = args.nodes if args.nodes is not None else args.arch_mix
+
     base = FleetConfig.from_env()
     overrides = {
         name: value
         for name, value in (
             ("chips", args.chips), ("jobs", args.jobs),
             ("policy", args.policy), ("severity", args.severity),
-            ("seed", args.seed), ("arch_mix", args.arch_mix),
+            ("seed", args.seed), ("arch_mix", arch_mix),
             ("strategy", args.strategy), ("load", args.load),
             ("arrival", args.arrival), ("mix", args.mix),
             ("workloads", args.workloads),
@@ -400,6 +421,8 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
         "scaling": lambda: ex.scaling_cores.run().render(),
         "mathis-power5": lambda: ex.related_mathis_power5.run().render(),
         "robustness": lambda: ex.noise_ablation.run().render(),
+        "armsmt-transfer": lambda: ex.armsmt_transfer.run().render(),
+        "hetero": lambda: ex.hetero_biglittle.run().render(),
     }
 
 
@@ -429,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="simulate one workload and read SMTsm")
     p.add_argument("name")
-    p.add_argument("--system", default="p7", help="p7 | p7x2 | nehalem")
+    p.add_argument("--system", default="p7", help=_system_help())
     p.add_argument("--smt", type=int, default=None, help="single SMT level")
     p.add_argument("--seed", type=int, default=11)
     p.add_argument(
@@ -469,7 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="root seed for trace, faults, and policy draws")
     p.add_argument("--arch-mix", default=None,
                    help="fleet composition, e.g. 'power7' or "
-                        "'power7:3,nehalem:1'")
+                        "'power7:3,nehalem:1'; hetero chip names expand "
+                        "to their clusters")
+    p.add_argument("--nodes", default=None, metavar="MIX",
+                   help="alias for --arch-mix, e.g. 'power7:2,armsmt:2'")
     p.add_argument("--strategy", default=None,
                    help="mega-batch engine: columnar or surrogate")
     p.add_argument("--load", type=float, default=None,
@@ -541,7 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep SMT decision accuracy vs injected counter noise",
     )
     p.add_argument(
-        "--arch", nargs="+", default=["p7"], choices=["p7", "power7", "nehalem"],
+        "--arch", nargs="+", default=["p7"], choices=_system_names(),
         help="architectures to sweep (default: p7)",
     )
     p.add_argument("--seed", type=int, default=11)
@@ -572,7 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare figure summaries to tests/goldens/")
     p.add_argument("--fuzz", action="store_true",
                    help="fuzz the prediction service's NDJSON protocol")
-    p.add_argument("--arch", default="p7", help="p7 | p7x2 | nehalem")
+    p.add_argument("--arch", default="p7", help=_system_help())
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--figures", nargs="+", default=None, metavar="FIG",
                    help="golden subset, e.g. fig06 fig16 (default: all)")

@@ -15,8 +15,10 @@ from repro.experiments.runner import (
     scatter_from_runs,
 )
 from repro.experiments import (
+    armsmt_transfer,
     batch_scheduler,
     coschedule_symbiosis,
+    hetero_biglittle,
     noise_ablation,
     fig01_motivation,
     fig02_naive_metrics,
@@ -61,6 +63,8 @@ __all__ = [
     "fig15_two_chip_21",
     "fig16_gini",
     "fig17_ppi",
+    "armsmt_transfer",
+    "hetero_biglittle",
     "noise_ablation",
     "online_optimizer",
     "offline_vs_online",

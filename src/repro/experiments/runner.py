@@ -114,6 +114,7 @@ def _default_catalog(system: SystemSpec):
         NEHALEM_SET,
         NEHALEM_SMT1_SET,
         all_workloads,
+        armsmt_catalog,
         power7_catalog,
     )
 
@@ -124,10 +125,13 @@ def _default_catalog(system: SystemSpec):
         return {n: specs[n] for n in names}, (1, 2)
     if name.startswith("power7"):
         return power7_catalog(), tuple(system.arch.smt_levels)
-    raise ValueError(
-        f"no default benchmark catalog for architecture {system.arch.name!r}; "
-        "pass catalog= explicitly"
-    )
+    if name.startswith("arm"):
+        return armsmt_catalog(), tuple(system.arch.smt_levels)
+    # Any other registered architecture (custom or hetero-cluster):
+    # workload streams are architecture-independent, so the POWER7
+    # 28-benchmark catalog swept over the chip's own SMT levels is a
+    # sensible default; pass catalog= to narrow it.
+    return power7_catalog(), tuple(system.arch.smt_levels)
 
 
 @dataclass(frozen=True)

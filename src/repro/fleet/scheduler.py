@@ -174,11 +174,20 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 
 
 def _expand_arch_mix(spec: str, chips: int) -> List[str]:
-    """One arch name per chip, interleaved by the mix weights."""
+    """One arch name per chip, interleaved by the mix weights.
+
+    A heterogeneous chip name in the mix (e.g. ``biglittle``) expands
+    to its registered cluster architectures — a big/little node appears
+    in the fleet as one node per cluster, each with its own SMT ceiling
+    and bandwidth slice, so the placement policy schedules over the
+    chip's per-cluster (arch, level) spaces.
+    """
+    from repro.arch.hetero import expand_node_archs
+
     entries = parse_arch_mix(spec)
     pattern: List[str] = []
     for name, weight in entries:
-        pattern.extend([name] * weight)
+        pattern.extend(expand_node_archs(name) * weight)
     return [pattern[i % len(pattern)] for i in range(chips)]
 
 

@@ -69,9 +69,26 @@ NEHALEM_SMT1_SET: Tuple[str, ...] = (
 )
 
 
+#: The ARM SMT2 transfer-study set: a cross-suite slice mixing the
+#: compute-bound, memory-bound, and synchronization-heavy extremes so
+#: threshold selection on a 2-level chip sees both SMT-friendly and
+#: SMT-averse behaviour.
+ARMSMT_SET: Tuple[str, ...] = (
+    "Ammp", "Applu", "Blackscholes", "BT", "CG_MPI", "Dedup", "EP",
+    "Equake", "Fluidanimate", "FT_MPI", "IS", "LU_MPI", "MG", "Mgrid",
+    "SPECjbb", "SPECjbb_contention", "SSCA2", "Stream", "Streamcluster",
+    "Swim",
+)
+
+
 def power7_catalog() -> Dict[str, WorkloadSpec]:
     specs = all_workloads()
     return {name: specs[name] for name in POWER7_SET}
+
+
+def armsmt_catalog() -> Dict[str, WorkloadSpec]:
+    specs = all_workloads()
+    return {name: specs[name] for name in ARMSMT_SET}
 
 
 def nehalem_catalog() -> Dict[str, WorkloadSpec]:

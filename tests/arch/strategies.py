@@ -1,0 +1,117 @@
+"""Hypothesis strategies for random *valid* architecture models.
+
+:func:`arch_strategy` generates :class:`~repro.arch.machine.Architecture`
+instances that satisfy every constructor invariant — sorted SMT levels
+starting at 1 with a partition entry per level, routing columns that sum
+to 1, cache latencies that increase down the hierarchy, and (for
+class-space metrics) an ideal probability vector — while still spanning
+shapes no shipped chip has: 2–4 ports of uneven capacity, split-routing
+classes, competitively-shared structures, asymmetric level ladders.
+
+The cross-architecture property suite runs the same laws over these as
+over the registered chips, so "works on POWER7" can never silently
+become the definition of "works".
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.arch.classes import CLASS_ORDER
+from repro.arch.machine import Architecture, CacheGeometry
+from repro.arch.partition import SmtPartition
+from repro.arch.ports import IssuePort, PortTopology
+
+#: Level ladders the partition generator knows how to cover.
+LEVEL_LADDERS = ((1,), (1, 2), (1, 2, 4), (1, 4))
+
+_frac = st.floats(min_value=0.05, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+def _floats(lo, hi):
+    return st.floats(min_value=lo, max_value=hi,
+                     allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def topology_strategy(draw) -> PortTopology:
+    """2–4 ports with uneven capacities; each class routes to one port
+    or splits evenly across two (both shapes exist on real chips)."""
+    n_ports = draw(st.integers(min_value=2, max_value=4))
+    names = [f"P{i}" for i in range(n_ports)]
+    ports = [IssuePort(name, draw(_floats(0.5, 2.0))) for name in names]
+    routing = {}
+    for klass in CLASS_ORDER:
+        targets = draw(st.lists(st.sampled_from(names), min_size=1,
+                                max_size=2, unique=True))
+        share = 1.0 / len(targets)
+        routing[klass] = {name: share for name in targets}
+    return PortTopology(ports, routing)
+
+
+@st.composite
+def partition_strategy(draw, levels) -> SmtPartition:
+    """Shares decay with depth but stay in (0, 1]; boost only at SMT1."""
+    queue_share, rob_share = {}, {}
+    q, r = 1.0, 1.0
+    for level in levels:
+        if level > 1:
+            q *= draw(_floats(0.4, 1.0))
+            r *= draw(_floats(0.4, 1.0))
+        queue_share[level] = q
+        rob_share[level] = r
+    return SmtPartition(
+        fetch_width=draw(st.integers(min_value=2, max_value=8)),
+        dispatch_width=draw(st.integers(min_value=2, max_value=8)),
+        issue_width=draw(st.integers(min_value=2, max_value=10)),
+        queue_entries=draw(st.integers(min_value=16, max_value=80)),
+        rob_entries=draw(st.integers(min_value=64, max_value=256)),
+        queue_share=queue_share,
+        rob_share=rob_share,
+        smt1_boost=draw(_floats(1.0, 1.6)),
+    )
+
+
+@st.composite
+def cache_strategy(draw) -> CacheGeometry:
+    """Latencies built additively so L2 < L3 < memory by construction."""
+    lat_l2 = draw(_floats(4.0, 20.0))
+    lat_l3 = lat_l2 + draw(_floats(5.0, 60.0))
+    lat_mem = lat_l3 + draw(_floats(40.0, 400.0))
+    return CacheGeometry(
+        l1d_kb=draw(st.sampled_from([32.0, 64.0])),
+        l2_kb=draw(_floats(256.0, 1024.0)),
+        l3_mb=draw(_floats(2.0, 32.0)),
+        line_bytes=draw(st.sampled_from([64, 128])),
+        lat_l2=lat_l2,
+        lat_l3=lat_l3,
+        lat_mem=lat_mem,
+        mem_bandwidth_gbps=draw(_floats(20.0, 150.0)),
+        numa_extra_cycles=draw(_floats(0.0, 80.0)),
+    )
+
+
+@st.composite
+def arch_strategy(draw) -> Architecture:
+    """A random valid :class:`Architecture` spanning both metric spaces."""
+    levels = draw(st.sampled_from(LEVEL_LADDERS))
+    metric_space = draw(st.sampled_from(("port", "class")))
+    ideal = None
+    if metric_space == "class":
+        weights = [draw(_frac) for _ in CLASS_ORDER]
+        total = sum(weights)
+        ideal = tuple(w / total for w in weights)
+    return Architecture(
+        name=f"hypo-{draw(st.integers(min_value=0, max_value=10**6))}",
+        description="hypothesis-generated architecture",
+        frequency_ghz=draw(_floats(1.0, 5.0)),
+        cores_per_chip=draw(st.integers(min_value=1, max_value=4)),
+        smt_levels=levels,
+        topology=draw(topology_strategy()),
+        partition=draw(partition_strategy(levels)),
+        caches=draw(cache_strategy()),
+        branch_penalty=draw(_floats(5.0, 25.0)),
+        metric_space=metric_space,
+        ideal_class_fractions=ideal,
+    )

@@ -1,0 +1,89 @@
+"""The ARM-style 2-way SMT architecture model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import armsmt, get_architecture, list_architectures
+from repro.arch.classes import InstrClass, Mix
+
+
+class TestShape:
+    def test_reference_machine(self):
+        arch = armsmt()
+        assert arch.name == "ARMv8-SMT2"
+        assert arch.smt_levels == (1, 2)
+        assert arch.max_smt == 2
+        assert arch.cores_per_chip == 8
+        assert arch.metric_space == "port"
+
+    def test_cores_per_chip_is_configurable(self):
+        small = armsmt(cores_per_chip=4)
+        assert small.cores_per_chip == 4
+        # The shared SLC scales with the core count.
+        assert small.caches.l3_mb == pytest.approx(4.0)
+        assert armsmt(cores_per_chip=8).caches.l3_mb == pytest.approx(8.0)
+
+    def test_narrower_than_the_big_cores(self):
+        from repro.arch import nehalem, power7
+
+        arm = armsmt()
+        assert arm.partition.dispatch_width < nehalem().partition.dispatch_width
+        assert arm.partition.dispatch_width < power7().partition.dispatch_width
+
+
+class TestPorts:
+    def test_ideal_is_capacity_proportional(self):
+        arch = armsmt()
+        ideal = arch.ideal_vector()
+        # Four equal-capacity ports -> uniform ideal.
+        assert np.allclose(ideal, 0.25)
+        assert ideal.sum() == pytest.approx(1.0)
+
+    def test_loads_and_stores_share_one_pipe(self):
+        topo = armsmt().topology
+        ls = topo.port_index("LS")
+        assert topo.routing_matrix[ls, InstrClass.LOAD] == 1.0
+        assert topo.routing_matrix[ls, InstrClass.STORE] == 1.0
+
+    def test_branches_arbitrate_with_integer_work(self):
+        topo = armsmt().topology
+        i0 = topo.port_index("I0")
+        assert topo.routing_matrix[i0, InstrClass.BRANCH] == 1.0
+        assert topo.routing_matrix[i0, InstrClass.FX] == pytest.approx(0.5)
+
+    def test_memory_heavy_mix_deviates_more_than_balanced(self):
+        arch = armsmt()
+        balanced = Mix({InstrClass.LOAD: 0.20, InstrClass.STORE: 0.05,
+                        InstrClass.BRANCH: 0.15, InstrClass.FX: 0.35,
+                        InstrClass.VS: 0.25})
+        memory = Mix({InstrClass.LOAD: 0.55, InstrClass.STORE: 0.25,
+                      InstrClass.BRANCH: 0.05, InstrClass.FX: 0.10,
+                      InstrClass.VS: 0.05})
+        assert arch.mix_deviation(memory) > arch.mix_deviation(balanced)
+
+
+class TestPartition:
+    def test_rob_hard_split_queue_competitive(self):
+        part = armsmt().partition
+        smt2 = part.thread_resources(2)
+        assert smt2.rob_entries == pytest.approx(part.rob_entries * 0.5)
+        # Competitive sharing: a thread gets more than a hard half.
+        assert smt2.queue_entries > part.queue_entries * 0.5
+
+    def test_smt4_is_not_a_mode(self):
+        with pytest.raises(ValueError, match="SMT4 not supported"):
+            armsmt().partition.thread_resources(4)
+        with pytest.raises(ValueError, match="SMT levels"):
+            armsmt().validate_smt_level(4)
+
+    def test_backend_stall_event(self):
+        assert armsmt().dispatch_held_event == "STALL_BACKEND"
+
+
+class TestRegistration:
+    def test_registered_under_armsmt(self):
+        assert "armsmt" in list_architectures()
+        assert get_architecture("armsmt").name == "ARMv8-SMT2"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_architecture("ARMSMT").name == "ARMv8-SMT2"

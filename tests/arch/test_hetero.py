@@ -1,0 +1,211 @@
+"""Heterogeneous chip composition, validation, and registration."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import armsmt, get_architecture, list_architectures, power7
+from repro.arch.hetero import (
+    ClusterSpec,
+    HeteroChip,
+    PowerAreaBudget,
+    _HETERO_BUILDERS,
+    _HETERO_CACHE,
+    big_little,
+    cluster_architecture,
+    expand_node_archs,
+    get_hetero,
+    hetero_fingerprint,
+    is_hetero,
+    list_hetero,
+    register_hetero,
+)
+from repro.arch.registry import _BUILDERS
+
+
+def _cluster(name="c0", share=0.5, cores=2, **kw):
+    return ClusterSpec(
+        name=name,
+        arch=cluster_architecture(
+            armsmt(cores_per_chip=cores), name=f"arm-{name}",
+            bandwidth_share=share, chip_bandwidth_gbps=80.0,
+        ),
+        bandwidth_share=share,
+        **kw,
+    )
+
+
+class TestClusterSpec:
+    def test_name_must_be_identifier(self):
+        with pytest.raises(ValueError, match="identifier"):
+            _cluster(name="big cores")
+        with pytest.raises(ValueError, match="identifier"):
+            _cluster(name="")
+
+    def test_bandwidth_share_domain(self):
+        with pytest.raises(ValueError, match="bandwidth_share"):
+            _cluster(share=0.0)
+        with pytest.raises(ValueError, match="bandwidth_share"):
+            _cluster(share=1.2)
+
+    def test_costs_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="power/area"):
+            _cluster(core_power_w=-1.0)
+
+    def test_aggregate_costs_scale_with_cores(self):
+        spec = _cluster(cores=4, core_power_w=6.0, core_area_mm2=8.0)
+        assert spec.cores == 4
+        assert spec.power_w == pytest.approx(24.0)
+        assert spec.area_mm2 == pytest.approx(32.0)
+
+
+class TestHeteroChip:
+    def test_needs_clusters(self):
+        with pytest.raises(ValueError, match="at least one cluster"):
+            HeteroChip(name="x", description="", clusters=())
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate cluster names"):
+            HeteroChip(name="x", description="",
+                       clusters=(_cluster("a", 0.4), _cluster("a", 0.4)))
+
+    def test_overcommitted_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="over-commits DRAM"):
+            HeteroChip(name="x", description="",
+                       clusters=(_cluster("a", 0.7), _cluster("b", 0.7)))
+
+    def test_budget_violations_rejected(self):
+        hot = _cluster("a", 0.5, cores=4, core_power_w=50.0)
+        with pytest.raises(ValueError, match="exceeds the chip budget"):
+            HeteroChip(name="x", description="", clusters=(hot,),
+                       budget=PowerAreaBudget(power_w=100.0, area_mm2=500.0))
+        wide = _cluster("a", 0.5, cores=4, core_area_mm2=200.0)
+        with pytest.raises(ValueError, match="mm\\^2 exceeds"):
+            HeteroChip(name="x", description="", clusters=(wide,),
+                       budget=PowerAreaBudget(power_w=500.0, area_mm2=100.0))
+
+    def test_level_space_and_ceilings(self):
+        chip = big_little()
+        assert chip.cluster_names == ("big", "little")
+        assert chip.total_cores == 8
+        assert chip.level_space() == (
+            ("big", 1), ("big", 2), ("big", 4),
+            ("little", 1), ("little", 2),
+        )
+        assert chip.max_levels() == {"big": 4, "little": 2}
+
+    def test_validate_levels(self):
+        chip = big_little()
+        assert chip.validate_levels({}) == {"big": 4, "little": 2}
+        assert chip.validate_levels({"little": 1}) == {"big": 4, "little": 1}
+        with pytest.raises(ValueError, match="unknown clusters"):
+            chip.validate_levels({"medium": 2})
+        with pytest.raises(ValueError, match="SMT levels"):
+            chip.validate_levels({"little": 4})
+
+    def test_cluster_lookup(self):
+        chip = big_little()
+        assert chip.cluster("big").arch.max_smt == 4
+        with pytest.raises(KeyError, match="no cluster"):
+            chip.cluster("medium")
+
+
+class TestClusterArchitecture:
+    def test_renames_and_slices_bandwidth(self):
+        base = power7(cores_per_chip=4)
+        derived = cluster_architecture(
+            base, name="P7-slice", bandwidth_share=0.25,
+            chip_bandwidth_gbps=100.0,
+        )
+        assert derived.name == "P7-slice"
+        assert derived.caches.mem_bandwidth_gbps == pytest.approx(25.0)
+        # Everything else is inherited.
+        assert derived.smt_levels == base.smt_levels
+        assert derived.partition is base.partition
+
+    def test_share_domain(self):
+        with pytest.raises(ValueError, match="bandwidth_share"):
+            cluster_architecture(power7(), name="x", bandwidth_share=0.0,
+                                 chip_bandwidth_gbps=80.0)
+
+
+class TestBigLittle:
+    def test_bandwidth_is_qos_partitioned(self):
+        chip = get_hetero("biglittle")
+        shares = [c.arch.caches.mem_bandwidth_gbps for c in chip.clusters]
+        assert shares == [pytest.approx(52.0), pytest.approx(28.0)]
+
+    def test_fits_its_budget(self):
+        chip = big_little()
+        assert chip.budget is not None
+        assert sum(c.power_w for c in chip.clusters) <= chip.budget.power_w
+        assert sum(c.area_mm2 for c in chip.clusters) <= chip.budget.area_mm2
+
+
+class TestRegistry:
+    def test_biglittle_is_registered(self):
+        assert "biglittle" in list_hetero()
+        assert is_hetero("biglittle") and is_hetero("BigLittle")
+        assert not is_hetero("power7")
+
+    def test_clusters_are_registry_reachable(self):
+        archs = list_architectures()
+        assert "biglittle.big" in archs
+        assert "biglittle.little" in archs
+        assert get_architecture("biglittle.big").name == "POWER7-big"
+
+    def test_memoized_stable_instances(self):
+        # Identity matters: the columnar engine groups by arch identity
+        # and the fingerprint caches key on it.
+        assert get_hetero("biglittle") is get_hetero("biglittle")
+        assert (get_architecture("biglittle.big")
+                is get_architecture("biglittle.big"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_hetero("biglittle", big_little)
+        with pytest.raises(ValueError, match="collides"):
+            register_hetero("power7", big_little)
+
+    def test_register_and_reach_new_chip(self):
+        name = "tmp_hetero_chip"
+        try:
+            register_hetero(name, lambda: dataclasses.replace(
+                big_little(), name=name))
+            assert is_hetero(name)
+            assert f"{name}.big" in list_architectures()
+            assert expand_node_archs(name) == [f"{name}.big", f"{name}.little"]
+        finally:
+            _HETERO_BUILDERS.pop(name, None)
+            _HETERO_CACHE.pop(name, None)
+            _BUILDERS.pop(f"{name}.big", None)
+            _BUILDERS.pop(f"{name}.little", None)
+
+    def test_unknown_chip_raises(self):
+        with pytest.raises(KeyError, match="unknown hetero chip"):
+            get_hetero("doom")
+
+    def test_expand_node_archs_passthrough(self):
+        assert expand_node_archs("power7") == ["power7"]
+        assert expand_node_archs("biglittle") == [
+            "biglittle.big", "biglittle.little"]
+
+
+class TestFingerprint:
+    def test_covers_cluster_specs(self):
+        fp = hetero_fingerprint(big_little())
+        assert fp["name"] == "biglittle"
+        assert [c["name"] for c in fp["clusters"]] == ["big", "little"]
+        assert fp["budget"] == {"power_w": 120.0, "area_mm2": 220.0}
+        assert all("arch" in c for c in fp["clusters"])
+
+    def test_changes_with_bandwidth_share(self):
+        chip = big_little()
+        tweaked = dataclasses.replace(
+            chip,
+            clusters=(
+                dataclasses.replace(chip.clusters[0], bandwidth_share=0.6),
+                chip.clusters[1],
+            ),
+        )
+        assert hetero_fingerprint(tweaked) != hetero_fingerprint(chip)

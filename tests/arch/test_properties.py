@@ -1,0 +1,166 @@
+"""Cross-architecture property suite.
+
+Every law here is quantified over *random valid architectures* (via
+:func:`tests.arch.strategies.arch_strategy`) as well as the registered
+chips, so the model's guarantees are properties of the abstractions —
+not accidents of the POWER7 calibration:
+
+* the ideal SMT-mix vector is a probability vector in both metric
+  spaces, and measured fractions always sum to 1;
+* the SMTsm's factors stay in their domains (the metric itself is *not*
+  bounded by 1 — the scalability ratio is >= 1 by construction);
+* simulated times are non-negative, additive (wall = serial +
+  parallel), and monotone in useful work;
+* the columnar engine agrees with serial simulation to 1e-9 on any
+  architecture, not just the ones it was tuned on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import Mix, get_architecture, list_architectures
+from repro.core.metric import smtsm_from_run
+from repro.sim.engine import RunSpec, simulate_run
+from repro.sim.table import simulate_many_columnar
+from repro.simos import SystemSpec
+from repro.util.rng import RngStream
+from repro.workloads.synthetic import random_workload
+
+from tests.arch.strategies import arch_strategy
+
+TOL = 1e-9
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def mix_strategy(draw):
+    weights = [draw(st.floats(min_value=0.01, max_value=1.0,
+                              allow_nan=False)) for _ in range(5)]
+    total = sum(weights)
+    return Mix([w / total for w in weights])
+
+
+def workload_for(seed):
+    return random_workload(RngStream(seed))
+
+
+class TestMetricSpaceLaws:
+    @given(arch_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_ideal_vector_is_probability_vector(self, arch):
+        ideal = arch.ideal_vector()
+        assert np.all(ideal >= 0.0)
+        assert ideal.sum() == pytest.approx(1.0, abs=TOL)
+
+    @given(arch_strategy(), mix_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_metric_fractions_sum_to_one(self, arch, mix):
+        fractions = arch.metric_fractions(mix)
+        assert np.all(fractions >= -TOL)
+        assert fractions.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(arch_strategy(), mix_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_mix_deviation_domain(self, arch, mix):
+        # Euclidean distance between two probability vectors is in
+        # [0, sqrt(2)].
+        dev = arch.mix_deviation(mix)
+        assert 0.0 <= dev <= np.sqrt(2.0) + TOL
+
+
+class TestSmtsmFactorDomains:
+    @given(arch_strategy(), seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_factors_in_domain_on_random_arch(self, arch, seed):
+        spec = workload_for(seed)
+        system = SystemSpec(arch, 1)
+        run = simulate_run(RunSpec(system, arch.max_smt, spec.stream,
+                                   spec.sync, seed=seed, noise_rel=0.0))
+        metric = smtsm_from_run(run)
+        assert 0.0 <= metric.mix_deviation <= np.sqrt(2.0) + TOL
+        assert 0.0 <= metric.dispatch_held <= 1.0 + TOL
+        assert metric.scalability_ratio >= 1.0 - TOL
+        product = (metric.mix_deviation * metric.dispatch_held
+                   * metric.scalability_ratio)
+        assert metric.value == pytest.approx(product, rel=TOL, abs=TOL)
+
+    @pytest.mark.parametrize("name", sorted(list_architectures()))
+    def test_factors_in_domain_on_registered_archs(self, name):
+        arch = get_architecture(name)
+        spec = workload_for(7)
+        system = SystemSpec(arch, 1)
+        run = simulate_run(RunSpec(system, arch.max_smt, spec.stream,
+                                   spec.sync, seed=7, noise_rel=0.0))
+        metric = smtsm_from_run(run)
+        assert 0.0 <= metric.dispatch_held <= 1.0 + TOL
+        assert metric.scalability_ratio >= 1.0 - TOL
+        assert metric.value >= 0.0
+
+
+class TestTimeAccounting:
+    @given(arch_strategy(), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_times_nonnegative_and_additive(self, arch, seed):
+        spec = workload_for(seed)
+        system = SystemSpec(arch, 1)
+        run = simulate_run(RunSpec(system, arch.max_smt, spec.stream,
+                                   spec.sync, seed=seed, noise_rel=0.0))
+        times = run.times
+        assert times.wall_time_s > 0
+        assert times.serial_time_s >= 0
+        assert times.parallel_time_s >= 0
+        assert times.total_cpu_s >= 0
+        assert times.wall_time_s == pytest.approx(
+            times.serial_time_s + times.parallel_time_s, rel=TOL)
+
+    @given(arch_strategy(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_wall_time_monotone_in_work(self, arch, seed):
+        spec = workload_for(seed)
+        system = SystemSpec(arch, 1)
+        level = arch.max_smt
+
+        def wall(work):
+            return simulate_run(
+                RunSpec(system, level, spec.stream, spec.sync,
+                        useful_instructions=work, seed=seed,
+                        noise_rel=0.0)
+            ).times.wall_time_s
+
+        base = 1e10
+        assert wall(2 * base) >= wall(base) - TOL
+        assert wall(4 * base) >= wall(2 * base) - TOL
+
+
+class TestSerialColumnarAgreement:
+    @given(arch_strategy(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_columnar_matches_serial_on_random_arch(self, arch, seed):
+        spec = workload_for(seed)
+        system = SystemSpec(arch, 1)
+        specs = [
+            RunSpec(system, level, spec.stream, spec.sync,
+                    seed=seed + i, noise_rel=0.01)
+            for i, level in enumerate(arch.smt_levels)
+        ]
+        serial = [simulate_run(s) for s in specs]
+        columnar = simulate_many_columnar(specs)
+        for a, b in zip(serial, columnar):
+            rel = abs(a.wall_time_s - b.wall_time_s) / a.wall_time_s
+            assert rel <= TOL
+            assert a.performance == pytest.approx(b.performance, rel=TOL)
+
+    @pytest.mark.parametrize("name", sorted(list_architectures()))
+    def test_columnar_matches_serial_on_registered_archs(self, name):
+        arch = get_architecture(name)
+        spec = workload_for(3)
+        system = SystemSpec(arch, 1)
+        specs = [
+            RunSpec(system, level, spec.stream, spec.sync, seed=3)
+            for level in arch.smt_levels
+        ]
+        serial = [simulate_run(s) for s in specs]
+        columnar = simulate_many_columnar(specs)
+        for a, b in zip(serial, columnar):
+            assert a.wall_time_s == pytest.approx(b.wall_time_s, rel=TOL)

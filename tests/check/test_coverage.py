@@ -1,0 +1,158 @@
+"""The cross-architecture conformance surface.
+
+Three gates added alongside the classic pillars:
+
+* the registry-coverage sweep — every registered architecture (and
+  every hetero chip's clusters) must survive the invariant laws, so a
+  chip cannot be registered without being checkable;
+* the cross-architecture differential — the columnar engine must match
+  serial simulation on the non-POWER7 chips too;
+* fingerprint invalidation — editing a hetero chip's cluster spec must
+  change :func:`model_fingerprint` and thereby stale the goldens.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.hetero import _HETERO_CACHE, big_little, get_hetero
+from repro.arch.registry import _BUILDERS
+from repro.check.differential import run_cross_arch_differential
+from repro.check.invariants import (
+    COVERAGE_WORKLOADS,
+    check_registry_coverage,
+)
+from repro.check.report import merge_pillar_reports
+from repro.obs import configure, get_tracer
+
+
+class TestRegistryCoverage:
+    def test_shipped_registry_is_clean(self):
+        report = check_registry_coverage(chip_samples=1)
+        assert report.ok, [v.render() for v in report.violations]
+        assert report.pillar == "invariants"
+        from repro.arch import list_architectures
+
+        assert report.stats["covered_archs"] == len(list_architectures())
+        assert report.stats["hetero_chips"] >= 1
+
+    def test_exercised_archs_are_skipped_but_counted(self):
+        from repro.arch import list_architectures
+
+        everything = list_architectures()
+        report = check_registry_coverage(chip_samples=1,
+                                         exercised=everything)
+        assert report.ok
+        assert report.stats["covered_archs"] == len(everything)
+
+    def test_broken_builder_is_a_violation(self):
+        def broken():
+            raise RuntimeError("no silicon")
+
+        _BUILDERS["tmp_broken_arch"] = broken
+        try:
+            report = check_registry_coverage(
+                chip_samples=1,
+                exercised=[n for n in _BUILDERS if n != "tmp_broken_arch"],
+            )
+        finally:
+            del _BUILDERS["tmp_broken_arch"]
+        assert not report.ok
+        broken_violations = [v for v in report.violations
+                             if v.check == "arch_coverage"]
+        assert broken_violations
+        assert "tmp_broken_arch" in broken_violations[0].subject
+        assert "cannot be exercised" in broken_violations[0].message
+
+    def test_unregistered_cluster_is_a_violation(self):
+        # A hetero chip whose clusters were not propagated into the
+        # main registry is unreachable by CLI/fleet — the gate flags it.
+        from repro.arch.hetero import _HETERO_BUILDERS
+
+        name = "tmp_ghost_chip"
+        _HETERO_BUILDERS[name] = lambda: dataclasses.replace(
+            big_little(), name=name)
+        try:
+            report = check_registry_coverage(
+                chip_samples=0, exercised=list(_BUILDERS))
+        finally:
+            _HETERO_BUILDERS.pop(name, None)
+            _HETERO_CACHE.pop(name, None)
+        ghosts = [v for v in report.violations
+                  if v.subject == f"hetero:{name}"]
+        assert len(ghosts) == 2  # both clusters unreachable
+        assert "not registered" in ghosts[0].message
+
+    def test_emits_coverage_counter(self):
+        tracer = configure(enabled=True)
+        tracer.reset()
+        check_registry_coverage(chip_samples=0,
+                                exercised=list(_BUILDERS))
+        names = [s.name for s in get_tracer().spans()]
+        assert "check.arch_coverage" in names
+
+    def test_coverage_workloads_exist(self):
+        from repro.workloads import all_workloads
+
+        specs = all_workloads()
+        assert all(name in specs for name in COVERAGE_WORKLOADS)
+
+
+class TestCrossArchDifferential:
+    def test_columnar_matches_serial_beyond_power7(self):
+        report = run_cross_arch_differential()
+        assert report.ok, [v.render() for v in report.violations]
+        assert report.pillar == "differential"
+        checks = {v.check for v in report.violations}
+        assert not checks
+        # Both the plain cross-arch and the hetero comparisons ran.
+        assert "armsmt" in report.stats["cross_archs"]
+        assert "biglittle" in report.stats["cross_hetero"]
+
+    def test_tightened_tolerance_still_holds(self):
+        # The decomposition is exact, not approximately equal: even at
+        # 1e-12 the per-cluster split must agree with serial runs.
+        report = run_cross_arch_differential(rel_tol=1e-12)
+        assert report.ok, [v.render() for v in report.violations]
+
+
+class TestMergePillarReports:
+    def test_counts_add_and_ok_ands(self):
+        a = check_registry_coverage(chip_samples=0,
+                                    exercised=list(_BUILDERS))
+        b = check_registry_coverage(chip_samples=0,
+                                    exercised=list(_BUILDERS))
+        merged = merge_pillar_reports(a, b)
+        assert merged.checks_run == a.checks_run + b.checks_run
+        assert merged.subjects == a.subjects + b.subjects
+        assert merged.ok
+
+    def test_mismatched_pillars_rejected(self):
+        a = check_registry_coverage(chip_samples=0,
+                                    exercised=list(_BUILDERS))
+        b = run_cross_arch_differential()
+        with pytest.raises(ValueError, match="pillar"):
+            merge_pillar_reports(a, b)
+
+
+class TestFingerprintInvalidation:
+    def test_hetero_edit_changes_fingerprint(self):
+        from repro.check.goldens import model_fingerprint
+
+        baseline = model_fingerprint()
+        assert model_fingerprint() == baseline  # memo is stable
+
+        chip = get_hetero("biglittle")
+        tweaked = dataclasses.replace(
+            chip,
+            clusters=(
+                dataclasses.replace(chip.clusters[0], bandwidth_share=0.6),
+                chip.clusters[1],
+            ),
+        )
+        _HETERO_CACHE["biglittle"] = tweaked
+        try:
+            assert model_fingerprint() != baseline
+        finally:
+            _HETERO_CACHE["biglittle"] = chip
+        assert model_fingerprint() == baseline

@@ -93,6 +93,19 @@ class TestMixedFleet:
         assert result.settled
         assert set(result.arch_counts) == {"power7", "nehalem"}
 
+    def test_hetero_chip_expands_to_cluster_nodes(self):
+        from collections import Counter
+        scheduler = FleetScheduler(FleetConfig(
+            chips=6, jobs=10, arch_mix="power7:1,biglittle:1"))
+        assert Counter(scheduler.node_archs) == {
+            "power7": 2, "biglittle.big": 2, "biglittle.little": 2}
+
+    def test_arm_and_hetero_fleet_runs(self):
+        result = run(chips=4, jobs=150, arch_mix="armsmt:1,biglittle:1")
+        assert result.settled
+        assert set(result.arch_counts) == {
+            "armsmt", "biglittle.big", "biglittle.little"}
+
 
 class TestValidation:
     def test_strategy_must_be_batchable(self):

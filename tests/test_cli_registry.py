@@ -1,0 +1,88 @@
+"""Registry-driven CLI surface: no hardcoded architecture lists.
+
+Regression tests for the bug where ``--system``/``--arch`` carried a
+hardcoded ``choices=["p7", "power7", "nehalem"]``: registering a new
+architecture must make it reachable from every CLI entry point without
+touching ``cli.py``.
+"""
+
+import pytest
+
+from repro.arch import armsmt
+from repro.arch.registry import _BUILDERS, register_architecture
+from repro.cli import _system, _system_help, _system_names, build_parser, main
+
+
+@pytest.fixture()
+def throwaway_arch():
+    name = "tmp_cli_arch"
+    register_architecture(name, lambda: armsmt(cores_per_chip=2))
+    try:
+        yield name
+    finally:
+        del _BUILDERS[name]
+
+
+class TestSystemNames:
+    def test_aliases_plus_registry(self):
+        names = _system_names()
+        assert names[:2] == ["p7", "p7x2"]
+        for expected in ("power7", "nehalem", "armsmt",
+                         "biglittle.big", "biglittle.little"):
+            assert expected in names
+        assert _system_help() == " | ".join(names)
+
+    def test_new_arch_appears_everywhere(self, throwaway_arch):
+        assert throwaway_arch in _system_names()
+        # ``repro run --system`` resolves it...
+        assert _system(throwaway_arch).arch.name == "ARMv8-SMT2"
+        # ...and the robustness ``--arch`` choices pick it up because
+        # the parser derives them from the registry at build time.
+        parser = build_parser()
+        args = parser.parse_args(
+            ["robustness", "--arch", throwaway_arch, "--trials", "1"])
+        assert args.arch == [throwaway_arch]
+
+    def test_unknown_system_lists_registry(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _system("sparc")
+        message = str(excinfo.value)
+        assert "armsmt" in message and "biglittle.big" in message
+
+
+class TestRunOnNewArchs:
+    def test_run_on_armsmt(self, capsys):
+        assert main(["run", "EP", "--system", "armsmt", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "SMT2" in out and "SMT4" not in out
+
+    def test_run_on_cluster(self, capsys):
+        assert main(["run", "SSCA2", "--system", "biglittle.little",
+                     "--smt", "2", "--no-cache"]) == 0
+        assert "SMT2" in capsys.readouterr().out
+
+
+class TestFleetNodes:
+    def test_nodes_is_an_arch_mix_alias(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "--nodes", "power7:1,armsmt:1"])
+        assert args.nodes == "power7:1,armsmt:1"
+        assert args.arch_mix is None
+
+    def test_nodes_and_arch_mix_conflict(self):
+        with pytest.raises(SystemExit, match="pass one, not both"):
+            main(["fleet", "--nodes", "power7:1",
+                  "--arch-mix", "nehalem:1"])
+
+    def test_hetero_nodes_run(self, capsys):
+        assert main(["fleet", "--nodes", "biglittle:1", "--chips", "2",
+                     "--jobs", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "biglittle.big" in out and "biglittle.little" in out
+
+
+class TestExperimentRegistry:
+    def test_new_experiments_listed(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "armsmt-transfer" in out and "hetero" in out
